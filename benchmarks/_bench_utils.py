@@ -1,0 +1,13 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark both *times* the relevant pipeline (via pytest-benchmark) and
+*asserts* the qualitative claim of the figure/theorem it reproduces, printing a
+"paper vs measured" row that EXPERIMENTS.md summarises.
+"""
+
+from __future__ import annotations
+
+
+def report(experiment: str, paper_claim: str, measured: str) -> None:
+    """Print one paper-vs-measured row (visible with ``pytest -s`` or in captured logs)."""
+    print(f"\n[{experiment}] paper: {paper_claim} | measured: {measured}")

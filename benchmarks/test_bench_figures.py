@@ -1,0 +1,237 @@
+"""Benchmarks regenerating the paper's figures (Figures 1-8).
+
+Each benchmark simulates the figure's communication pattern, times the full
+pipeline (simulation plus the analysis the figure illustrates), and asserts the
+figure's qualitative claim.  Absolute running times are properties of this
+simulator, not of the paper (which reports no measurements); the asserted
+*relationships* -- who precedes whom, by at least how much, and what each
+process can know -- are the reproduction targets.
+"""
+
+import pytest
+
+from _bench_utils import report
+
+from repro.core import (
+    ExtendedBoundsGraph,
+    KnowledgeChecker,
+    TwoLeggedFork,
+    ZigzagPattern,
+    basic_bounds_graph,
+    general,
+    is_visible_zigzag,
+)
+from repro.coordination import evaluate, late_task
+from repro.scenarios import (
+    figure1_guaranteed_margin,
+    figure1_scenario,
+    figure2a_scenario,
+    figure2b_scenario,
+    figure3_fork_weight,
+    figure3_scenario,
+    figure4_scenario,
+    figure5_scenario,
+    figure6_scenario,
+    figure8_scenario,
+    zigzag_chain_equation_weight,
+)
+from repro.simulation import SeededRandomDelivery
+
+
+def test_bench_figure1_single_fork(benchmark):
+    """Figure 1: the fork guarantees a --(L_CB - U_CA)--> b with no A<->B traffic."""
+
+    def pipeline():
+        scenario = figure1_scenario(delivery=SeededRandomDelivery(seed=1))
+        run = scenario.run()
+        gap = run.action_time("B", "b") - run.action_time("A", "a")
+        return scenario, run, gap
+
+    scenario, run, gap = benchmark(pipeline)
+    margin = figure1_guaranteed_margin(scenario)
+    assert gap >= margin
+    assert all({d.sender, d.destination} != {"A", "B"} for d in run.deliveries)
+    report(
+        "Figure 1",
+        f"a precedes b by at least L_CB - U_CA = {margin}",
+        f"observed gap {gap} with zero A<->B messages",
+    )
+
+
+def test_bench_figure2a_zigzag_equation1(benchmark):
+    """Figure 2a / Equation (1): the two-fork zigzag bounds b's earliest time."""
+
+    def pipeline():
+        scenario = figure2a_scenario()
+        run = scenario.run()
+        externals = {r.process: r.receiver_node for r in run.external_deliveries}
+        pattern = ZigzagPattern(
+            (
+                TwoLeggedFork(general(externals["C"]), ("C", "D"), ("C", "A")),
+                TwoLeggedFork(general(externals["E"]), ("E", "B"), ("E", "D")),
+            )
+        )
+        return scenario, run, pattern
+
+    scenario, run, pattern = benchmark(pipeline)
+    equation = zigzag_chain_equation_weight(scenario, 2)
+    gap = run.action_time("B", "b") - run.action_time("A", "a")
+    assert pattern.is_valid_in(run)
+    assert pattern.weight(run) >= equation
+    assert gap >= pattern.weight(run)
+    report(
+        "Figure 2a / Eq.(1)",
+        f"-U_CA + L_CD - U_ED + L_EB = {equation} lower-bounds t_b - t_a",
+        f"zigzag weight {pattern.weight(run)}, observed gap {gap}",
+    )
+
+
+def test_bench_figure2b_visible_zigzag(benchmark):
+    """Figure 2b: with D's report the zigzag is visible and B acts safely."""
+    margin = 5
+
+    def pipeline():
+        scenario = figure2b_scenario(margin=margin)
+        run = scenario.run()
+        return run
+
+    run = benchmark(pipeline)
+    outcome = evaluate(run, late_task(margin))
+    assert outcome.b_performed and outcome.satisfied
+    sigma = run.find_action("B", "b").node
+    externals = {r.process: r.receiver_node for r in run.external_deliveries}
+    pattern = ZigzagPattern(
+        (
+            TwoLeggedFork(general(externals["C"]), ("C", "D"), ("C", "A")),
+            TwoLeggedFork(general(externals["E"]), ("E", "B"), ("E", "D")),
+        )
+    )
+    assert is_visible_zigzag(pattern, sigma, run)
+    report(
+        "Figure 2b",
+        "B detects the zigzag via D's report and performs b satisfying Late<a-x->b>",
+        f"b at t={outcome.b_time}, margin achieved {outcome.achieved_margin} >= {margin}",
+    )
+
+
+def test_bench_figure3_multihop_fork(benchmark):
+    """Figure 3: forks with multi-hop legs; weight = L(head chain) - U(tail chain)."""
+
+    def pipeline():
+        scenario = figure3_scenario(head_hops=3, tail_hops=2)
+        run = scenario.run()
+        return scenario, run
+
+    scenario, run = benchmark(pipeline)
+    weight = figure3_fork_weight(scenario, head_hops=3, tail_hops=2)
+    gap = run.action_time("B", "b") - run.action_time("A", "a")
+    assert gap >= weight
+    report(
+        "Figure 3",
+        f"multi-hop fork weight L(p1) - U(p2) = {weight} bounds the gap",
+        f"observed gap {gap}",
+    )
+
+
+def test_bench_figure4_three_fork_visible_zigzag(benchmark):
+    """Figure 4: a sigma-visible zigzag of three forks supports B's knowledge."""
+    margin = 4
+
+    def pipeline():
+        return figure4_scenario(margin=margin).run()
+
+    run = benchmark(pipeline)
+    outcome = evaluate(run, late_task(margin))
+    assert outcome.b_performed and outcome.satisfied
+    report(
+        "Figure 4",
+        "a 3-fork sigma-visible zigzag suffices for knowledge of the precedence",
+        f"B acted at t={outcome.b_time} with margin {outcome.achieved_margin}",
+    )
+
+
+def test_bench_figure5_late_pattern(benchmark):
+    """Figure 5: the visible-zigzag pattern tailored to Late<a --x--> b>."""
+    margin = 6
+
+    def pipeline():
+        return figure5_scenario(margin=margin).run()
+
+    run = benchmark(pipeline)
+    outcome = evaluate(run, late_task(margin))
+    assert outcome.satisfied
+    report(
+        "Figure 5",
+        "the Late pattern needs no extra chain from the last fork's base to sigma",
+        f"B acted: {outcome.b_performed}, margin {outcome.achieved_margin}",
+    )
+
+
+def test_bench_figure6_bound_edges(benchmark):
+    """Figure 6: a single message induces the +L and -U bound edges."""
+
+    def pipeline():
+        run = figure6_scenario().run()
+        return run, basic_bounds_graph(run)
+
+    run, graph = benchmark(pipeline)
+    delivery = run.deliveries[0]
+    net = run.timed_network
+    weights = {
+        (e.source, e.target): e.weight
+        for e in graph.edges
+        if {e.source, e.target} == {delivery.sender_node, delivery.receiver_node}
+    }
+    assert weights[(delivery.sender_node, delivery.receiver_node)] == net.L("i", "j")
+    assert weights[(delivery.receiver_node, delivery.sender_node)] == -net.U("i", "j")
+    report(
+        "Figure 6",
+        "each delivery adds edges +L_ij (send->recv) and -U_ij (recv->send)",
+        f"edges {sorted(weights.values())} for (L, U) = ({net.L('i','j')}, {net.U('i','j')})",
+    )
+
+
+def test_bench_figure7_bounds_graph_path(benchmark):
+    """Figure 7: the GB(r) path that justifies Equation (1)."""
+
+    def pipeline():
+        scenario = figure2a_scenario()
+        run = scenario.run()
+        graph = basic_bounds_graph(run)
+        a_node = run.find_action("A", "a").node
+        b_node = run.find_action("B", "b").node
+        weight, edges = graph.longest_path(a_node, b_node)
+        return scenario, run, weight, edges
+
+    scenario, run, weight, edges = benchmark(pipeline)
+    equation = zigzag_chain_equation_weight(scenario, 2)
+    assert weight >= equation
+    labels = [edge.label for edge in edges]
+    assert "upper" in labels and "lower" in labels
+    report(
+        "Figure 7",
+        "a GB(r) path of weight >= Eq.(1) connects a's node to b's node",
+        f"longest path weight {weight} (Eq.(1) = {equation}) over {len(edges)} edges",
+    )
+
+
+def test_bench_figure8_extended_bounds_graph(benchmark):
+    """Figure 8: the extended bounds graph with E', E'', E''' edge sets."""
+
+    def pipeline():
+        run = figure8_scenario().run()
+        sigma = run.final_node("i")
+        extended = ExtendedBoundsGraph(sigma, run.timed_network)
+        return run, extended
+
+    run, extended = benchmark(pipeline)
+    summary = extended.edge_summary()
+    assert summary["aux"] >= 1
+    assert summary["flooding"] == len(run.timed_network.channels)
+    assert summary.get("undelivered", 0) >= 1
+    report(
+        "Figure 8",
+        "GE(r, sigma) adds one auxiliary node per process and E'/E''/E''' edges",
+        f"edge sets: aux={summary['aux']}, undelivered={summary.get('undelivered', 0)}, "
+        f"flooding={summary['flooding']}",
+    )

@@ -1,0 +1,138 @@
+"""Scaling benchmarks: cost of the analysis machinery as instances grow.
+
+The paper proves its characterisations but never measures them; these sweeps
+document how the reproduction's data structures behave as the network size,
+the run horizon, and the zigzag chain length grow.  They also serve as the
+ablation harness called out in DESIGN.md (earliest/latest/random adversaries,
+auxiliary-node reasoning on/off).
+"""
+
+import pytest
+
+from _bench_utils import report
+
+from repro.core import ExtendedBoundsGraph, KnowledgeChecker, basic_bounds_graph, general
+from repro.coordination import OptimalCoordinationProtocol, evaluate, late_task
+from repro.scenarios import (
+    flooding_scenario,
+    zigzag_chain_equation_weight,
+    zigzag_chain_scenario,
+)
+from repro.simulation import EarliestDelivery, LatestDelivery, SeededRandomDelivery
+
+
+@pytest.mark.parametrize("num_processes", [4, 8, 12])
+def test_bench_bounds_graph_construction(benchmark, num_processes):
+    """GB(r) construction plus a longest-path query, vs. network size."""
+    run = flooding_scenario(num_processes=num_processes, seed=1, horizon=12).run()
+    source = run.final_node(run.processes[0])
+    target = run.final_node(run.processes[-1])
+
+    def pipeline():
+        graph = basic_bounds_graph(run)
+        return graph, graph.longest_path_weight(source, target)
+
+    graph, weight = benchmark(pipeline)
+    report(
+        f"Scaling: GB(r) with n={num_processes}",
+        "no measurement in the paper (machinery cost)",
+        f"{len(graph)} nodes, {graph.edge_count()} edges, longest-path weight {weight}",
+    )
+
+
+@pytest.mark.parametrize("horizon", [8, 14, 20])
+def test_bench_knowledge_query_vs_horizon(benchmark, horizon):
+    """Extended-graph knowledge query cost as the observer's past grows."""
+    run = flooding_scenario(num_processes=5, seed=3, horizon=horizon).run()
+    sigma = run.final_node(run.processes[-1])
+    anchors = [n for n in run.past(sigma) if not n.is_initial]
+    anchor = min(anchors, key=run.time_of)
+
+    def pipeline():
+        checker = KnowledgeChecker(sigma, run.timed_network)
+        return checker.max_known_gap(general(anchor), sigma)
+
+    gap = benchmark(pipeline)
+    assert gap is None or gap <= run.time_of(sigma) - run.time_of(anchor)
+    report(
+        f"Scaling: knowledge query, horizon={horizon}",
+        "no measurement in the paper (machinery cost)",
+        f"past size {len(run.past(sigma))}, known gap {gap}",
+    )
+
+
+@pytest.mark.parametrize("num_forks", [1, 2, 3, 4])
+def test_bench_zigzag_chain_length(benchmark, num_forks):
+    """End-to-end coordination as the zigzag pattern grows by whole forks."""
+    margin = 1
+
+    def pipeline():
+        task = late_task(margin)
+        scenario = zigzag_chain_scenario(
+            num_forks=num_forks,
+            with_reports=True,
+            b_protocol=OptimalCoordinationProtocol(task),
+        )
+        run = scenario.run()
+        return scenario, run, evaluate(run, task)
+
+    scenario, run, outcome = benchmark(pipeline)
+    assert outcome.satisfied
+    weight = zigzag_chain_equation_weight(scenario, num_forks)
+    report(
+        f"Scaling: zigzag chain with {num_forks} fork(s)",
+        "longer zigzags compose fork weights (Eq.(1) generalised)",
+        f"equation weight {weight}, B acted: {outcome.b_performed} at t={outcome.b_time}",
+    )
+
+
+@pytest.mark.parametrize(
+    "adversary_name,adversary",
+    [
+        ("earliest", EarliestDelivery()),
+        ("latest", LatestDelivery()),
+        ("random", SeededRandomDelivery(seed=5)),
+    ],
+)
+def test_bench_delivery_adversary_ablation(benchmark, adversary_name, adversary):
+    """Ablation: the guarantee is adversary-independent; achieved slack is not."""
+    margin = 3
+    task = late_task(margin)
+
+    def pipeline():
+        scenario = zigzag_chain_scenario(
+            num_forks=2,
+            with_reports=True,
+            b_protocol=OptimalCoordinationProtocol(task),
+            delivery=adversary,
+        )
+        run = scenario.run()
+        return evaluate(run, task)
+
+    outcome = benchmark(pipeline)
+    assert outcome.satisfied
+    report(
+        f"Ablation: {adversary_name} adversary",
+        "zigzag-derived guarantees hold under every legal schedule",
+        f"B acted: {outcome.b_performed}, achieved margin {outcome.achieved_margin}",
+    )
+
+
+@pytest.mark.parametrize("include_auxiliary", [True, False])
+def test_bench_auxiliary_nodes_ablation(benchmark, include_auxiliary):
+    """Ablation: extended-graph (over-the-horizon) reasoning on/off."""
+    run = flooding_scenario(num_processes=5, seed=2, horizon=14).run()
+    sigma = run.final_node(run.processes[-1])
+    anchors = [n for n in run.past(sigma) if not n.is_initial]
+    anchor = min(anchors, key=run.time_of)
+
+    def pipeline():
+        checker = KnowledgeChecker(sigma, run.timed_network, include_auxiliary=include_auxiliary)
+        return checker.max_known_gap(general(anchor), sigma)
+
+    gap = benchmark(pipeline)
+    report(
+        f"Ablation: auxiliary nodes {'on' if include_auxiliary else 'off'}",
+        "the extended graph can only strengthen what sigma knows",
+        f"known gap {gap}",
+    )

@@ -1,0 +1,154 @@
+"""Benchmarks validating Theorems 1-4 on randomized and exhaustive workloads.
+
+The paper's "results" are theorems; these benchmarks time the corresponding
+checkers on non-trivial instances while asserting that the theorem statements
+hold on every instance generated.
+"""
+
+import itertools
+
+import pytest
+
+from _bench_utils import report
+
+from repro.core import (
+    KnowledgeChecker,
+    basic_bounds_graph,
+    check_theorem2,
+    check_theorem3,
+    empirical_min_gap,
+    general,
+    is_recognized,
+    longest_zigzag_between,
+)
+from repro.scenarios import figure2b_scenario, flooding_scenario
+from repro.simulation import (
+    Context,
+    ProtocolAssignment,
+    actor_protocol,
+    enumerate_runs,
+    go_at,
+    go_sender_protocol,
+    simulate,
+    timed_network,
+)
+
+
+def test_bench_theorem1_zigzag_sufficiency(benchmark):
+    """Theorem 1: every extracted zigzag's weight is respected by the run."""
+
+    def pipeline():
+        checked = 0
+        for seed in range(5):
+            run = flooding_scenario(num_processes=4, seed=seed, horizon=12).run()
+            finals = [run.final_node(p) for p in run.processes]
+            for source, target in itertools.permutations(finals, 2):
+                found = longest_zigzag_between(run, source, target)
+                if found is None:
+                    continue
+                weight, pattern = found
+                assert run.time_of(target) - run.time_of(source) >= weight
+                checked += 1
+        return checked
+
+    checked = benchmark(pipeline)
+    assert checked > 0
+    report(
+        "Theorem 1",
+        "a zigzag of weight w from theta1 to theta2 forces time(theta2) - time(theta1) >= w",
+        f"{checked} extracted zigzags across 5 random runs, zero violations",
+    )
+
+
+def test_bench_theorem2_zigzag_necessity(benchmark):
+    """Theorem 2: supported precedences are witnessed by zigzags, tightly."""
+
+    def pipeline():
+        results = []
+        for seed in range(5):
+            run = flooding_scenario(num_processes=4, seed=seed, horizon=12).run()
+            source = run.final_node(run.processes[0])
+            target = run.final_node(run.processes[-1])
+            rep = check_theorem2(run, source, target)
+            if rep.has_constraint:
+                results.append(rep)
+        return results
+
+    results = benchmark(pipeline)
+    assert results
+    assert all(rep.zigzag_weight == rep.constraint_weight for rep in results)
+    assert all(rep.tight for rep in results)
+    report(
+        "Theorem 2",
+        "the longest GB(r) path converts to an equal-weight zigzag and the slow run attains it",
+        f"{len(results)} node pairs: all witnesses tight",
+    )
+
+
+def test_bench_theorem3_knowledge_of_preconditions(benchmark):
+    """Theorem 3: whenever B acts under Protocol 2, it knows the precedence."""
+    margins = (1, 3, 5, 7)
+
+    def pipeline():
+        reports = []
+        for margin in margins:
+            run = figure2b_scenario(margin=margin).run()
+            reports.append(
+                check_theorem3(
+                    run,
+                    actor="B",
+                    action="b",
+                    go_sender="C",
+                    go_recipient="A",
+                    margin=margin,
+                    late=True,
+                )
+            )
+        return reports
+
+    reports = benchmark(pipeline)
+    assert all(rep.holds for rep in reports)
+    assert any(rep.acted for rep in reports)
+    report(
+        "Theorem 3",
+        "B may perform b only knowing K_sigma(sigma_C.A --x--> sigma)",
+        f"margins {margins}: all action points satisfied the knowledge precondition",
+    )
+
+
+def test_bench_theorem4_visible_zigzag_theorem(benchmark):
+    """Theorem 4: graph-derived knowledge equals the enumerated minimum gap."""
+    net = timed_network({("C", "A"): (1, 2), ("C", "B"): (2, 3), ("A", "B"): (1, 2)})
+    protocols = ProtocolAssignment()
+    protocols.assign("C", go_sender_protocol())
+    protocols.assign("A", actor_protocol("a", "C"))
+    context = Context(net)
+    horizon = 7
+
+    def pipeline():
+        reference = simulate(context, protocols, external_inputs=go_at(1, "C"), horizon=horizon)
+        runs = list(
+            enumerate_runs(context, protocols, external_inputs=go_at(1, "C"), horizon=horizon)
+        )
+        go_node = reference.external_deliveries[0].receiver_node
+        theta_a = general(go_node, ("C", "A"))
+        rows = []
+        for observer in ("A", "B"):
+            sigma = reference.final_node(observer)
+            if not is_recognized(theta_a, sigma):
+                continue
+            known = KnowledgeChecker(sigma, net).max_known_gap(theta_a, sigma)
+            empirical = empirical_min_gap(runs, sigma, theta_a, sigma)
+            rows.append((observer, known, empirical))
+        return len(runs), rows
+
+    num_runs, rows = benchmark(pipeline)
+    assert rows
+    for observer, known, empirical in rows:
+        assert known is not None and empirical is not None
+        assert known == empirical
+    report(
+        "Theorem 4",
+        "K_sigma(theta1 --x--> theta2) iff a sigma-visible zigzag of weight >= x exists",
+        f"{num_runs} enumerated runs; knowledge == empirical minimum for {rows}",
+    )

@@ -1,0 +1,84 @@
+"""repro: a reproduction of "On Using Time Without Clocks via Zigzag Causality".
+
+The package is organised in layers:
+
+* :mod:`repro.simulation` -- the bounded-communication-model (bcm) substrate:
+  timed networks, full-information messages, protocols, delivery adversaries,
+  and a discrete-event engine producing :class:`~repro.simulation.Run` objects.
+* :mod:`repro.core` -- the paper's contribution: basic/general nodes, two-legged
+  forks and zigzag patterns, basic and extended bounds graphs, timing
+  constructions, knowledge of timed precedence, and executable checkers for
+  Theorems 1-4.
+* :mod:`repro.coordination` -- the ``Early``/``Late`` coordination tasks, the
+  optimal zigzag-based protocol for process B, and baseline protocols.
+* :mod:`repro.scenarios` -- builders for the exact communication patterns of
+  the paper's figures plus randomized workloads.
+* :mod:`repro.viz` -- ASCII space-time diagrams and bounds-graph dumps.
+
+The most common entry points are re-exported here for convenience.
+"""
+
+from .core import (
+    BasicNode,
+    GeneralNode,
+    KnowledgeChecker,
+    TimedPrecedence,
+    TwoLeggedFork,
+    ZigzagPattern,
+    basic_bounds_graph,
+    check_theorem1,
+    check_theorem2,
+    check_theorem3,
+    check_theorem4,
+    general,
+    knows_precedence,
+    max_known_gap,
+    precedes,
+)
+from .simulation import (
+    Bounds,
+    Context,
+    EarliestDelivery,
+    ExternalInput,
+    LatestDelivery,
+    Network,
+    Run,
+    SeededRandomDelivery,
+    Simulator,
+    TimedNetwork,
+    simulate,
+    timed_network,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BasicNode",
+    "Bounds",
+    "Context",
+    "EarliestDelivery",
+    "ExternalInput",
+    "GeneralNode",
+    "KnowledgeChecker",
+    "LatestDelivery",
+    "Network",
+    "Run",
+    "SeededRandomDelivery",
+    "Simulator",
+    "TimedNetwork",
+    "TimedPrecedence",
+    "TwoLeggedFork",
+    "ZigzagPattern",
+    "__version__",
+    "basic_bounds_graph",
+    "check_theorem1",
+    "check_theorem2",
+    "check_theorem3",
+    "check_theorem4",
+    "general",
+    "knows_precedence",
+    "max_known_gap",
+    "precedes",
+    "simulate",
+    "timed_network",
+]

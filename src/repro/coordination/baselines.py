@@ -1,0 +1,120 @@
+"""Baseline protocols for process B, used for comparison with Protocol 2.
+
+The paper motivates zigzag causality by contrasting it with what simpler kinds
+of reasoning can achieve.  Three baselines are provided, ordered by the amount
+of timing information they exploit:
+
+* :class:`NeverActProtocol` -- B never acts.  Trivially safe, never useful;
+  the floor for action-rate comparisons.
+* :class:`ChainLowerBoundProtocol` -- the asynchronous-style solution for
+  ``Late``: B acts only after it has *seen* (via a message chain) that ``a``
+  was performed, and only once the lower bounds accumulated along observed
+  chains from the action node reach the margin.  It uses no upper bounds at
+  all, and can never solve ``Early``.
+* :class:`LocalGraphProtocol` -- Protocol 2 restricted to the local bounds
+  graph ``GB(r, sigma)`` plus the go-to-A chain, i.e. without the extended
+  graph's auxiliary-node ("over the horizon") reasoning.  This corresponds to
+  using forks and zigzags whose evidence has fully arrived, and is the
+  ablation showing what the extended bounds graph buys.
+
+All baselines keep FFIP communication so that the comparison isolates the
+decision rule.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.bounds_graph import LOWER_EDGE, SUCCESSOR_EDGE, local_bounds_graph
+from ..core.causality import past_nodes
+from ..core.graph import WeightedGraph
+from ..core.nodes import BasicNode
+from ..simulation.messages import LocalAction
+from ..simulation.protocols import Protocol, StepContext, StepDecision
+from .optimal import OptimalCoordinationProtocol
+from .tasks import CoordinationTask
+
+
+class NeverActProtocol(Protocol):
+    """B floods but never performs ``b``; the degenerate safe baseline."""
+
+    def __init__(self, task: CoordinationTask):
+        self.task = task
+
+    def on_step(self, ctx: StepContext) -> StepDecision:
+        return StepDecision.flood()
+
+
+def find_action_node(sigma: BasicNode, process: str, action: str) -> Optional[BasicNode]:
+    """The earliest node of ``process`` in ``sigma``'s past whose step performs ``action``."""
+    best: Optional[BasicNode] = None
+    for node in past_nodes(sigma):
+        if node.process != process or node.is_initial:
+            continue
+        if any(
+            isinstance(obs, LocalAction) and obs.name == action
+            for obs in node.history.last_step
+        ):
+            if best is None or node.step_count < best.step_count:
+                best = node
+    return best
+
+
+def chain_lower_bound(sigma: BasicNode, source: BasicNode, ctx: StepContext) -> Optional[int]:
+    """The best lower bound on ``time(sigma) - time(source)`` using chains only.
+
+    Restricts the local bounds graph to its non-negative edges (message lower
+    bounds and successor steps) and returns the longest such path from
+    ``source`` to ``sigma`` -- exactly what a process can conclude from
+    Lamport causality plus per-channel lower bounds, with no use of upper
+    bounds anywhere.
+    """
+    graph = local_bounds_graph(sigma, ctx.timed_network)
+    restricted: WeightedGraph[BasicNode] = WeightedGraph()
+    for node in graph.nodes:
+        restricted.add_node(node)
+    for edge in graph.edges:
+        if edge.label in (LOWER_EDGE, SUCCESSOR_EDGE):
+            restricted.add_edge(edge.source, edge.target, edge.weight, edge.label)
+    if source not in restricted or sigma not in restricted:
+        return None
+    return restricted.longest_path_weight(source, sigma)
+
+
+class ChainLowerBoundProtocol(Protocol):
+    """The message-chain baseline for ``Late<a --x--> b>``.
+
+    B acts once it has seen, through a message chain, that ``a`` has been
+    performed and the chain's accumulated lower bounds guarantee the margin.
+    For ``Early`` tasks this protocol never acts (the asynchronous approach
+    cannot place ``b`` before an action it has not yet heard about).
+    """
+
+    def __init__(self, task: CoordinationTask):
+        self.task = task
+
+    def on_step(self, ctx: StepContext) -> StepDecision:
+        history = ctx.tentative_history
+        if history.has_action(self.task.action_b) or self.task.is_early:
+            return StepDecision.flood()
+        sigma = BasicNode(ctx.process, history)
+        a_node = find_action_node(sigma, self.task.actor_a, self.task.action_a)
+        if a_node is None:
+            return StepDecision.flood()
+        bound = chain_lower_bound(sigma, a_node, ctx)
+        if bound is not None and bound >= self.task.margin:
+            return StepDecision.flood([self.task.action_b])
+        return StepDecision.flood()
+
+
+class LocalGraphProtocol(OptimalCoordinationProtocol):
+    """Protocol 2 without the extended graph's auxiliary nodes.
+
+    Sound (it only ever uses valid constraints) but incomplete: it misses
+    knowledge that derives from messages known to be in flight beyond B's
+    view, so on some workloads it acts later than the optimal protocol or not
+    at all.
+    """
+
+    def __init__(self, task: CoordinationTask):
+        super().__init__(task, include_auxiliary=False)

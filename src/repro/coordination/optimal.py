@@ -1,0 +1,128 @@
+"""Protocol 2: the optimal zigzag-based protocol for process B.
+
+By Theorem 3, B may perform ``b`` only when it *knows* the required timed
+precedence between its current node and the node at which A performs ``a``;
+by Theorem 4 that knowledge is equivalent to the existence of a sigma-visible
+zigzag of sufficient weight, whose quantitative form is a longest constraint
+path in the extended bounds graph.  The protocol below therefore acts exactly
+when the knowledge condition first holds, which the paper shows is optimal:
+no correct protocol can ever act earlier, and acting at that point is safe.
+
+The same class, with ``include_auxiliary=False``, yields the *local-graph*
+ablation used in benchmarks: it reasons only from messages already seen to
+arrive, foregoing the paper's "over the horizon" auxiliary-node inferences,
+and is therefore sometimes strictly slower to act.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from ..core.causality import happens_before
+from ..core.knowledge import KnowledgeChecker
+from ..core.nodes import BasicNode, general
+from ..simulation.messages import ExternalReceipt, GO_TRIGGER
+from ..simulation.protocols import Protocol, StepContext, StepDecision
+from .tasks import CoordinationTask
+
+
+def find_go_node(
+    sigma: BasicNode, go_sender: str, go_trigger: str = GO_TRIGGER
+) -> Optional[BasicNode]:
+    """The node at which C received the trigger, if it lies in ``sigma``'s past.
+
+    Under an FFIP, B learns of C's go through flooding; the go node is the
+    C-node whose last step contains the external receipt of the trigger.
+    """
+    from ..core.causality import past_nodes
+
+    for node in past_nodes(sigma):
+        if node.process != go_sender or node.is_initial:
+            continue
+        if any(
+            isinstance(obs, ExternalReceipt) and obs.tag == go_trigger
+            for obs in node.history.last_step
+        ):
+            return node
+    return None
+
+
+class OptimalCoordinationProtocol(Protocol):
+    """B's optimal protocol for an ``Early`` or ``Late`` coordination task.
+
+    On every step B floods (FFIP communication) and performs ``b`` as soon as
+
+    * it has not performed ``b`` yet,
+    * the go node ``sigma_C`` is in its causal past, and
+    * it knows the required precedence between ``sigma_C . A`` and its current
+      node with margin at least the task's ``x``.
+
+    The knowledge test is evaluated at the tentative node (receipts of the
+    current step included, the action itself not yet appended); appending the
+    action does not change the node's timing information, so this matches the
+    paper's "act at sigma" formulation.
+    """
+
+    def __init__(self, task: CoordinationTask, include_auxiliary: bool = True):
+        self.task = task
+        self.include_auxiliary = include_auxiliary
+
+    # -- the decision rule -------------------------------------------------------
+
+    def should_act(self, sigma: BasicNode, ctx: StepContext) -> bool:
+        """Protocol 2's guard, evaluated at the (tentative) node ``sigma``."""
+        go_node = find_go_node(sigma, self.task.go_sender, self.task.go_trigger)
+        if go_node is None:
+            return False
+        theta_a = general(go_node, (self.task.go_sender, self.task.actor_a))
+        checker = KnowledgeChecker(
+            sigma, ctx.timed_network, include_auxiliary=self.include_auxiliary
+        )
+        if self.task.is_late:
+            return checker.knows(theta_a, sigma, self.task.margin)
+        return checker.knows(sigma, theta_a, self.task.margin)
+
+    def on_step(self, ctx: StepContext) -> StepDecision:
+        history = ctx.tentative_history
+        if history.has_action(self.task.action_b):
+            return StepDecision.flood()
+        sigma = BasicNode(ctx.process, history)
+        if self.should_act(sigma, ctx):
+            return StepDecision.flood([self.task.action_b])
+        return StepDecision.flood()
+
+
+class EagerKnowledgeProbe:
+    """Offline analysis helper: when along a run would B first have been able to act?
+
+    Useful for benchmarks: given a finished run (e.g. produced with a plain
+    FFIP everywhere), replay B's timeline and report the first node at which
+    Protocol 2's guard holds, without re-simulating.
+    """
+
+    def __init__(self, task: CoordinationTask, include_auxiliary: bool = True):
+        self.task = task
+        self.include_auxiliary = include_auxiliary
+
+    def first_actionable_node(self, run) -> Optional[Tuple[BasicNode, int]]:
+        """The first B-node (and its time) at which the knowledge condition holds."""
+        theta_a = self.task.action_node_a(run)
+        if theta_a is None:
+            return None
+        net = run.timed_network
+        for time, node in run.timelines[self.task.actor_b]:
+            if node.is_initial:
+                continue
+            go_node = find_go_node(node, self.task.go_sender, self.task.go_trigger)
+            if go_node is None:
+                continue
+            checker = KnowledgeChecker(
+                node, net, include_auxiliary=self.include_auxiliary
+            )
+            if self.task.is_late:
+                knows = checker.knows(theta_a, node, self.task.margin)
+            else:
+                knows = checker.knows(node, theta_a, self.task.margin)
+            if knows:
+                return node, time
+        return None

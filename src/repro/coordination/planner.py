@@ -1,0 +1,147 @@
+"""Static (design-time) planning for coordination tasks.
+
+Given only the timed network -- before any run happens -- how large a margin
+can B ever hope to guarantee, and along which message chains?  The paper's
+Figure 1 pattern is the only structure whose existence is guaranteed *a
+priori* under flooding: two chains out of C's go node, one towards A (bounded
+above) and one towards B (bounded below).  Richer zigzag patterns depend on
+how intermediate deliveries happen to interleave at pivot processes, so their
+availability is a run-time matter (that is precisely the paper's point); the
+planner therefore reports the guaranteed fork-based margin and, separately,
+an optimistic bound assuming the most favourable interleavings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..simulation.network import Path, Process, TimedNetwork
+from .tasks import CoordinationTask
+
+
+@dataclass(frozen=True)
+class ForkPlan:
+    """A Figure-1 style plan: chains from the go node towards B and towards A."""
+
+    chain_to_b: Path
+    chain_to_a: Path
+    guaranteed_margin: int
+
+    def describe(self) -> str:
+        return (
+            f"ForkPlan(to_b={'->'.join(self.chain_to_b)}, "
+            f"to_a={'->'.join(self.chain_to_a)}, margin={self.guaranteed_margin})"
+        )
+
+
+def best_fork_plan(
+    net: TimedNetwork, task: CoordinationTask, max_hops: int = 4
+) -> Optional[ForkPlan]:
+    """The best guaranteed single-fork plan for the task, or ``None`` if B can never act.
+
+    For ``Late<a --x--> b>`` the fork's head chain runs from C to B (lower
+    bounds accumulate) and its tail chain is the direct go channel C->A
+    (upper bound); the guaranteed margin is ``L(C..B) - U(C->A)``.  For
+    ``Early<b --x--> a>`` the roles swap: ``L(C->A) - U(C..B)``.  The chain to
+    A is always the direct channel because A acts on C's direct go message.
+    """
+    sender = task.go_sender
+    direct = (sender, task.actor_a)
+    if not net.is_path(direct):
+        return None
+    best: Optional[ForkPlan] = None
+    for chain in net.network.iter_paths(sender, max_hops):
+        if chain[-1] != task.actor_b or len(chain) < 2:
+            continue
+        if task.is_late:
+            margin = net.path_lower(chain) - net.path_upper(direct)
+        else:
+            margin = net.path_lower(direct) - net.path_upper(chain)
+        if best is None or margin > best.guaranteed_margin:
+            best = ForkPlan(chain_to_b=chain, chain_to_a=direct, guaranteed_margin=margin)
+    return best
+
+
+def guaranteed_margin(net: TimedNetwork, task: CoordinationTask, max_hops: int = 4) -> Optional[int]:
+    """The largest margin B is guaranteed to be able to certify via a single fork."""
+    plan = best_fork_plan(net, task, max_hops)
+    return None if plan is None else plan.guaranteed_margin
+
+
+def is_statically_solvable(
+    net: TimedNetwork, task: CoordinationTask, max_hops: int = 4
+) -> bool:
+    """Whether a single-fork plan already certifies the task's margin in *every* run."""
+    margin = guaranteed_margin(net, task, max_hops)
+    return margin is not None and margin >= task.margin
+
+
+def earliest_guaranteed_action_offset(
+    net: TimedNetwork, task: CoordinationTask, max_hops: int = 4
+) -> Optional[int]:
+    """An upper bound on how long after the go B must wait before acting, via the best fork.
+
+    Measured in time units after the go node; B acts when the chain to it
+    arrives, which takes at most ``U(chain)``.  Returns ``None`` when no fork
+    plan certifies the margin.
+    """
+    sender = task.go_sender
+    direct = (sender, task.actor_a)
+    if not net.is_path(direct):
+        return None
+    best: Optional[int] = None
+    for chain in net.network.iter_paths(sender, max_hops):
+        if chain[-1] != task.actor_b or len(chain) < 2:
+            continue
+        if task.is_late:
+            margin = net.path_lower(chain) - net.path_upper(direct)
+        else:
+            margin = net.path_lower(direct) - net.path_upper(chain)
+        if margin >= task.margin:
+            latest_arrival = net.path_upper(chain)
+            if best is None or latest_arrival < best:
+                best = latest_arrival
+    return best
+
+
+def optimistic_margin(
+    net: TimedNetwork, task: CoordinationTask, pivot_hops: int = 1, max_hops: int = 3
+) -> Optional[int]:
+    """An optimistic (best-interleaving) margin using one zigzag through a pivot.
+
+    Assumes a second spontaneous source E exists co-located with C (the paper's
+    Figure 2 uses an independent sender); concretely this searches patterns
+    ``C -> D`` (lower), ``E -> D`` (upper), ``E -> ... -> B`` (lower) over all
+    pivots D and senders E, yielding ``-U(C->A) + L(C->D) - U(E->D) + L(E..B)``
+    for the Late task.  The value is achievable only in runs where D happens to
+    hear C before E, so it is an upper bound on what run-time knowledge can
+    certify, not a guarantee.
+    """
+    if task.is_early:
+        return guaranteed_margin(net, task, max_hops)
+    sender = task.go_sender
+    direct = (sender, task.actor_a)
+    if not net.is_path(direct):
+        return None
+    base = -net.path_upper(direct)
+    best = guaranteed_margin(net, task, max_hops)
+    processes = net.processes
+    for pivot in processes:
+        if not net.is_path((sender, pivot)):
+            continue
+        for other in processes:
+            if other == sender or not net.is_path((other, pivot)):
+                continue
+            for chain in net.network.iter_paths(other, max_hops):
+                if chain[-1] != task.actor_b or len(chain) < 2:
+                    continue
+                value = (
+                    base
+                    + net.path_lower((sender, pivot))
+                    - net.path_upper((other, pivot))
+                    + net.path_lower(chain)
+                )
+                if best is None or value > best:
+                    best = value
+    return best

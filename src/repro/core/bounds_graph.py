@@ -1,0 +1,126 @@
+"""Basic bounds graphs (Definition 8) and local bounds graphs (Definition 14).
+
+The basic bounds graph ``GB(r)`` of a run has the run's basic nodes as
+vertices and three kinds of weighted edges, each expressing a constraint
+``time(target) >= time(source) + weight``:
+
+* ``succ`` edges of weight 1 between consecutive nodes of the same process
+  (distinct local states are at least one time unit apart);
+* ``lower`` edges of weight ``L_ij`` from the node at which a message is sent
+  to the node at which it is received; and
+* ``upper`` edges of weight ``-U_ij`` in the opposite direction.
+
+Longest paths in ``GB(r)`` are exactly the timed-precedence constraints that
+the communication pattern of the run forces (Lemma 1), and each path induces a
+zigzag pattern of the same weight (Lemma 2 / Lemma 5; see
+:mod:`repro.core.path_to_zigzag`).
+
+The *local* bounds graph ``GB(r, sigma)`` is the subgraph induced by
+``past(r, sigma)``.  Under a full-information protocol it can be computed from
+``sigma``'s local state alone, which is how a process reasons about timing;
+:func:`local_bounds_graph` does exactly that.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple, TYPE_CHECKING
+
+from ..simulation.network import Process, TimedNetwork
+from .causality import local_delivery_map, past_nodes
+from .graph import WeightedGraph
+from .nodes import BasicNode
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..simulation.runs import Run
+
+#: Edge labels used in bounds graphs.
+SUCCESSOR_EDGE = "succ"
+LOWER_EDGE = "lower"
+UPPER_EDGE = "upper"
+
+
+def basic_bounds_graph(run: "Run") -> WeightedGraph[BasicNode]:
+    """Build ``GB(r)`` for a run (Definition 8)."""
+    graph: WeightedGraph[BasicNode] = WeightedGraph()
+    net = run.timed_network
+    for process in run.processes:
+        timeline = run.timelines[process]
+        for _, node in timeline:
+            graph.add_node(node)
+        for (_, previous), (_, current) in zip(timeline, timeline[1:]):
+            graph.add_edge(previous, current, 1, SUCCESSOR_EDGE)
+    for record in run.deliveries:
+        lower = net.L(record.sender, record.destination)
+        upper = net.U(record.sender, record.destination)
+        graph.add_edge(record.sender_node, record.receiver_node, lower, LOWER_EDGE)
+        graph.add_edge(record.receiver_node, record.sender_node, -upper, UPPER_EDGE)
+    return graph
+
+
+def local_bounds_graph(
+    sigma: BasicNode, timed_network: TimedNetwork
+) -> WeightedGraph[BasicNode]:
+    """Build ``GB(r, sigma)`` from ``sigma``'s local state (Definition 14).
+
+    Under a full-information protocol the past of ``sigma`` -- and every
+    delivery among nodes of that past -- is determined by ``sigma``'s local
+    state, so the local bounds graph does not need the run at all.
+    """
+    graph: WeightedGraph[BasicNode] = WeightedGraph()
+    past = past_nodes(sigma)
+
+    nodes_by_process: Dict[Process, list] = {}
+    for node in past:
+        graph.add_node(node)
+        nodes_by_process.setdefault(node.process, []).append(node)
+    for process, nodes in nodes_by_process.items():
+        ordered = sorted(nodes, key=lambda node: node.step_count)
+        for previous, current in zip(ordered, ordered[1:]):
+            graph.add_edge(previous, current, 1, SUCCESSOR_EDGE)
+
+    for (sender_node, destination), receiver_node in local_delivery_map(sigma).items():
+        lower = timed_network.L(sender_node.process, destination)
+        upper = timed_network.U(sender_node.process, destination)
+        graph.add_edge(sender_node, receiver_node, lower, LOWER_EDGE)
+        graph.add_edge(receiver_node, sender_node, -upper, UPPER_EDGE)
+    return graph
+
+
+def local_bounds_graph_from_run(run: "Run", sigma: BasicNode) -> WeightedGraph[BasicNode]:
+    """``GB(r, sigma)`` computed as the induced subgraph of ``GB(r)``.
+
+    Provided for cross-validation: with a full-information protocol it must
+    coincide with :func:`local_bounds_graph`.
+    """
+    return basic_bounds_graph(run).induced_subgraph(run.past(sigma))
+
+
+def verify_against_run(graph: WeightedGraph[BasicNode], run: "Run") -> Tuple[bool, str]:
+    """Check that every edge constraint of a bounds graph holds in the run.
+
+    Returns ``(ok, message)``.  This is the executable content of Lemma 1
+    specialised to single edges; longest paths then hold by composition.
+    """
+    for edge in graph.edges:
+        if not run.appears(edge.source) or not run.appears(edge.target):
+            return False, f"edge endpoint missing from run: {edge}"
+        source_time = run.time_of(edge.source)
+        target_time = run.time_of(edge.target)
+        if source_time + edge.weight > target_time:
+            return (
+                False,
+                f"edge {edge.label} from {edge.source.describe()} (t={source_time}) to "
+                f"{edge.target.describe()} (t={target_time}) violates weight {edge.weight}",
+            )
+    return True, "all edge constraints hold"
+
+
+def precedence_set(graph: WeightedGraph[BasicNode], sigma: BasicNode) -> frozenset:
+    """``V_sigma`` (Definition 12): nodes with a path to ``sigma`` in the graph."""
+    return graph.reachable_to(sigma)
+
+
+def is_p_closed(graph: WeightedGraph[BasicNode], subset) -> bool:
+    """Whether ``subset`` is precedence-closed w.r.t. the graph (Definition 11)."""
+    keep = set(subset)
+    return all(edge.source in keep for edge in graph.edges if edge.target in keep)

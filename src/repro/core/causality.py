@@ -1,0 +1,165 @@
+"""Lamport causality in the bcm model: happens-before, pasts, and recognition.
+
+Because the library always runs full-information protocols (every message
+carries its sender's entire history), the happens-before relation and the
+causal past of a basic node are determined by the node's local state alone --
+the run it came from adds nothing (footnote 6 of the paper).  The functions in
+this module therefore work directly on :class:`~repro.core.nodes.BasicNode`
+objects, walking the history DAG embedded in their local states.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Mapping, Optional, Tuple
+
+from ..simulation.messages import MessageReceipt
+from ..simulation.network import Process
+from .nodes import BasicNode, GeneralNode
+
+
+def _direct_causes(node: BasicNode) -> Tuple[BasicNode, ...]:
+    """The immediate happens-before predecessors of ``node``.
+
+    These are the node's local predecessor (one step earlier on its own
+    timeline) and, for every message received in its last step, the basic node
+    at which that message was sent.
+    """
+    causes = []
+    previous = node.predecessor()
+    if previous is not None:
+        causes.append(previous)
+    if not node.is_initial:
+        for observation in node.history.last_step:
+            if isinstance(observation, MessageReceipt):
+                message = observation.message
+                causes.append(BasicNode(message.sender, message.sender_history))
+    return tuple(causes)
+
+
+def past_nodes(node: BasicNode) -> FrozenSet[BasicNode]:
+    """``past(r, sigma)``: every basic node that happens-before ``sigma``.
+
+    The result includes ``sigma`` itself (happens-before is reflexive on a
+    process's own timeline in the paper's Definition 2(i)).
+    """
+    seen = {node}
+    stack = [node]
+    while stack:
+        current = stack.pop()
+        for cause in _direct_causes(current):
+            if cause not in seen:
+                seen.add(cause)
+                stack.append(cause)
+    return frozenset(seen)
+
+
+def happens_before(earlier: BasicNode, later: BasicNode, strict: bool = False) -> bool:
+    """Whether ``earlier`` happens-before ``later`` (Definition 2).
+
+    With ``strict=True`` the relation excludes equality of the two nodes.
+    """
+    if strict and earlier == later:
+        return False
+    if earlier.precedes_locally(later):
+        return True
+    return earlier in past_nodes(later)
+
+
+def is_recognized(theta: GeneralNode, sigma: BasicNode) -> bool:
+    """Whether ``theta`` is a ``sigma``-recognized node.
+
+    A general node ``<sigma', p'>`` is sigma-recognized iff ``sigma'`` is in
+    the past of ``sigma``; under an FFIP, sigma then knows that the node
+    appears in the run (the chain messages are guaranteed to be sent and,
+    eventually, delivered).
+    """
+    return happens_before(theta.base, sigma)
+
+
+def boundary_nodes(sigma: BasicNode) -> Dict[Process, BasicNode]:
+    """The boundary node of every process with respect to ``sigma`` (Definition 15).
+
+    The boundary node of process ``i`` is the last ``i``-node in
+    ``past(sigma)``.  Processes with no node in the past are absent from the
+    returned mapping.
+    """
+    latest: Dict[Process, BasicNode] = {}
+    for node in past_nodes(sigma):
+        current = latest.get(node.process)
+        if current is None or current.precedes_locally(node):
+            latest[node.process] = node
+    return latest
+
+
+def local_delivery_map(
+    sigma: BasicNode,
+) -> Dict[Tuple[BasicNode, Process], BasicNode]:
+    """Deliveries visible in ``sigma``'s past: ``(sender_node, dest) -> receiver_node``.
+
+    For every node in ``past(sigma)`` and every message receipt in its last
+    step, record that the message sent at the embedded sender node to this
+    node's process was delivered at this node.  This is the information
+    ``sigma`` has about which messages have already landed inside its past;
+    it drives both general-node resolution from a local state and the
+    construction of the extended bounds graph.
+    """
+    delivered: Dict[Tuple[BasicNode, Process], BasicNode] = {}
+    for node in past_nodes(sigma):
+        if node.is_initial:
+            continue
+        for observation in node.history.last_step:
+            if isinstance(observation, MessageReceipt):
+                sender_node = BasicNode(
+                    observation.message.sender, observation.message.sender_history
+                )
+                delivered[(sender_node, node.process)] = node
+    return delivered
+
+
+def resolve_within_past(
+    theta: GeneralNode, sigma: BasicNode
+) -> Tuple[BasicNode, int]:
+    """Resolve as much of ``theta``'s chain as lies inside ``past(sigma)``.
+
+    Returns ``(last_resolved_node, hops_resolved)``: the basic node reached
+    after following the longest prefix of ``theta.path`` whose chain messages
+    have all been delivered inside ``past(sigma)``, together with the number
+    of hops of that prefix.  If ``hops_resolved == theta.hops`` then
+    ``basic(theta, r)`` itself lies in the past of ``sigma`` and equals the
+    returned node.
+
+    Raises ``ValueError`` if ``theta`` is not sigma-recognized.
+    """
+    if not is_recognized(theta, sigma):
+        raise ValueError(
+            f"general node {theta.describe()} is not recognized at {sigma.describe()}"
+        )
+    delivered = local_delivery_map(sigma)
+    current = theta.base
+    hops = 0
+    for next_process in theta.path[1:]:
+        receiver = delivered.get((current, next_process))
+        if receiver is None:
+            break
+        current = receiver
+        hops += 1
+    return current, hops
+
+
+def common_past(nodes: Iterable[BasicNode]) -> FrozenSet[BasicNode]:
+    """The intersection of the pasts of several basic nodes."""
+    iterator = iter(nodes)
+    try:
+        first = next(iterator)
+    except StopIteration:
+        return frozenset()
+    result = set(past_nodes(first))
+    for node in iterator:
+        result &= past_nodes(node)
+    return frozenset(result)
+
+
+def causal_frontier(sigma: BasicNode) -> Dict[Process, Optional[BasicNode]]:
+    """Like :func:`boundary_nodes` but listing every process (``None`` if unseen)."""
+    boundary = boundary_nodes(sigma)
+    return {process: boundary.get(process) for process in {sigma.process, *boundary}}

@@ -1,0 +1,266 @@
+"""The extended bounds graph ``GE(r, sigma)`` (Definition 16) and its
+knowledge-oriented augmentation.
+
+``GB(r, sigma)`` -- the part of the bounds graph a node can see -- misses
+timing information that the node nevertheless possesses: messages that left
+its past but have not (yet) been seen to arrive impose constraints through
+their upper bounds, and under a flooding full-information protocol the node
+even knows that *future* deliveries beyond its view will themselves trigger
+further sends.  The paper captures this by adding one *auxiliary node*
+``psi_i`` per process, standing for the earliest point on ``i``'s timeline
+beyond the view of ``sigma`` at which messages will be delivered, together
+with three extra edge sets:
+
+* ``E'``  : ``boundary_i --1--> psi_i`` (the auxiliary node strictly follows
+  the last ``i``-node in the past);
+* ``E''`` : ``psi_j --(-U_ij)--> sigma_s`` for every message sent at a past
+  node ``sigma_s`` towards ``j`` that was not delivered inside the past;
+* ``E'''``: ``psi_i --(-U_ji)--> psi_j`` for every channel ``(j, i)``
+  (flooding: the first beyond-view delivery at ``j`` triggers a send to ``i``
+  that must itself land beyond the view within ``U_ji``).
+
+On top of ``GE(r, sigma)`` this module adds *chain nodes* for arbitrary
+``sigma``-recognized general nodes: the unresolved suffix of a general node's
+message chain is materialised as virtual vertices connected by the chain's
+lower/upper bound edges and anchored after the relevant auxiliary nodes.
+Longest paths in the resulting graph are exactly the timed-precedence facts
+``sigma`` *knows* (Theorem 4); :mod:`repro.core.knowledge` exposes that as an
+API.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, Optional, Tuple, Union
+
+from ..simulation.network import Process, TimedNetwork
+from .causality import (
+    boundary_nodes,
+    is_recognized,
+    local_delivery_map,
+    past_nodes,
+)
+from .bounds_graph import LOWER_EDGE, SUCCESSOR_EDGE, UPPER_EDGE, local_bounds_graph
+from .graph import WeightedGraph
+from .nodes import BasicNode, GeneralNode
+
+#: Edge labels specific to the extended graph.
+AUXILIARY_EDGE = "aux"  # E'  : boundary -> psi
+UNDELIVERED_EDGE = "undelivered"  # E'' : psi -> sending node
+FLOODING_EDGE = "flooding"  # E''': psi -> psi
+CHAIN_LOWER_EDGE = "chain-lower"
+CHAIN_UPPER_EDGE = "chain-upper"
+CHAIN_ANCHOR_EDGE = "chain-anchor"
+
+
+class ExtendedGraphError(ValueError):
+    """Raised when the extended graph is asked about nodes it cannot reason about."""
+
+
+@dataclass(frozen=True)
+class AuxiliaryNode:
+    """The auxiliary node ``psi_i`` of process ``i``."""
+
+    process: Process
+
+    def describe(self) -> str:
+        return f"psi({self.process})"
+
+
+@dataclass(frozen=True)
+class ChainNode:
+    """A virtual vertex for an unresolved hop of a general node's message chain.
+
+    ``prefix`` is the general node ``<sigma', p[0..k]>`` describing the
+    delivery this vertex stands for.  Chain nodes are shared between general
+    nodes with a common prefix, so repeatedly adding related general nodes
+    never duplicates vertices.
+    """
+
+    prefix: GeneralNode
+
+    @property
+    def process(self) -> Process:
+        return self.prefix.process
+
+    def describe(self) -> str:
+        return f"chain({self.prefix.describe()})"
+
+
+GraphKey = Union[BasicNode, AuxiliaryNode, ChainNode]
+
+
+class ExtendedBoundsGraph:
+    """``GE(r, sigma)`` plus chain nodes for general nodes of interest.
+
+    The graph is built purely from ``sigma``'s local state and the static
+    timed network; it assumes the system runs a flooding full-information
+    protocol (every non-initial node sends to all of its out-neighbours),
+    which is the setting of Theorem 4.
+    """
+
+    def __init__(
+        self,
+        sigma: BasicNode,
+        timed_network: TimedNetwork,
+        include_auxiliary: bool = True,
+    ):
+        self.sigma = sigma
+        self.timed_network = timed_network
+        self.include_auxiliary = include_auxiliary
+        self.past = past_nodes(sigma)
+        self.boundary = boundary_nodes(sigma)
+        self.delivered = local_delivery_map(sigma)
+        self.graph: WeightedGraph[GraphKey] = local_bounds_graph(sigma, timed_network)
+        self._chain_nodes: set = set()
+        if include_auxiliary:
+            self._build_auxiliary_layer()
+
+    # -- construction ------------------------------------------------------------
+
+    def _build_auxiliary_layer(self) -> None:
+        net = self.timed_network
+
+        # Auxiliary nodes, one per process.
+        for process in net.processes:
+            self.graph.add_node(AuxiliaryNode(process))
+
+        # E': the auxiliary node of i strictly follows i's boundary node.
+        for process, boundary in self.boundary.items():
+            self.graph.add_edge(boundary, AuxiliaryNode(process), 1, AUXILIARY_EDGE)
+
+        # E'': messages sent from the past that were not delivered inside it.
+        delivered_pairs = set(self.delivered)
+        for node in self.past:
+            if node.is_initial:
+                continue  # initial nodes never send (processes are event driven)
+            for destination in net.out_neighbors(node.process):
+                if (node, destination) in delivered_pairs:
+                    continue
+                upper = net.U(node.process, destination)
+                self.graph.add_edge(
+                    AuxiliaryNode(destination), node, -upper, UNDELIVERED_EDGE
+                )
+
+        # E''': flooding propagates the "beyond the view" frontier.
+        for sender, receiver in net.channels:
+            upper = net.U(sender, receiver)
+            self.graph.add_edge(
+                AuxiliaryNode(receiver), AuxiliaryNode(sender), -upper, FLOODING_EDGE
+            )
+
+    # -- node access ----------------------------------------------------------------
+
+    def auxiliary(self, process: Process) -> AuxiliaryNode:
+        if process not in self.timed_network.processes:
+            raise ExtendedGraphError(f"unknown process {process!r}")
+        return AuxiliaryNode(process)
+
+    def basic_keys(self) -> Tuple[BasicNode, ...]:
+        return tuple(node for node in self.graph.nodes if isinstance(node, BasicNode))
+
+    def auxiliary_keys(self) -> Tuple[AuxiliaryNode, ...]:
+        return tuple(node for node in self.graph.nodes if isinstance(node, AuxiliaryNode))
+
+    def chain_keys(self) -> Tuple[ChainNode, ...]:
+        return tuple(node for node in self.graph.nodes if isinstance(node, ChainNode))
+
+    # -- general nodes -----------------------------------------------------------------
+
+    def add_general_node(self, theta: GeneralNode) -> GraphKey:
+        """Ensure ``theta`` is represented in the graph and return its vertex.
+
+        ``theta`` must be sigma-recognized.  The resolved prefix of its chain
+        maps to basic nodes already present; every unresolved hop becomes a
+        :class:`ChainNode` connected by the channel's lower/upper bound edges
+        and anchored after the auxiliary node of its process (the delivery
+        necessarily happens beyond the view of ``sigma``).
+        """
+        if not is_recognized(theta, self.sigma):
+            raise ExtendedGraphError(
+                f"{theta.describe()} is not recognized at {self.sigma.describe()}"
+            )
+
+        current: GraphKey = theta.base
+        if current not in self.graph:
+            raise ExtendedGraphError(
+                f"base node {theta.base.describe()} is missing from the past of "
+                f"{self.sigma.describe()}"
+            )
+
+        hops_resolved = 0
+        resolved: BasicNode = theta.base
+        for next_process in theta.path[1:]:
+            receiver = self.delivered.get((resolved, next_process))
+            if receiver is None:
+                break
+            resolved = receiver
+            hops_resolved += 1
+        current = resolved
+
+        if hops_resolved == theta.hops:
+            return current
+
+        if resolved.is_initial:
+            raise ExtendedGraphError(
+                f"the chain of {theta.describe()} leaves the initial node "
+                f"{resolved.describe()}, which never sends messages; the general node "
+                "does not appear in any run"
+            )
+
+        previous_key: GraphKey = resolved
+        previous_process = resolved.process
+        for hop_index in range(hops_resolved + 1, theta.hops + 1):
+            prefix = theta.prefix(hop_index)
+            hop_process = prefix.process
+            key = ChainNode(prefix)
+            if key not in self._chain_nodes:
+                self._chain_nodes.add(key)
+                lower = self.timed_network.L(previous_process, hop_process)
+                upper = self.timed_network.U(previous_process, hop_process)
+                self.graph.add_edge(previous_key, key, lower, CHAIN_LOWER_EDGE)
+                self.graph.add_edge(key, previous_key, -upper, CHAIN_UPPER_EDGE)
+                if self.include_auxiliary:
+                    self.graph.add_edge(
+                        AuxiliaryNode(hop_process), key, 0, CHAIN_ANCHOR_EDGE
+                    )
+            previous_key = key
+            previous_process = hop_process
+        return previous_key
+
+    # -- queries ---------------------------------------------------------------------------
+
+    def longest_weight(self, source: GraphKey, target: GraphKey) -> Optional[int]:
+        """The longest-path weight between two vertices, or ``None`` if unreachable."""
+        return self.graph.longest_path_weight(source, target)
+
+    def longest_weight_between(
+        self, theta1: GeneralNode, theta2: GeneralNode
+    ) -> Optional[int]:
+        """Longest constraint-path weight between two sigma-recognized general nodes."""
+        key1 = self.add_general_node(theta1)
+        key2 = self.add_general_node(theta2)
+        return self.longest_weight(key1, key2)
+
+    def constraint_path(
+        self, theta1: GeneralNode, theta2: GeneralNode
+    ):
+        """The longest constraint path between two general nodes as ``(weight, edges)``."""
+        key1 = self.add_general_node(theta1)
+        key2 = self.add_general_node(theta2)
+        return self.graph.longest_path(key1, key2)
+
+    def edge_summary(self) -> Dict[str, int]:
+        """How many edges of each kind the graph contains (useful for Figure 8)."""
+        counts: Dict[str, int] = {}
+        for edge in self.graph.edges:
+            counts[edge.label] = counts.get(edge.label, 0) + 1
+        return counts
+
+    def describe(self) -> str:
+        counts = self.edge_summary()
+        summary = ", ".join(f"{label}={count}" for label, count in sorted(counts.items()))
+        return (
+            f"ExtendedBoundsGraph(sigma={self.sigma.describe()}, "
+            f"nodes={len(self.graph)}, edges={self.graph.edge_count()}, {summary})"
+        )

@@ -1,0 +1,136 @@
+"""Two-legged forks (Definition 5): the building block of zigzag patterns.
+
+A two-legged fork ``F = <theta0, theta1, theta2>`` consists of a base node and
+two message chains leaving it: the *head* chain ``p1`` (whose transmission is
+bounded below by ``L(p1)``) and the *tail* chain ``p2`` (bounded above by
+``U(p2)``).  Its weight is ``wt(F) = L(p1) - U(p2)``; the fork guarantees that
+its head occurs at least ``wt(F)`` time units after its tail
+(``tail --wt(F)--> head``), which is the timed-precedence primitive that
+zigzag patterns are built from.  Figure 1 of the paper is the special case in
+which both legs are single messages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, TYPE_CHECKING
+
+from ..simulation.network import Path, Process, TimedNetwork, as_path
+from .nodes import BasicNode, GeneralNode, NodeError, general
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..simulation.runs import Run
+
+
+@dataclass(frozen=True)
+class TwoLeggedFork:
+    """A two-legged fork, stored as a base node plus its two leg paths.
+
+    ``head_path`` and ``tail_path`` are walks in the network starting at the
+    base node's process.  Either may be the singleton path, in which case the
+    corresponding endpoint *is* the base node (this is how the trivial forks
+    used to stitch zigzag patterns together are expressed).
+    """
+
+    base: GeneralNode
+    head_path: Path
+    tail_path: Path
+
+    def __init__(
+        self,
+        base: BasicNode | GeneralNode,
+        head_path: Sequence[Process],
+        tail_path: Sequence[Process],
+    ):
+        base_node = base if isinstance(base, GeneralNode) else general(base)
+        head = as_path(head_path)
+        tail = as_path(tail_path)
+        if head[0] != base_node.process or tail[0] != base_node.process:
+            raise NodeError(
+                "fork legs must start at the base node's process "
+                f"({base_node.process!r}); got head={head}, tail={tail}"
+            )
+        object.__setattr__(self, "base", base_node)
+        object.__setattr__(self, "head_path", head)
+        object.__setattr__(self, "tail_path", tail)
+
+    # -- endpoints -----------------------------------------------------------
+
+    @property
+    def head(self) -> GeneralNode:
+        """``head(F) = base . p1``: the lower-bounded endpoint."""
+        return self.base.follow(self.head_path)
+
+    @property
+    def tail(self) -> GeneralNode:
+        """``tail(F) = base . p2``: the upper-bounded endpoint."""
+        return self.base.follow(self.tail_path)
+
+    @property
+    def is_trivial(self) -> bool:
+        """Whether both legs are empty (base, head and tail all coincide)."""
+        return len(self.head_path) == 1 and len(self.tail_path) == 1
+
+    # -- weight ----------------------------------------------------------------
+
+    def weight(self, timed_network: TimedNetwork) -> int:
+        """``wt(F) = L(p1) - U(p2)``."""
+        return timed_network.path_lower(self.head_path) - timed_network.path_upper(
+            self.tail_path
+        )
+
+    # -- run-level checks --------------------------------------------------------
+
+    def appears_in(self, run: "Run") -> bool:
+        """Whether base, head and tail all resolve to basic nodes of the run."""
+        return (
+            run.general_appears(self.base)
+            and run.general_appears(self.head)
+            and run.general_appears(self.tail)
+        )
+
+    def guaranteed_gap(self, timed_network: TimedNetwork) -> int:
+        """Alias of :meth:`weight`, named for how it is used in proofs."""
+        return self.weight(timed_network)
+
+    def observed_gap(self, run: "Run") -> Optional[int]:
+        """``time(head) - time(tail)`` in the run, or ``None`` if unresolved."""
+        head = run.resolve(self.head)
+        tail = run.resolve(self.tail)
+        if head is None or tail is None:
+            return None
+        return run.time_of(head) - run.time_of(tail)
+
+    def satisfies_theorem1_in(self, run: "Run") -> bool:
+        """The single-fork instance of Theorem 1: observed gap >= weight."""
+        gap = self.observed_gap(run)
+        if gap is None:
+            return False
+        return gap >= self.weight(run.timed_network)
+
+    def describe(self) -> str:
+        return (
+            f"Fork(base={self.base.describe()}, "
+            f"head={'->'.join(self.head_path)}, tail={'->'.join(self.tail_path)})"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return self.describe()
+
+
+def trivial_fork(node: BasicNode | GeneralNode) -> TwoLeggedFork:
+    """The fork whose base, head and tail are all the given node."""
+    base = node if isinstance(node, GeneralNode) else general(node)
+    singleton = (base.process,)
+    return TwoLeggedFork(base, singleton, singleton)
+
+
+def simple_fork(
+    base: BasicNode | GeneralNode,
+    head_recipient: Process,
+    tail_recipient: Process,
+) -> TwoLeggedFork:
+    """The Figure-1 fork: single messages from the base to head and tail recipients."""
+    base_node = base if isinstance(base, GeneralNode) else general(base)
+    origin = base_node.process
+    return TwoLeggedFork(base_node, (origin, head_recipient), (origin, tail_recipient))

@@ -1,0 +1,244 @@
+"""A small weighted-digraph toolkit used by the bounds-graph machinery.
+
+The bounds graphs of the paper are directed graphs whose edges carry integer
+weights and whose *longest* paths encode tight timing constraints.  Because an
+edge ``(u, v, w)`` means ``time(v) >= time(u) + w``, longest paths compose
+constraints and positive cycles are impossible in any graph describing a real
+execution (a positive cycle would force a node to occur strictly after
+itself).
+
+The graphs are small (hundreds of nodes), so a plain Bellman–Ford style
+relaxation is used; it doubles as the positive-cycle detector.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Generic, Hashable, Iterable, Iterator, List, Optional, Tuple, TypeVar
+
+NodeT = TypeVar("NodeT", bound=Hashable)
+
+#: Value representing "no path" in longest-path computations.
+NEG_INF = float("-inf")
+
+
+class PositiveCycleError(RuntimeError):
+    """Raised when a bounds graph contains a positive-weight cycle.
+
+    A positive cycle means the constraint system is infeasible: some node
+    would have to occur strictly later than itself.  A legal run can never
+    produce one, so encountering it indicates corrupted input.
+    """
+
+
+@dataclass(frozen=True)
+class Edge(Generic[NodeT]):
+    """A weighted edge ``source --weight--> target`` with an optional label."""
+
+    source: NodeT
+    target: NodeT
+    weight: int
+    label: str = ""
+
+
+class WeightedGraph(Generic[NodeT]):
+    """A directed multigraph with integer edge weights."""
+
+    def __init__(self) -> None:
+        self._adjacency: Dict[NodeT, List[Edge[NodeT]]] = {}
+        self._edges: List[Edge[NodeT]] = []
+
+    # -- construction -------------------------------------------------------------
+
+    def add_node(self, node: NodeT) -> None:
+        self._adjacency.setdefault(node, [])
+
+    def add_edge(self, source: NodeT, target: NodeT, weight: int, label: str = "") -> Edge[NodeT]:
+        edge = Edge(source, target, int(weight), label)
+        self.add_node(source)
+        self.add_node(target)
+        self._adjacency[source].append(edge)
+        self._edges.append(edge)
+        return edge
+
+    # -- queries -----------------------------------------------------------------------
+
+    def __contains__(self, node: NodeT) -> bool:
+        return node in self._adjacency
+
+    def __len__(self) -> int:
+        return len(self._adjacency)
+
+    @property
+    def nodes(self) -> Tuple[NodeT, ...]:
+        return tuple(self._adjacency)
+
+    @property
+    def edges(self) -> Tuple[Edge[NodeT], ...]:
+        return tuple(self._edges)
+
+    def out_edges(self, node: NodeT) -> Tuple[Edge[NodeT], ...]:
+        return tuple(self._adjacency.get(node, ()))
+
+    def in_edges(self, node: NodeT) -> Tuple[Edge[NodeT], ...]:
+        return tuple(edge for edge in self._edges if edge.target == node)
+
+    def successors(self, node: NodeT) -> Iterator[NodeT]:
+        for edge in self._adjacency.get(node, ()):
+            yield edge.target
+
+    def edge_count(self) -> int:
+        return len(self._edges)
+
+    # -- longest paths -------------------------------------------------------------------
+
+    def longest_path_weights(self, source: NodeT) -> Dict[NodeT, float]:
+        """Longest-path weight from ``source`` to every node (``-inf`` if unreachable).
+
+        Raises :class:`PositiveCycleError` if a positive-weight cycle is
+        reachable from ``source``.
+        """
+        if source not in self._adjacency:
+            raise KeyError(f"source {source!r} is not a node of the graph")
+        distance: Dict[NodeT, float] = {node: NEG_INF for node in self._adjacency}
+        distance[source] = 0
+        node_count = len(self._adjacency)
+        for _ in range(max(node_count - 1, 0)):
+            changed = False
+            for edge in self._edges:
+                base = distance[edge.source]
+                if base == NEG_INF:
+                    continue
+                candidate = base + edge.weight
+                if candidate > distance[edge.target]:
+                    distance[edge.target] = candidate
+                    changed = True
+            if not changed:
+                break
+        for edge in self._edges:
+            base = distance[edge.source]
+            if base != NEG_INF and base + edge.weight > distance[edge.target]:
+                raise PositiveCycleError(
+                    "positive-weight cycle reachable from the source; the constraint "
+                    "system is infeasible"
+                )
+        return distance
+
+    def longest_path_weight(self, source: NodeT, target: NodeT) -> Optional[int]:
+        """The weight of the longest path from ``source`` to ``target``.
+
+        Returns ``None`` when the target is unreachable.
+        """
+        if target not in self._adjacency:
+            raise KeyError(f"target {target!r} is not a node of the graph")
+        weight = self.longest_path_weights(source).get(target, NEG_INF)
+        if weight == NEG_INF:
+            return None
+        return int(weight)
+
+    def longest_path(self, source: NodeT, target: NodeT) -> Optional[Tuple[int, Tuple[Edge[NodeT], ...]]]:
+        """The longest path from ``source`` to ``target`` as ``(weight, edges)``.
+
+        Returns ``None`` when the target is unreachable.  Ties are broken
+        arbitrarily but deterministically.
+        """
+        if source not in self._adjacency:
+            raise KeyError(f"source {source!r} is not a node of the graph")
+        if target not in self._adjacency:
+            raise KeyError(f"target {target!r} is not a node of the graph")
+        distance: Dict[NodeT, float] = {node: NEG_INF for node in self._adjacency}
+        parent: Dict[NodeT, Optional[Edge[NodeT]]] = {node: None for node in self._adjacency}
+        distance[source] = 0
+        node_count = len(self._adjacency)
+        for _ in range(max(node_count - 1, 0)):
+            changed = False
+            for edge in self._edges:
+                base = distance[edge.source]
+                if base == NEG_INF:
+                    continue
+                candidate = base + edge.weight
+                if candidate > distance[edge.target]:
+                    distance[edge.target] = candidate
+                    parent[edge.target] = edge
+                    changed = True
+            if not changed:
+                break
+        for edge in self._edges:
+            base = distance[edge.source]
+            if base != NEG_INF and base + edge.weight > distance[edge.target]:
+                raise PositiveCycleError(
+                    "positive-weight cycle reachable from the source; the constraint "
+                    "system is infeasible"
+                )
+        if distance[target] == NEG_INF:
+            return None
+        edges: List[Edge[NodeT]] = []
+        current = target
+        while current != source:
+            edge = parent[current]
+            if edge is None:
+                break
+            edges.append(edge)
+            current = edge.source
+        edges.reverse()
+        return int(distance[target]), tuple(edges)
+
+    def has_positive_cycle(self) -> bool:
+        """Whether any positive-weight cycle exists anywhere in the graph."""
+        distance: Dict[NodeT, float] = {node: 0 for node in self._adjacency}
+        node_count = len(self._adjacency)
+        for _ in range(max(node_count - 1, 0)):
+            changed = False
+            for edge in self._edges:
+                candidate = distance[edge.source] + edge.weight
+                if candidate > distance[edge.target]:
+                    distance[edge.target] = candidate
+                    changed = True
+            if not changed:
+                return False
+        return any(
+            distance[edge.source] + edge.weight > distance[edge.target] for edge in self._edges
+        )
+
+    def reachable_to(self, target: NodeT) -> frozenset:
+        """Nodes from which ``target`` is reachable (including ``target`` itself)."""
+        if target not in self._adjacency:
+            raise KeyError(f"target {target!r} is not a node of the graph")
+        predecessors: Dict[NodeT, List[NodeT]] = {node: [] for node in self._adjacency}
+        for edge in self._edges:
+            predecessors[edge.target].append(edge.source)
+        seen = {target}
+        stack = [target]
+        while stack:
+            current = stack.pop()
+            for pred in predecessors[current]:
+                if pred not in seen:
+                    seen.add(pred)
+                    stack.append(pred)
+        return frozenset(seen)
+
+    def reachable_from(self, source: NodeT) -> frozenset:
+        """Nodes reachable from ``source`` (including ``source`` itself)."""
+        if source not in self._adjacency:
+            raise KeyError(f"source {source!r} is not a node of the graph")
+        seen = {source}
+        stack = [source]
+        while stack:
+            current = stack.pop()
+            for edge in self._adjacency[current]:
+                if edge.target not in seen:
+                    seen.add(edge.target)
+                    stack.append(edge.target)
+        return frozenset(seen)
+
+    def induced_subgraph(self, nodes: Iterable[NodeT]) -> "WeightedGraph[NodeT]":
+        """The subgraph induced by ``nodes`` (edges with both endpoints inside)."""
+        keep = set(nodes)
+        result: WeightedGraph[NodeT] = WeightedGraph()
+        for node in keep:
+            if node in self._adjacency:
+                result.add_node(node)
+        for edge in self._edges:
+            if edge.source in keep and edge.target in keep:
+                result.add_edge(edge.source, edge.target, edge.weight, edge.label)
+        return result

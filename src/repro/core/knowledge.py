@@ -1,0 +1,168 @@
+"""Knowledge of timed precedence in the bcm model (Section 4.1, Theorem 4).
+
+A fact is *known* at a basic node ``sigma`` if it holds in every run
+indistinguishable from the current one at ``sigma`` (every run in which
+``sigma`` appears).  For timed precedence between sigma-recognized nodes,
+Theorem 4 characterises knowledge combinatorially: under a flooding
+full-information protocol,
+
+    K_sigma(theta1 --x--> theta2)
+        iff  there is a sigma-visible zigzag from theta1 to theta2
+             of weight at least x,
+
+and the maximal such weight is the longest constraint path between the two
+nodes in the extended bounds graph ``GE(r, sigma)``.  This module exposes that
+characterisation as an API:
+
+* :func:`max_known_gap` -- the largest ``x`` for which the precedence is
+  known (``None`` when no lower bound at all is known);
+* :func:`knows_precedence` -- the Boolean query;
+* :class:`KnowledgeChecker` -- a per-``sigma`` cache used by protocols that
+  issue many queries against the same local state.
+
+The test-suite cross-validates the characterisation against brute-force
+enumeration of indistinguishable runs on small networks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Tuple
+
+from ..simulation.network import TimedNetwork
+from .causality import is_recognized
+from .extended_graph import ExtendedBoundsGraph, ExtendedGraphError
+from .nodes import BasicNode, GeneralNode, general
+from .precedence import TimedPrecedence
+
+if False:  # pragma: no cover - typing only
+    from ..simulation.runs import Run
+
+
+def indistinguishable(run_a: "Run", run_b: "Run", sigma: BasicNode) -> bool:
+    """``r ~sigma r'``: the node's local state appears in both runs."""
+    return run_a.appears(sigma) and run_b.appears(sigma)
+
+
+class KnowledgeChecker:
+    """Answers knowledge queries for one observing basic node ``sigma``.
+
+    The underlying extended bounds graph is built once per ``sigma`` and
+    reused across queries; adding general nodes only ever grows it.
+    """
+
+    def __init__(
+        self,
+        sigma: BasicNode,
+        timed_network: TimedNetwork,
+        include_auxiliary: bool = True,
+    ):
+        self.sigma = sigma
+        self.timed_network = timed_network
+        self.include_auxiliary = include_auxiliary
+        self._graph = ExtendedBoundsGraph(
+            sigma, timed_network, include_auxiliary=include_auxiliary
+        )
+
+    @property
+    def extended_graph(self) -> ExtendedBoundsGraph:
+        return self._graph
+
+    def _as_general(self, node: BasicNode | GeneralNode) -> GeneralNode:
+        return node if isinstance(node, GeneralNode) else general(node)
+
+    def max_known_gap(
+        self, earlier: BasicNode | GeneralNode, later: BasicNode | GeneralNode
+    ) -> Optional[int]:
+        """The largest ``x`` such that ``K_sigma(earlier --x--> later)`` holds.
+
+        Returns ``None`` when sigma knows no lower bound at all on
+        ``time(later) - time(earlier)`` (no constraint path exists), in which
+        case no precedence statement about the pair is known.
+        """
+        theta1 = self._as_general(earlier)
+        theta2 = self._as_general(later)
+        for theta in (theta1, theta2):
+            if not is_recognized(theta, self.sigma):
+                raise ExtendedGraphError(
+                    f"{theta.describe()} is not recognized at {self.sigma.describe()}; "
+                    "knowledge of its timing is undefined"
+                )
+        return self._graph.longest_weight_between(theta1, theta2)
+
+    def knows(
+        self,
+        earlier: BasicNode | GeneralNode,
+        later: BasicNode | GeneralNode,
+        margin: int,
+    ) -> bool:
+        """``K_sigma(earlier --margin--> later)``."""
+        gap = self.max_known_gap(earlier, later)
+        return gap is not None and gap >= margin
+
+    def knows_statement(self, statement: TimedPrecedence) -> bool:
+        return self.knows(statement.earlier, statement.later, statement.margin)
+
+    def known_window(
+        self, earlier: BasicNode | GeneralNode, later: BasicNode | GeneralNode
+    ) -> Tuple[Optional[int], Optional[int]]:
+        """The interval ``[lo, hi]`` sigma knows contains ``time(later) - time(earlier)``.
+
+        ``lo`` is :meth:`max_known_gap(earlier, later)`; ``hi`` is minus the
+        maximal known gap in the opposite direction.  Either end may be
+        ``None`` (unbounded).
+        """
+        lower = self.max_known_gap(earlier, later)
+        reverse = self.max_known_gap(later, earlier)
+        upper = None if reverse is None else -reverse
+        return lower, upper
+
+
+def max_known_gap(
+    sigma: BasicNode,
+    earlier: BasicNode | GeneralNode,
+    later: BasicNode | GeneralNode,
+    timed_network: TimedNetwork,
+) -> Optional[int]:
+    """Convenience wrapper around :class:`KnowledgeChecker.max_known_gap`."""
+    return KnowledgeChecker(sigma, timed_network).max_known_gap(earlier, later)
+
+
+def knows_precedence(
+    sigma: BasicNode,
+    earlier: BasicNode | GeneralNode,
+    later: BasicNode | GeneralNode,
+    margin: int,
+    timed_network: TimedNetwork,
+) -> bool:
+    """Convenience wrapper around :class:`KnowledgeChecker.knows`."""
+    return KnowledgeChecker(sigma, timed_network).knows(earlier, later, margin)
+
+
+def empirical_min_gap(
+    runs: Iterable["Run"],
+    sigma: BasicNode,
+    earlier: BasicNode | GeneralNode,
+    later: BasicNode | GeneralNode,
+) -> Optional[int]:
+    """The ground-truth counterpart of :func:`max_known_gap`.
+
+    Given an exhaustive collection of candidate runs, restrict to those in
+    which ``sigma`` appears (the indistinguishable ones) and return the
+    smallest observed ``time(later) - time(earlier)``.  Runs in which either
+    node is unresolved within the horizon are skipped -- callers should choose
+    horizons long enough for the chains to land.
+    """
+    theta1 = earlier if isinstance(earlier, GeneralNode) else general(earlier)
+    theta2 = later if isinstance(later, GeneralNode) else general(later)
+    best: Optional[int] = None
+    for run in runs:
+        if not run.appears(sigma):
+            continue
+        first = run.resolve(theta1)
+        second = run.resolve(theta2)
+        if first is None or second is None:
+            continue
+        gap = run.time_of(second) - run.time_of(first)
+        if best is None or gap < best:
+            best = gap
+    return best

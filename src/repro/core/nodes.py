@@ -1,0 +1,199 @@
+"""Basic and general nodes -- the "points on a timeline" of the paper.
+
+Because processes in the bcm model have no clocks, a point on a process's
+timeline cannot be named by the real time at which it occurs.  The paper uses
+two descriptions instead:
+
+* a **basic node** ``sigma = (i, l)`` is a process name together with a local
+  state of that process (Section 2.2); and
+* a **general node** ``theta = <sigma, p>`` is a basic node plus a path ``p``
+  in the network starting at ``sigma``'s process: it denotes the basic node at
+  which the message chain leaving ``sigma`` and travelling along ``p`` is
+  received (Definition 3).  The basic node it corresponds to in a specific run
+  is ``basic(theta, r)`` (Definition 4); resolution lives in
+  :mod:`repro.simulation.runs`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from ..simulation.messages import History
+from ..simulation.network import Path, Process, as_path
+
+
+class NodeError(ValueError):
+    """Raised when a node is constructed or used inconsistently."""
+
+
+class BasicNode:
+    """A basic node ``(i, l)``: a process together with one of its local states."""
+
+    __slots__ = ("process", "history", "_hash")
+
+    def __init__(self, process: Process, history: History):
+        if history.process != process:
+            raise NodeError(
+                f"history belongs to process {history.process!r}, not {process!r}"
+            )
+        object.__setattr__(self, "process", str(process))
+        object.__setattr__(self, "history", history)
+        object.__setattr__(self, "_hash", hash(("basic", process, history)))
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("BasicNode is immutable")
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if not isinstance(other, BasicNode):
+            return NotImplemented
+        return (
+            self._hash == other._hash
+            and self.process == other.process
+            and self.history == other.history
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    # -- construction helpers ----------------------------------------------
+
+    @classmethod
+    def from_history(cls, history: History) -> "BasicNode":
+        return cls(history.process, history)
+
+    @classmethod
+    def initial(cls, process: Process) -> "BasicNode":
+        """The initial node of ``process`` (its time-0 local state)."""
+        return cls(process, History.initial(process))
+
+    # -- structure ----------------------------------------------------------
+
+    @property
+    def is_initial(self) -> bool:
+        return self.history.is_initial
+
+    @property
+    def step_count(self) -> int:
+        """How many scheduling steps the process has taken at this node."""
+        return len(self.history)
+
+    def predecessor(self) -> Optional["BasicNode"]:
+        """The node one step earlier on the same timeline (``None`` if initial)."""
+        previous = self.history.predecessor()
+        if previous is None:
+            return None
+        return BasicNode(self.process, previous)
+
+    def timeline_prefix(self, include_self: bool = True) -> Tuple["BasicNode", ...]:
+        """All nodes of this process up to (and optionally including) this one."""
+        return tuple(
+            BasicNode(self.process, h) for h in self.history.prefixes(include_self)
+        )
+
+    def precedes_locally(self, other: "BasicNode") -> bool:
+        """Locality clause of happens-before: same process, weakly earlier state."""
+        return self.process == other.process and self.history.is_prefix_of(other.history)
+
+    def describe(self) -> str:
+        return f"{self.process}@{self.step_count}"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"BasicNode({self.describe()})"
+
+
+class GeneralNode:
+    """A general node ``<sigma, p>`` (Definition 3).
+
+    ``base`` is the basic node the message chain leaves from and ``path`` is a
+    walk in the network starting at ``base.process``.  When ``path`` is the
+    singleton ``(base.process,)`` the general node denotes ``base`` itself.
+    """
+
+    __slots__ = ("base", "path", "_hash")
+
+    def __init__(self, base: BasicNode, path: Sequence[Process]):
+        p = as_path(path)
+        if p[0] != base.process:
+            raise NodeError(
+                f"general node path must start at {base.process!r}, got {p}"
+            )
+        object.__setattr__(self, "base", base)
+        object.__setattr__(self, "path", p)
+        object.__setattr__(self, "_hash", hash(("general", base, p)))
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("GeneralNode is immutable")
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if not isinstance(other, GeneralNode):
+            return NotImplemented
+        return self._hash == other._hash and self.base == other.base and self.path == other.path
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    # -- construction helpers ----------------------------------------------
+
+    @classmethod
+    def of_basic(cls, node: BasicNode) -> "GeneralNode":
+        """The general node denoting the basic node itself (singleton path)."""
+        return cls(node, (node.process,))
+
+    def follow(self, suffix: Sequence[Process]) -> "GeneralNode":
+        """The paper's ``theta . q``: extend the chain by the walk ``suffix``.
+
+        ``suffix`` must start at this node's (final) process.
+        """
+        q = as_path(suffix)
+        if q[0] != self.process:
+            raise NodeError(
+                f"suffix must start at {self.process!r} (the node's process), got {q}"
+            )
+        return GeneralNode(self.base, self.path + q[1:])
+
+    # -- structure ----------------------------------------------------------
+
+    @property
+    def process(self) -> Process:
+        """The process on whose timeline this node lies (the path's endpoint)."""
+        return self.path[-1]
+
+    @property
+    def is_basic(self) -> bool:
+        """Whether the path is a singleton, i.e. the node *is* its base node."""
+        return len(self.path) == 1
+
+    @property
+    def hops(self) -> int:
+        return len(self.path) - 1
+
+    def prefix(self, hops: int) -> "GeneralNode":
+        """The general node after following only the first ``hops`` hops."""
+        if not 0 <= hops <= self.hops:
+            raise NodeError(f"hops must be in [0, {self.hops}], got {hops}")
+        return GeneralNode(self.base, self.path[: hops + 1])
+
+    def remaining_path(self, hops: int) -> Path:
+        """The walk still to be travelled after the first ``hops`` hops."""
+        if not 0 <= hops <= self.hops:
+            raise NodeError(f"hops must be in [0, {self.hops}], got {hops}")
+        return self.path[hops:]
+
+    def describe(self) -> str:
+        if self.is_basic:
+            return self.base.describe()
+        return f"<{self.base.describe()}, {'->'.join(self.path)}>"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"GeneralNode({self.describe()})"
+
+
+def general(base: BasicNode, path: Sequence[Process] | None = None) -> GeneralNode:
+    """Convenience constructor: ``general(sigma)`` or ``general(sigma, p)``."""
+    if path is None:
+        return GeneralNode.of_basic(base)
+    return GeneralNode(base, path)

@@ -1,0 +1,116 @@
+"""Timed precedence statements ``theta --x--> theta'`` and system support.
+
+Following [Moses & Bloom 1994] and Section 3 of the paper, ``e --x--> e'``
+states that ``e`` takes place at least ``x`` time units before ``e'``
+(``time(e') >= time(e) + x``).  Negative ``x`` expresses an upper bound on how
+much *later* the first event may be: ``te' <= te + y`` is ``e' --(-y)--> e``.
+
+A system (a set of runs) *supports* ``theta1 --x--> theta2`` if in every run
+in which either node appears, both appear and the precedence holds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, TYPE_CHECKING
+
+from .nodes import BasicNode, GeneralNode, general
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..simulation.runs import Run
+
+
+def _as_general(node: BasicNode | GeneralNode) -> GeneralNode:
+    if isinstance(node, GeneralNode):
+        return node
+    return general(node)
+
+
+@dataclass(frozen=True)
+class TimedPrecedence:
+    """The statement ``earlier --margin--> later``.
+
+    ``margin`` may be any integer: positive margins are genuine "at least this
+    much earlier" guarantees, zero is plain "not later than", and negative
+    margins encode upper bounds (see the module docstring).
+    """
+
+    earlier: GeneralNode
+    later: GeneralNode
+    margin: int
+
+    def __init__(
+        self, earlier: BasicNode | GeneralNode, later: BasicNode | GeneralNode, margin: int
+    ):
+        object.__setattr__(self, "earlier", _as_general(earlier))
+        object.__setattr__(self, "later", _as_general(later))
+        object.__setattr__(self, "margin", int(margin))
+
+    def holds_in(self, run: "Run") -> bool:
+        """``(R, r) |= theta --x--> theta'``: both nodes appear and the gap is >= x."""
+        first = run.resolve(self.earlier)
+        second = run.resolve(self.later)
+        if first is None or second is None:
+            return False
+        return run.time_of(first) + self.margin <= run.time_of(second)
+
+    def gap_in(self, run: "Run") -> Optional[int]:
+        """``time(later) - time(earlier)`` in the run, or ``None`` if unresolved."""
+        first = run.resolve(self.earlier)
+        second = run.resolve(self.later)
+        if first is None or second is None:
+            return None
+        return run.time_of(second) - run.time_of(first)
+
+    def reversed_bound(self) -> "TimedPrecedence":
+        """The equivalent statement with the roles swapped (``te >= te' - x`` form)."""
+        return TimedPrecedence(self.later, self.earlier, -self.margin)
+
+    def describe(self) -> str:
+        return f"{self.earlier.describe()} --{self.margin}--> {self.later.describe()}"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TimedPrecedence({self.describe()})"
+
+
+def precedes(
+    earlier: BasicNode | GeneralNode,
+    later: BasicNode | GeneralNode,
+    margin: int = 0,
+) -> TimedPrecedence:
+    """Convenience constructor mirroring the paper's arrow notation."""
+    return TimedPrecedence(earlier, later, margin)
+
+
+def supports(runs: Iterable["Run"], statement: TimedPrecedence) -> bool:
+    """Whether a system of runs supports the precedence statement.
+
+    ``R`` supports ``theta1 --x--> theta2`` iff for every run in which one of
+    the nodes appears, both appear and the statement holds.
+    """
+    for run in runs:
+        first_appears = run.general_appears(statement.earlier)
+        second_appears = run.general_appears(statement.later)
+        if not first_appears and not second_appears:
+            continue
+        if not (first_appears and second_appears):
+            return False
+        if not statement.holds_in(run):
+            return False
+    return True
+
+
+def minimum_gap(runs: Iterable["Run"], statement: TimedPrecedence) -> Optional[int]:
+    """The smallest observed gap ``time(later) - time(earlier)`` across runs.
+
+    Runs in which either node is unresolved are skipped.  Returns ``None`` if
+    no run resolves both nodes.
+    """
+    best: Optional[int] = None
+    for run in runs:
+        gap = statement.gap_in(run)
+        if gap is None:
+            continue
+        if best is None or gap < best:
+            best = gap
+    return best

@@ -1,0 +1,148 @@
+"""Zigzag patterns (Definition 6) and their weights.
+
+A zigzag pattern from ``theta`` to ``theta'`` is a sequence of two-legged
+forks ``Z = (F1, ..., Fc)`` such that ``tail(F1) = theta``,
+``head(Fc) = theta'`` and, for consecutive forks, ``head(Fk)`` and
+``tail(Fk+1)`` lie on the same process's timeline with
+``time(head(Fk)) <= time(tail(Fk+1))``.  Adjacent forks whose head and tail
+coincide at the same basic node are *joined*; non-joined adjacencies
+contribute one extra unit to the pattern's weight because distinct nodes on a
+timeline are at least one time unit apart:
+
+    wt(Z) = sum_k wt(Fk) + S(Z),
+
+where ``S(Z)`` counts the non-joined adjacencies.  Theorem 1 states that a
+zigzag of weight ``w`` from ``theta1`` to ``theta2`` forces
+``theta1 --w--> theta2`` in the run; its checker lives in
+:mod:`repro.core.theorems`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple, TYPE_CHECKING
+
+from ..simulation.network import TimedNetwork
+from .forks import TwoLeggedFork
+from .nodes import GeneralNode
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..simulation.runs import Run
+
+
+class ZigzagError(ValueError):
+    """Raised when a zigzag pattern is structurally malformed."""
+
+
+@dataclass(frozen=True)
+class ZigzagPattern:
+    """A sequence of two-legged forks forming a zigzag pattern."""
+
+    forks: Tuple[TwoLeggedFork, ...]
+
+    def __init__(self, forks: Sequence[TwoLeggedFork]):
+        fork_tuple = tuple(forks)
+        if not fork_tuple:
+            raise ZigzagError("a zigzag pattern needs at least one fork")
+        for first, second in zip(fork_tuple, fork_tuple[1:]):
+            if first.head.process != second.tail.process:
+                raise ZigzagError(
+                    "consecutive forks must meet on the same process timeline: "
+                    f"{first.describe()} head is on {first.head.process!r} but "
+                    f"{second.describe()} tail is on {second.tail.process!r}"
+                )
+        object.__setattr__(self, "forks", fork_tuple)
+
+    # -- endpoints ---------------------------------------------------------------
+
+    @property
+    def tail(self) -> GeneralNode:
+        """The pattern's source node: ``tail(F1)``."""
+        return self.forks[0].tail
+
+    @property
+    def head(self) -> GeneralNode:
+        """The pattern's target node: ``head(Fc)``."""
+        return self.forks[-1].head
+
+    def __len__(self) -> int:
+        return len(self.forks)
+
+    # -- validity in a run ----------------------------------------------------------
+
+    def appears_in(self, run: "Run") -> bool:
+        """Whether every fork's nodes resolve in the run."""
+        return all(fork.appears_in(run) for fork in self.forks)
+
+    def is_valid_in(self, run: "Run") -> bool:
+        """Whether this is a zigzag pattern *of the run* (Definition 6).
+
+        Beyond structural well-formedness this requires every fork to appear
+        and, for consecutive forks, ``time(head(Fk)) <= time(tail(Fk+1))``.
+        """
+        if not self.appears_in(run):
+            return False
+        for first, second in zip(self.forks, self.forks[1:]):
+            head_time = run.time_of_general(first.head)
+            tail_time = run.time_of_general(second.tail)
+            if head_time > tail_time:
+                return False
+        return True
+
+    def joined_flags(self, run: "Run") -> Tuple[bool, ...]:
+        """For each adjacency, whether the two forks are joined (same basic node)."""
+        flags: List[bool] = []
+        for first, second in zip(self.forks, self.forks[1:]):
+            head = run.resolve(first.head)
+            tail = run.resolve(second.tail)
+            flags.append(head is not None and head == tail)
+        return tuple(flags)
+
+    def separations(self, run: "Run") -> int:
+        """``S(Z)``: the number of adjacencies that are *not* joined."""
+        return sum(1 for joined in self.joined_flags(run) if not joined)
+
+    # -- weight ------------------------------------------------------------------------
+
+    def fork_weight_sum(self, timed_network: TimedNetwork) -> int:
+        return sum(fork.weight(timed_network) for fork in self.forks)
+
+    def weight(self, run: "Run") -> int:
+        """``wt(Z) = sum_k wt(Fk) + S(Z)`` for this pattern in ``run``."""
+        return self.fork_weight_sum(run.timed_network) + self.separations(run)
+
+    def weight_lower_bound(self, timed_network: TimedNetwork) -> int:
+        """A run-independent lower bound on the weight (assumes no separations)."""
+        return self.fork_weight_sum(timed_network)
+
+    # -- run-level observation ------------------------------------------------------------
+
+    def observed_gap(self, run: "Run") -> Optional[int]:
+        """``time(head) - time(tail)`` in the run, or ``None`` if unresolved."""
+        head = run.resolve(self.head)
+        tail = run.resolve(self.tail)
+        if head is None or tail is None:
+            return None
+        return run.time_of(head) - run.time_of(tail)
+
+    # -- composition ------------------------------------------------------------------------
+
+    def extend(self, fork: TwoLeggedFork) -> "ZigzagPattern":
+        """Append one more fork (its tail must be on the current head's process)."""
+        return ZigzagPattern(self.forks + (fork,))
+
+    def concatenate(self, other: "ZigzagPattern") -> "ZigzagPattern":
+        """Concatenate two patterns (the join condition is checked per run)."""
+        return ZigzagPattern(self.forks + other.forks)
+
+    def describe(self) -> str:
+        inner = " | ".join(fork.describe() for fork in self.forks)
+        return f"Zigzag[{inner}]"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return self.describe()
+
+
+def single_fork_pattern(fork: TwoLeggedFork) -> ZigzagPattern:
+    """A zigzag pattern consisting of a single fork (Figure 1 / Figure 3)."""
+    return ZigzagPattern((fork,))

@@ -1,0 +1,53 @@
+"""Scenario builders: the paper's figures and randomised workloads."""
+
+from .base import Scenario
+from .figures import (
+    ZigzagChainLayout,
+    figure1_guaranteed_margin,
+    figure1_scenario,
+    figure2a_scenario,
+    figure2b_scenario,
+    figure3_fork_weight,
+    figure3_scenario,
+    figure4_scenario,
+    figure5_scenario,
+    figure6_scenario,
+    figure8_scenario,
+    spontaneous_tag,
+    zigzag_chain_equation_weight,
+    zigzag_chain_layout,
+    zigzag_chain_scenario,
+)
+from .random_nets import (
+    RandomWorkload,
+    flooding_scenario,
+    random_external_schedule,
+    random_timed_network,
+    random_workload,
+    workload_scenario,
+)
+
+__all__ = [
+    "RandomWorkload",
+    "Scenario",
+    "ZigzagChainLayout",
+    "figure1_guaranteed_margin",
+    "figure1_scenario",
+    "figure2a_scenario",
+    "figure2b_scenario",
+    "figure3_fork_weight",
+    "figure3_scenario",
+    "figure4_scenario",
+    "figure5_scenario",
+    "figure6_scenario",
+    "figure8_scenario",
+    "flooding_scenario",
+    "random_external_schedule",
+    "random_timed_network",
+    "random_workload",
+    "spontaneous_tag",
+    "workload_scenario",
+    "zigzag_chain_equation_weight",
+    "zigzag_chain_layout",
+    "zigzag_chain_scenario",
+]

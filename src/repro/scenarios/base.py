@@ -1,0 +1,93 @@
+"""Common plumbing for the paper-figure scenarios.
+
+A :class:`Scenario` bundles everything needed to reproduce one of the paper's
+figures on the simulator: the timed network, the per-process protocols, the
+external-input schedule, the adversarial delivery strategy that pins down the
+drawn message pattern, and the horizon.  ``Scenario.run()`` executes it and
+returns the :class:`~repro.simulation.runs.Run`; figure modules add named
+accessors for the nodes the paper's discussion refers to (the go node, the
+nodes at which ``a`` and ``b`` are performed, pivot nodes, ...).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..simulation.context import Context, ExternalInput
+from ..simulation.delivery import DeliveryStrategy, EarliestDelivery
+from ..simulation.engine import Simulator
+from ..simulation.network import Process, TimedNetwork
+from ..simulation.protocols import Protocol, ProtocolAssignment
+from ..simulation.runs import Run
+
+
+@dataclass
+class Scenario:
+    """A reproducible experimental setup on the bcm simulator."""
+
+    name: str
+    timed_network: TimedNetwork
+    protocols: ProtocolAssignment
+    external_inputs: List[ExternalInput]
+    delivery: DeliveryStrategy = field(default_factory=EarliestDelivery)
+    horizon: int = 30
+    description: str = ""
+
+    @property
+    def context(self) -> Context:
+        return Context(self.timed_network, description=self.name)
+
+    def simulator(self) -> Simulator:
+        return Simulator(
+            context=self.context,
+            protocols=self.protocols,
+            delivery=self.delivery,
+            external_inputs=self.external_inputs,
+            horizon=self.horizon,
+        )
+
+    def run(self) -> Run:
+        """Execute the scenario once and validate the resulting run."""
+        run = self.simulator().run()
+        run.validate()
+        return run
+
+    def with_delivery(self, delivery: DeliveryStrategy) -> "Scenario":
+        """The same scenario under a different delivery adversary."""
+        return Scenario(
+            name=self.name,
+            timed_network=self.timed_network,
+            protocols=self.protocols,
+            external_inputs=list(self.external_inputs),
+            delivery=delivery,
+            horizon=self.horizon,
+            description=self.description,
+        )
+
+    def with_horizon(self, horizon: int) -> "Scenario":
+        return Scenario(
+            name=self.name,
+            timed_network=self.timed_network,
+            protocols=self.protocols,
+            external_inputs=list(self.external_inputs),
+            delivery=self.delivery,
+            horizon=horizon,
+            description=self.description,
+        )
+
+    def with_protocol(self, process: Process, protocol: Protocol) -> "Scenario":
+        """The same scenario with one process's protocol replaced."""
+        assignment = ProtocolAssignment(
+            protocols=dict(self.protocols.protocols), default=self.protocols.default
+        )
+        assignment.assign(process, protocol)
+        return Scenario(
+            name=self.name,
+            timed_network=self.timed_network,
+            protocols=assignment,
+            external_inputs=list(self.external_inputs),
+            delivery=self.delivery,
+            horizon=self.horizon,
+            description=self.description,
+        )

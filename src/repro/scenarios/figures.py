@@ -1,0 +1,431 @@
+"""Builders for the communication patterns drawn in the paper's figures.
+
+Every figure of the paper is reproduced as a :class:`~repro.scenarios.base.Scenario`
+whose network, bounds, external triggers and (scripted) delivery delays
+realise exactly the drawn pattern.  The builders are parameterised so the
+benchmarks can sweep bounds and margins around the paper's nominal values.
+
+Role naming follows the paper: ``C`` spontaneously receives ``mu_go`` and
+sends the go message, ``A`` performs ``a`` upon receiving it, ``B`` is the
+coordinating process performing ``b``; ``D`` (and ``D2``, ...) are pivot
+processes and ``E`` (``E2``, ...) additional spontaneous senders.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..coordination.optimal import OptimalCoordinationProtocol
+from ..coordination.tasks import CoordinationTask, late_task
+from ..simulation.context import ExternalInput
+from ..simulation.delivery import BiasedDelivery, DeliveryStrategy, EarliestDelivery, LatestDelivery
+from ..simulation.messages import GO_TRIGGER
+from ..simulation.network import TimedNetwork, timed_network
+from ..simulation.protocols import (
+    PerformOnceRule,
+    Protocol,
+    ProtocolAssignment,
+    RuleBasedProtocol,
+    actor_protocol,
+    go_sender_protocol,
+    go_seen_in_message_from,
+    received_go_trigger,
+)
+from .base import Scenario
+
+#: External trigger tags for the additional spontaneous senders (E, E2, ...).
+def spontaneous_tag(index: int) -> str:
+    return f"mu_spont_{index}"
+
+
+def _act_on_message_from(action: str, sender: str) -> RuleBasedProtocol:
+    """The naive B rule used in Figures 1 and 2a: act upon hearing from ``sender``."""
+    rule = PerformOnceRule(
+        action, lambda ctx, s=sender: bool(ctx.received_from(s))
+    )
+    return RuleBasedProtocol([rule])
+
+
+def _flood_on_trigger(tag: str) -> RuleBasedProtocol:
+    """A spontaneous sender: floods on every receipt (including its trigger)."""
+    rule = PerformOnceRule("spontaneous_send", lambda ctx, t=tag: received_go_trigger(ctx, t))
+    return RuleBasedProtocol([rule])
+
+
+# ---------------------------------------------------------------------------
+# Figure 1: coordination without direct communication (a single fork).
+# ---------------------------------------------------------------------------
+
+
+def figure1_scenario(
+    lower_cb: int = 8,
+    upper_cb: int = 10,
+    lower_ca: int = 1,
+    upper_ca: int = 4,
+    go_time: int = 2,
+    delivery: Optional[DeliveryStrategy] = None,
+    b_protocol: Optional[Protocol] = None,
+    horizon: int = 30,
+) -> Scenario:
+    """Figure 1: C sends to A and B; ``L_CB >= U_CA + x`` guarantees ``a --x--> b``.
+
+    By default B uses the figure's rule (perform ``b`` upon receiving C's
+    message); pass an explicit ``b_protocol`` to study other rules on the same
+    pattern.
+    """
+    net = timed_network(
+        {
+            ("C", "A"): (lower_ca, upper_ca),
+            ("C", "B"): (lower_cb, upper_cb),
+        },
+        processes=["A", "B", "C"],
+    )
+    protocols = ProtocolAssignment()
+    protocols.assign("C", go_sender_protocol())
+    protocols.assign("A", actor_protocol("a", "C"))
+    protocols.assign("B", b_protocol if b_protocol is not None else _act_on_message_from("b", "C"))
+    return Scenario(
+        name="figure1",
+        timed_network=net,
+        protocols=protocols,
+        external_inputs=[ExternalInput(go_time, "C", GO_TRIGGER)],
+        delivery=delivery if delivery is not None else LatestDelivery(),
+        horizon=horizon,
+        description=(
+            "Single two-legged fork out of C; guarantees a precedes b by "
+            f"L_CB - U_CA = {lower_cb - upper_ca} without any A<->B communication."
+        ),
+    )
+
+
+def figure1_guaranteed_margin(scenario: Scenario) -> int:
+    """The fork-guaranteed margin ``L_CB - U_CA`` of a Figure 1 scenario."""
+    net = scenario.timed_network
+    return net.L("C", "B") - net.U("C", "A")
+
+
+# ---------------------------------------------------------------------------
+# The generic zigzag chain: Figures 2a, 2b, 4 and 5 are instances.
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ZigzagChainLayout:
+    """Naming and structural description of a zigzag-chain scenario.
+
+    ``sources`` are the spontaneous senders (the first one is C), ``pivots``
+    the intermediate processes where consecutive forks meet, ``actor`` is A
+    and ``target`` is B.
+    """
+
+    sources: Tuple[str, ...]
+    pivots: Tuple[str, ...]
+    actor: str
+    target: str
+
+    @property
+    def go_sender(self) -> str:
+        return self.sources[0]
+
+
+def zigzag_chain_layout(num_forks: int) -> ZigzagChainLayout:
+    if num_forks < 1:
+        raise ValueError("a zigzag chain needs at least one fork")
+    sources = tuple(["C"] + [f"E{i}" if i > 1 else "E" for i in range(1, num_forks)])
+    pivots = tuple(f"D{i}" if i > 1 else "D" for i in range(1, num_forks))
+    return ZigzagChainLayout(sources=sources, pivots=pivots, actor="A", target="B")
+
+
+def zigzag_chain_scenario(
+    num_forks: int = 2,
+    head_bounds: Tuple[int, int] = (6, 8),
+    tail_bounds: Tuple[int, int] = (1, 3),
+    actor_bounds: Tuple[int, int] = (1, 4),
+    target_bounds: Tuple[int, int] = (8, 10),
+    report_bounds: Tuple[int, int] = (1, 2),
+    with_reports: bool = False,
+    go_time: int = 2,
+    trigger_spacing: Optional[int] = None,
+    b_protocol: Optional[Protocol] = None,
+    delivery: Optional[DeliveryStrategy] = None,
+    horizon: Optional[int] = None,
+) -> Scenario:
+    """A ``num_forks``-fork zigzag pattern ending at B, generalising Figure 2a.
+
+    Structure (for ``num_forks = k``): spontaneous senders ``C, E, E2, ...``
+    and pivots ``D, D2, ...`` with channels
+
+    * ``C -> A`` (the go/action chain, bounds ``actor_bounds``),
+    * ``S_i -> D_i`` for each fork's head leg (bounds ``head_bounds``),
+    * ``S_{i+1} -> D_i`` for the next fork's tail leg (bounds ``tail_bounds``),
+    * ``S_k -> B`` (the final head leg, bounds ``target_bounds``), and
+    * optionally ``D_i -> B`` report channels (bounds ``report_bounds``),
+      which are what turns the zigzag into a *visible* zigzag (Figure 2b).
+
+    External triggers are staggered so that each pivot hears the earlier
+    source before the later one, realising the drawn interleaving.
+    """
+    layout = zigzag_chain_layout(num_forks)
+    channels: Dict[Tuple[str, str], Tuple[int, int]] = {}
+    channels[(layout.go_sender, layout.actor)] = actor_bounds
+    for index, pivot in enumerate(layout.pivots):
+        channels[(layout.sources[index], pivot)] = head_bounds
+        channels[(layout.sources[index + 1], pivot)] = tail_bounds
+    channels[(layout.sources[-1], layout.target)] = target_bounds
+    if with_reports:
+        for pivot in layout.pivots:
+            channels[(pivot, layout.target)] = report_bounds
+
+    processes = [layout.actor, layout.target, *layout.sources, *layout.pivots]
+    net = timed_network(channels, processes=processes)
+
+    if trigger_spacing is None:
+        trigger_spacing = head_bounds[1] + 1
+    externals = [ExternalInput(go_time, layout.go_sender, GO_TRIGGER)]
+    for index, source in enumerate(layout.sources[1:], start=1):
+        externals.append(
+            ExternalInput(go_time + index * trigger_spacing, source, spontaneous_tag(index))
+        )
+
+    protocols = ProtocolAssignment()
+    protocols.assign(layout.go_sender, go_sender_protocol())
+    protocols.assign(layout.actor, actor_protocol("a", layout.go_sender))
+    for index, source in enumerate(layout.sources[1:], start=1):
+        protocols.assign(source, _flood_on_trigger(spontaneous_tag(index)))
+    if b_protocol is None:
+        b_protocol = _act_on_message_from("b", layout.sources[-1])
+    protocols.assign(layout.target, b_protocol)
+
+    if horizon is None:
+        horizon = go_time + num_forks * trigger_spacing + target_bounds[1] + report_bounds[1] + 10
+
+    return Scenario(
+        name=f"zigzag-chain-{num_forks}",
+        timed_network=net,
+        protocols=protocols,
+        external_inputs=externals,
+        delivery=delivery if delivery is not None else EarliestDelivery(),
+        horizon=horizon,
+        description=(
+            f"A {num_forks}-fork zigzag pattern from A's action to B"
+            + (" with pivot reports to B (visible zigzag)" if with_reports else "")
+        ),
+    )
+
+
+def zigzag_chain_equation_weight(scenario: Scenario, num_forks: int) -> int:
+    """The Equation (1)-style fork-weight sum of a zigzag-chain scenario.
+
+    ``-U(C->A) + sum_i [L(S_i->D_i) - U(S_{i+1}->D_i)] + L(S_k->B)`` -- the
+    guaranteed precedence margin *excluding* the +1 separations that the run's
+    interleaving adds at the pivots.
+    """
+    layout = zigzag_chain_layout(num_forks)
+    net = scenario.timed_network
+    weight = -net.U(layout.go_sender, layout.actor)
+    for index, pivot in enumerate(layout.pivots):
+        weight += net.L(layout.sources[index], pivot)
+        weight -= net.U(layout.sources[index + 1], pivot)
+    weight += net.L(layout.sources[-1], layout.target)
+    return weight
+
+
+def figure2a_scenario(**kwargs) -> Scenario:
+    """Figure 2a: the two-fork zigzag through pivot D, without reports to B."""
+    kwargs.setdefault("num_forks", 2)
+    kwargs.setdefault("with_reports", False)
+    scenario = zigzag_chain_scenario(**kwargs)
+    scenario.name = "figure2a"
+    return scenario
+
+
+def figure2b_scenario(margin: Optional[int] = None, **kwargs) -> Scenario:
+    """Figure 2b: the same zigzag made visible via D's report; B runs Protocol 2."""
+    kwargs.setdefault("num_forks", 2)
+    kwargs.setdefault("with_reports", True)
+    if margin is None:
+        probe = zigzag_chain_scenario(**{**kwargs, "b_protocol": None})
+        margin = zigzag_chain_equation_weight(probe, kwargs["num_forks"])
+    task = late_task(margin)
+    kwargs.setdefault("b_protocol", OptimalCoordinationProtocol(task))
+    scenario = zigzag_chain_scenario(**kwargs)
+    scenario.name = "figure2b"
+    scenario.description += f"; B acts optimally for {task.describe()}"
+    return scenario
+
+
+def figure4_scenario(margin: Optional[int] = None, **kwargs) -> Scenario:
+    """Figure 4: a sigma-visible zigzag made of three forks."""
+    kwargs.setdefault("num_forks", 3)
+    kwargs.setdefault("with_reports", True)
+    if margin is None:
+        probe = zigzag_chain_scenario(**{**kwargs, "b_protocol": None})
+        margin = zigzag_chain_equation_weight(probe, kwargs["num_forks"])
+    task = late_task(margin)
+    kwargs.setdefault("b_protocol", OptimalCoordinationProtocol(task))
+    scenario = zigzag_chain_scenario(**kwargs)
+    scenario.name = "figure4"
+    return scenario
+
+
+def figure5_scenario(margin: Optional[int] = None, **kwargs) -> Scenario:
+    """Figure 5: the visible zigzag pattern for ``Late<a --x--> b>`` (two forks)."""
+    scenario = figure2b_scenario(margin=margin, **kwargs)
+    scenario.name = "figure5"
+    return scenario
+
+
+# ---------------------------------------------------------------------------
+# Figure 3: a two-legged fork with multi-hop legs.
+# ---------------------------------------------------------------------------
+
+
+def figure3_scenario(
+    head_hops: int = 2,
+    tail_hops: int = 2,
+    head_bounds: Tuple[int, int] = (4, 5),
+    tail_bounds: Tuple[int, int] = (1, 2),
+    go_time: int = 2,
+    delivery: Optional[DeliveryStrategy] = None,
+    horizon: Optional[int] = None,
+) -> Scenario:
+    """Figure 3: a fork whose head and tail legs are multi-hop relay chains.
+
+    The head chain runs ``C -> H1 -> ... -> B`` (``head_hops`` hops, lower
+    bounds accumulate) and the tail chain ``C -> T1 -> ... -> A``
+    (``tail_hops`` hops, upper bounds accumulate); its weight is
+    ``L(head chain) - U(tail chain)``.
+    """
+    if head_hops < 1 or tail_hops < 1:
+        raise ValueError("both legs need at least one hop")
+    head_relays = [f"H{i}" for i in range(1, head_hops)]
+    tail_relays = [f"T{i}" for i in range(1, tail_hops)]
+    head_chain = ["C", *head_relays, "B"]
+    tail_chain = ["C", *tail_relays, "A"]
+    channels: Dict[Tuple[str, str], Tuple[int, int]] = {}
+    for src, dst in zip(head_chain, head_chain[1:]):
+        channels[(src, dst)] = head_bounds
+    for src, dst in zip(tail_chain, tail_chain[1:]):
+        channels[(src, dst)] = tail_bounds
+    processes = ["A", "B", "C", *head_relays, *tail_relays]
+    net = timed_network(channels, processes=processes)
+
+    protocols = ProtocolAssignment()
+    protocols.assign("C", go_sender_protocol())
+    protocols.assign("A", _act_on_relayed_go("a", "C"))
+    protocols.assign("B", _act_on_relayed_go("b", "C"))
+
+    if horizon is None:
+        horizon = go_time + head_hops * head_bounds[1] + tail_hops * tail_bounds[1] + 10
+    return Scenario(
+        name="figure3",
+        timed_network=net,
+        protocols=protocols,
+        external_inputs=[ExternalInput(go_time, "C", GO_TRIGGER)],
+        delivery=delivery if delivery is not None else LatestDelivery(),
+        horizon=horizon,
+        description=(
+            f"Two-legged fork with {head_hops}-hop head and {tail_hops}-hop tail legs"
+        ),
+    )
+
+
+def _act_on_relayed_go(action: str, origin: str, trigger: str = GO_TRIGGER) -> RuleBasedProtocol:
+    """Act when any received message's history shows ``origin`` saw the trigger.
+
+    Used when the go reaches the actor through a relay chain rather than a
+    direct channel (Figure 3): under an FFIP the relays embed C's receipt of
+    ``mu_go`` in the forwarded history.
+    """
+
+    def condition(ctx, origin=origin, trigger=trigger):
+        for receipt in ctx.tentative_history.receipts():
+            history = receipt.message.sender_history
+            if history.process == origin and history.has_external(trigger):
+                return True
+            if history.has_external(trigger) or _embedded_trigger(history, origin, trigger):
+                return True
+        return False
+
+    return RuleBasedProtocol([PerformOnceRule(action, condition)])
+
+
+def _embedded_trigger(history, origin: str, trigger: str) -> bool:
+    """Whether the history (recursively) embeds ``origin`` receiving the trigger."""
+    if history.process == origin and history.has_external(trigger):
+        return True
+    for receipt in history.receipts():
+        if _embedded_trigger(receipt.message.sender_history, origin, trigger):
+            return True
+    return False
+
+
+def figure3_fork_weight(scenario: Scenario, head_hops: int = 2, tail_hops: int = 2) -> int:
+    """``L(head chain) - U(tail chain)`` for a Figure 3 scenario."""
+    net = scenario.timed_network
+    head_chain = ["C", *[f"H{i}" for i in range(1, head_hops)], "B"]
+    tail_chain = ["C", *[f"T{i}" for i in range(1, tail_hops)], "A"]
+    return net.path_lower(head_chain) - net.path_upper(tail_chain)
+
+
+# ---------------------------------------------------------------------------
+# Figure 6: the bound edges created by a single message.
+# ---------------------------------------------------------------------------
+
+
+def figure6_scenario(
+    lower: int = 2,
+    upper: int = 5,
+    go_time: int = 1,
+    delivery: Optional[DeliveryStrategy] = None,
+    horizon: int = 12,
+) -> Scenario:
+    """Figure 6: two processes, one message, and the two bound edges it induces."""
+    net = timed_network({("i", "j"): (lower, upper)}, processes=["i", "j"])
+    protocols = ProtocolAssignment()
+    protocols.assign("i", go_sender_protocol())
+    return Scenario(
+        name="figure6",
+        timed_network=net,
+        protocols=protocols,
+        external_inputs=[ExternalInput(go_time, "i", GO_TRIGGER)],
+        delivery=delivery if delivery is not None else EarliestDelivery(),
+        horizon=horizon,
+        description="A single message from i to j and its L / -U bound edges",
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 8: the extended bounds graph of a three-process run.
+# ---------------------------------------------------------------------------
+
+
+def figure8_scenario(
+    bounds: Tuple[int, int] = (2, 4),
+    go_time: int = 2,
+    delivery: Optional[DeliveryStrategy] = None,
+    horizon: int = 14,
+) -> Scenario:
+    """Figure 8: three mutually connected processes i, j, k exchanging floods.
+
+    The run gives an observing node on ``i`` a past containing some deliveries
+    and some messages still in flight, which is exactly the situation the
+    extended bounds graph (auxiliary nodes, E', E'', E''' edges) describes.
+    """
+    processes = ["i", "j", "k"]
+    channels = {
+        (a, b): bounds for a in processes for b in processes if a != b
+    }
+    net = timed_network(channels, processes=processes)
+    protocols = ProtocolAssignment()
+    protocols.assign("i", go_sender_protocol())
+    return Scenario(
+        name="figure8",
+        timed_network=net,
+        protocols=protocols,
+        external_inputs=[ExternalInput(go_time, "i", GO_TRIGGER)],
+        delivery=delivery if delivery is not None else EarliestDelivery(),
+        horizon=horizon,
+        description="Three flooding processes; substrate for the extended bounds graph",
+    )

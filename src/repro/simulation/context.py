@@ -1,0 +1,83 @@
+"""Contexts and external-input schedules.
+
+A context ``gamma = ((Net, L, U), G0)`` pairs a timed network with the set of
+possible initial global states.  In this reproduction the initial global state
+is always "every process is in its empty initial local state" (the paper's
+analysis never relies on richer initial states), so :class:`Context` carries
+the timed network plus bookkeeping for the spontaneous external messages
+``E`` that the environment may deliver.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Sequence, Tuple
+
+from .messages import GO_TRIGGER
+from .network import Process, TimedNetwork
+
+
+class ScheduleError(ValueError):
+    """Raised when an external-input schedule is malformed."""
+
+
+@dataclass(frozen=True, order=True)
+class ExternalInput:
+    """One spontaneous external message: ``tag`` delivered to ``process`` at ``time``.
+
+    External delivery is spontaneous and independent of other events; the
+    model forbids delivery at time 0 (processes do not act spontaneously at
+    the start of a run).
+    """
+
+    time: int
+    process: Process
+    tag: str = GO_TRIGGER
+
+    def __post_init__(self) -> None:
+        if self.time < 1:
+            raise ScheduleError(
+                f"external inputs must be delivered at time >= 1, got {self.time}"
+            )
+
+
+@dataclass(frozen=True)
+class Context:
+    """The context ``gamma`` in which protocols operate."""
+
+    timed_network: TimedNetwork
+    description: str = ""
+
+    @property
+    def processes(self) -> Tuple[Process, ...]:
+        return self.timed_network.processes
+
+    def initial_processes(self) -> Tuple[Process, ...]:
+        return self.timed_network.processes
+
+
+def schedule(inputs: Iterable[Tuple[int, Process, str] | ExternalInput]) -> List[ExternalInput]:
+    """Normalise a collection of external inputs into a sorted schedule.
+
+    Accepts either :class:`ExternalInput` objects or ``(time, process, tag)``
+    tuples.  The model assumes a given external message is delivered to at
+    most one process in a run; duplicate ``(tag, process)`` pairs are allowed
+    (they model distinct external messages with the same label) but duplicate
+    exact triples are rejected as they are almost certainly a mistake.
+    """
+    normalised: List[ExternalInput] = []
+    for item in inputs:
+        if isinstance(item, ExternalInput):
+            normalised.append(item)
+        else:
+            time, process, tag = item
+            normalised.append(ExternalInput(int(time), process, str(tag)))
+    triples = [(e.time, e.process, e.tag) for e in normalised]
+    if len(triples) != len(set(triples)):
+        raise ScheduleError("duplicate external inputs in schedule")
+    return sorted(normalised)
+
+
+def go_at(time: int, process: Process, tag: str = GO_TRIGGER) -> List[ExternalInput]:
+    """A one-element schedule delivering the go trigger to ``process`` at ``time``."""
+    return [ExternalInput(time, process, tag)]

@@ -1,0 +1,173 @@
+"""Delivery strategies: the adversarial environment's scheduling choices.
+
+The bcm environment may deliver a message on channel ``(i, j)`` at any time
+``t`` with ``L_ij <= t - t_send <= U_ij`` and *must* deliver it once
+``t - t_send = U_ij``.  A :class:`DeliveryStrategy` resolves this
+nondeterminism by picking, at send time, the delivery delay for each message.
+Because the choice is made per message and independently of later events, any
+assignment of per-message delays within the windows -- i.e. any legal schedule
+-- can be realised by some strategy, and conversely every strategy produces a
+legal schedule.
+
+Strategies provided:
+
+* :class:`EarliestDelivery` -- always the lower bound (the "fast" adversary);
+* :class:`LatestDelivery` -- always the upper bound (the "slow" adversary);
+* :class:`SeededRandomDelivery` -- a reproducible uniformly random delay;
+* :class:`ScriptedDelivery` -- explicit per-message delays, used by the
+  figure scenarios and by run-reconstruction code;
+* :class:`BiasedDelivery` -- per-channel overrides on top of a default.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from typing import Callable, Dict, Mapping, Optional, Tuple
+
+from .messages import Message
+from .network import Channel, Process, TimedNetwork
+
+
+class DeliveryError(ValueError):
+    """Raised when a strategy proposes a delay outside the legal window."""
+
+
+class DeliveryStrategy(ABC):
+    """Chooses the transmission delay of each message at the moment it is sent."""
+
+    @abstractmethod
+    def delay(
+        self,
+        message: Message,
+        destination: Process,
+        send_time: int,
+        timed_network: TimedNetwork,
+    ) -> int:
+        """Return the chosen delay (delivery_time - send_time) for this message."""
+
+    def checked_delay(
+        self,
+        message: Message,
+        destination: Process,
+        send_time: int,
+        timed_network: TimedNetwork,
+    ) -> int:
+        """Like :meth:`delay` but validated against the channel window."""
+        lower = timed_network.L(message.sender, destination)
+        upper = timed_network.U(message.sender, destination)
+        value = int(self.delay(message, destination, send_time, timed_network))
+        if not lower <= value <= upper:
+            raise DeliveryError(
+                f"strategy chose delay {value} for channel "
+                f"({message.sender}, {destination}) outside window [{lower}, {upper}]"
+            )
+        return value
+
+
+class EarliestDelivery(DeliveryStrategy):
+    """Deliver every message after exactly its lower bound."""
+
+    def delay(self, message, destination, send_time, timed_network):  # noqa: D102
+        return timed_network.L(message.sender, destination)
+
+
+class LatestDelivery(DeliveryStrategy):
+    """Deliver every message after exactly its upper bound."""
+
+    def delay(self, message, destination, send_time, timed_network):  # noqa: D102
+        return timed_network.U(message.sender, destination)
+
+
+class SeededRandomDelivery(DeliveryStrategy):
+    """Deliver after a uniformly random legal delay, reproducibly from a seed."""
+
+    def __init__(self, seed: int = 0):
+        self.seed = seed
+        self._rng = random.Random(seed)
+
+    def delay(self, message, destination, send_time, timed_network):  # noqa: D102
+        lower = timed_network.L(message.sender, destination)
+        upper = timed_network.U(message.sender, destination)
+        return self._rng.randint(lower, upper)
+
+    def reset(self) -> None:
+        """Restore the strategy to its initial random state."""
+        self._rng = random.Random(self.seed)
+
+
+class BiasedDelivery(DeliveryStrategy):
+    """Fixed per-channel delays on top of a fallback strategy.
+
+    ``channel_delays`` maps ``(sender, receiver)`` to the delay to use for
+    every message on that channel; other channels defer to ``fallback``.
+    """
+
+    def __init__(
+        self,
+        channel_delays: Mapping[Channel, int],
+        fallback: Optional[DeliveryStrategy] = None,
+    ):
+        self.channel_delays = dict(channel_delays)
+        self.fallback = fallback if fallback is not None else EarliestDelivery()
+
+    def delay(self, message, destination, send_time, timed_network):  # noqa: D102
+        key = (message.sender, destination)
+        if key in self.channel_delays:
+            return self.channel_delays[key]
+        return self.fallback.delay(message, destination, send_time, timed_network)
+
+
+class ScriptedDelivery(DeliveryStrategy):
+    """Explicit delays for specific messages, identified by a user predicate.
+
+    ``script`` is a list of ``(matcher, delay)`` pairs where ``matcher`` is a
+    callable ``(message, destination, send_time) -> bool``; the first matching
+    entry wins.  Unmatched messages defer to ``fallback``.
+
+    The figure scenarios use this to pin down the exact communication pattern
+    drawn in the paper.
+    """
+
+    Matcher = Callable[[Message, Process, int], bool]
+
+    def __init__(
+        self,
+        script: Tuple[Tuple["ScriptedDelivery.Matcher", int], ...] = (),
+        fallback: Optional[DeliveryStrategy] = None,
+    ):
+        self.script = list(script)
+        self.fallback = fallback if fallback is not None else EarliestDelivery()
+
+    def add(self, matcher: "ScriptedDelivery.Matcher", delay: int) -> "ScriptedDelivery":
+        self.script.append((matcher, delay))
+        return self
+
+    def delay(self, message, destination, send_time, timed_network):  # noqa: D102
+        for matcher, chosen in self.script:
+            if matcher(message, destination, send_time):
+                return chosen
+        return self.fallback.delay(message, destination, send_time, timed_network)
+
+
+class DelayTableDelivery(DeliveryStrategy):
+    """Delays keyed by ``(sender, destination, send_time)``; fallback otherwise.
+
+    This is the most convenient scripted form for run re-construction: a table
+    of exact delays for the messages whose timing matters, with everything
+    else delegated to a default adversary.
+    """
+
+    def __init__(
+        self,
+        table: Mapping[Tuple[Process, Process, int], int],
+        fallback: Optional[DeliveryStrategy] = None,
+    ):
+        self.table: Dict[Tuple[Process, Process, int], int] = dict(table)
+        self.fallback = fallback if fallback is not None else EarliestDelivery()
+
+    def delay(self, message, destination, send_time, timed_network):  # noqa: D102
+        key = (message.sender, destination, send_time)
+        if key in self.table:
+            return self.table[key]
+        return self.fallback.delay(message, destination, send_time, timed_network)

@@ -1,0 +1,275 @@
+"""The discrete-event simulation engine for the bcm model.
+
+The engine advances global time in unit steps.  At every step it
+
+1. collects the internal messages whose (strategy-chosen) delivery time is the
+   current step, and the external inputs scheduled for the current step;
+2. delivers them: each receiving process observes all of them in one atomic
+   step (external receipts first, then internal receipts in a deterministic
+   order), the process's protocol chooses local actions, and the new basic
+   node is recorded on the process's timeline;
+3. sends the messages the protocol asked for, stamping them with the sender's
+   new history (full-information payload) and choosing their delivery times
+   via the :class:`~repro.simulation.delivery.DeliveryStrategy`.
+
+Processes are event-driven: they take a step only when at least one message is
+delivered to them, and they never act spontaneously at time 0, exactly as in
+the paper's model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+
+from ..core.nodes import BasicNode
+from .context import Context, ExternalInput, schedule
+from .delivery import DeliveryStrategy, EarliestDelivery
+from .messages import (
+    ExternalReceipt,
+    History,
+    LocalAction,
+    Message,
+    MessageReceipt,
+    Observation,
+)
+from .network import NetworkError, Process, TimedNetwork
+from .protocols import (
+    FloodingFullInformationProtocol,
+    Protocol,
+    ProtocolAssignment,
+    StepContext,
+    StepDecision,
+)
+from .runs import (
+    DeliveryRecord,
+    ExternalDeliveryRecord,
+    Run,
+    SendRecord,
+)
+
+
+class SimulationError(RuntimeError):
+    """Raised when the engine is configured inconsistently."""
+
+
+@dataclass
+class _InTransit:
+    """A message in flight, with the delivery time chosen at send time."""
+
+    send: SendRecord
+    delivery_time: int
+
+
+ProtocolsLike = Union[Protocol, ProtocolAssignment, Mapping[Process, Protocol]]
+
+
+def _normalise_protocols(protocols: ProtocolsLike) -> ProtocolAssignment:
+    if isinstance(protocols, ProtocolAssignment):
+        return protocols
+    if isinstance(protocols, Protocol):
+        return ProtocolAssignment(protocols={}, default=protocols)
+    if isinstance(protocols, Mapping):
+        return ProtocolAssignment(protocols=dict(protocols))
+    raise SimulationError(f"cannot interpret {protocols!r} as a protocol assignment")
+
+
+class Simulator:
+    """Runs a protocol in a bounded context and produces a :class:`Run`.
+
+    Parameters
+    ----------
+    context:
+        The bounded context ``gamma`` (timed network).
+    protocols:
+        Either a single protocol used by every process, a mapping from process
+        to protocol, or a :class:`ProtocolAssignment`.  Unassigned processes
+        default to the FFIP relay.
+    delivery:
+        The environment's delivery strategy (defaults to earliest delivery).
+    external_inputs:
+        The schedule of spontaneous external messages.
+    horizon:
+        Number of time steps to simulate.
+    """
+
+    def __init__(
+        self,
+        context: Context,
+        protocols: ProtocolsLike = None,
+        delivery: Optional[DeliveryStrategy] = None,
+        external_inputs: Iterable[ExternalInput | Tuple[int, Process, str]] = (),
+        horizon: int = 50,
+    ):
+        if protocols is None:
+            protocols = FloodingFullInformationProtocol()
+        self.context = context
+        self.protocols = _normalise_protocols(protocols)
+        self.delivery = delivery if delivery is not None else EarliestDelivery()
+        self.external_inputs = schedule(external_inputs)
+        if horizon < 0:
+            raise SimulationError("horizon must be non-negative")
+        self.horizon = int(horizon)
+        for external in self.external_inputs:
+            if external.process not in context.timed_network.processes:
+                raise SimulationError(
+                    f"external input addressed to unknown process {external.process!r}"
+                )
+
+    # -- the main loop -------------------------------------------------------
+
+    def run(self) -> Run:
+        net = self.context.timed_network
+        histories: Dict[Process, History] = {
+            process: History.initial(process) for process in net.processes
+        }
+        timelines: Dict[Process, List[Tuple[int, BasicNode]]] = {
+            process: [(0, BasicNode.initial(process))] for process in net.processes
+        }
+        in_transit: List[_InTransit] = []
+        sends: List[SendRecord] = []
+        deliveries: List[DeliveryRecord] = []
+        external_records: List[ExternalDeliveryRecord] = []
+
+        externals_by_time: Dict[int, List[ExternalInput]] = {}
+        for external in self.external_inputs:
+            externals_by_time.setdefault(external.time, []).append(external)
+
+        for now in range(1, self.horizon + 1):
+            due = [item for item in in_transit if item.delivery_time == now]
+            in_transit = [item for item in in_transit if item.delivery_time != now]
+            due_externals = externals_by_time.get(now, [])
+
+            incoming: Dict[Process, Dict[str, list]] = {}
+            for external in due_externals:
+                slot = incoming.setdefault(external.process, {"ext": [], "msg": []})
+                slot["ext"].append(external)
+            for item in due:
+                slot = incoming.setdefault(item.send.destination, {"ext": [], "msg": []})
+                slot["msg"].append(item)
+
+            new_sends: List[SendRecord] = []
+            for process in net.processes:
+                if process not in incoming:
+                    continue
+                slot = incoming[process]
+                observations, delivered_items, delivered_externals = self._build_observations(
+                    slot["ext"], slot["msg"]
+                )
+                previous = histories[process]
+                ctx = StepContext(
+                    process=process,
+                    previous_history=previous,
+                    observations=observations,
+                    timed_network=net,
+                )
+                decision = self.protocols.for_process(process).on_step(ctx)
+                step = observations + tuple(LocalAction(name) for name in decision.actions)
+                new_history = previous.extend(step)
+                histories[process] = new_history
+                new_node = BasicNode(process, new_history)
+                timelines[process].append((now, new_node))
+
+                for item in delivered_items:
+                    deliveries.append(
+                        DeliveryRecord(send=item.send, receiver_node=new_node, delivery_time=now)
+                    )
+                for external in delivered_externals:
+                    external_records.append(
+                        ExternalDeliveryRecord(external=external, receiver_node=new_node)
+                    )
+
+                destinations = self._destinations(decision, process, net)
+                if destinations:
+                    message = Message(
+                        sender=process,
+                        recipients=tuple(destinations),
+                        sender_history=new_history,
+                        payload=decision.payload,
+                    )
+                    for destination in destinations:
+                        new_sends.append(
+                            SendRecord(
+                                message=message,
+                                sender_node=new_node,
+                                destination=destination,
+                                send_time=now,
+                            )
+                        )
+
+            for record in new_sends:
+                sends.append(record)
+                delay = self.delivery.checked_delay(
+                    record.message, record.destination, record.send_time, net
+                )
+                in_transit.append(_InTransit(send=record, delivery_time=record.send_time + delay))
+
+        pending = tuple(item.send for item in in_transit)
+        return Run(
+            context=self.context,
+            horizon=self.horizon,
+            timelines={p: tuple(t) for p, t in timelines.items()},
+            sends=tuple(sends),
+            deliveries=tuple(deliveries),
+            external_deliveries=tuple(external_records),
+            pending=pending,
+        )
+
+    # -- helpers ---------------------------------------------------------------
+
+    @staticmethod
+    def _build_observations(
+        externals: Sequence[ExternalInput], items: Sequence[_InTransit]
+    ) -> Tuple[Tuple[Observation, ...], List[_InTransit], List[ExternalInput]]:
+        """Deterministically order this step's receipts.
+
+        External receipts come first (sorted by tag), then internal receipts
+        sorted by (send time, sender, recipients).  The ordering is arbitrary
+        but fixed so that runs are reproducible.
+        """
+        sorted_externals = sorted(externals, key=lambda e: e.tag)
+        sorted_items = sorted(
+            items,
+            key=lambda item: (
+                item.send.send_time,
+                item.send.sender,
+                item.send.message.recipients,
+            ),
+        )
+        observations: List[Observation] = [
+            ExternalReceipt(external.tag) for external in sorted_externals
+        ]
+        observations.extend(MessageReceipt(item.send.message) for item in sorted_items)
+        return tuple(observations), list(sorted_items), list(sorted_externals)
+
+    @staticmethod
+    def _destinations(
+        decision: StepDecision, process: Process, net: TimedNetwork
+    ) -> Tuple[Process, ...]:
+        neighbors = net.out_neighbors(process)
+        if decision.send_to is None:
+            return neighbors
+        for destination in decision.send_to:
+            if destination not in neighbors:
+                raise SimulationError(
+                    f"protocol of {process} asked to send to {destination!r} but there is "
+                    f"no channel ({process}, {destination})"
+                )
+        return tuple(decision.send_to)
+
+
+def simulate(
+    context: Context,
+    protocols: ProtocolsLike = None,
+    delivery: Optional[DeliveryStrategy] = None,
+    external_inputs: Iterable[ExternalInput | Tuple[int, Process, str]] = (),
+    horizon: int = 50,
+) -> Run:
+    """One-call convenience wrapper around :class:`Simulator`."""
+    return Simulator(
+        context=context,
+        protocols=protocols,
+        delivery=delivery,
+        external_inputs=external_inputs,
+        horizon=horizon,
+    ).run()

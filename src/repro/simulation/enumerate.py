@@ -1,0 +1,251 @@
+"""Exhaustive enumeration of the legal runs of a small context.
+
+The bcm environment is nondeterministic: each message may be delivered at any
+time inside its channel window.  For *small* networks and horizons it is
+feasible to enumerate every legal schedule, which gives a ground-truth oracle
+against which the analytical machinery (bounds graphs, knowledge, optimal
+protocols) is validated in the test suite:
+
+* Theorem 1 is checked by confirming that a zigzag's weight lower-bounds the
+  head/tail gap in *every* enumerated run containing the pattern;
+* Theorem 4 is checked by comparing the knowledge computed from the extended
+  bounds graph with the minimum gap over all enumerated runs that are
+  indistinguishable at the observing node.
+
+The enumeration branches over the delivery delay of every message at the
+moment it is sent.  Delays that would push delivery past the horizon are
+collapsed into a single "still pending" choice, which keeps the enumeration
+finite and free of duplicate prefixes.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from ..core.nodes import BasicNode
+from .context import Context, ExternalInput, schedule
+from .engine import Simulator, _InTransit
+from .messages import History, LocalAction, Message
+from .network import Process
+from .protocols import Protocol, ProtocolAssignment, StepContext
+from .runs import DeliveryRecord, ExternalDeliveryRecord, Run, SendRecord
+
+#: Sentinel delay meaning "the message is still in transit at the horizon".
+_PENDING = None
+
+
+class _State:
+    """A snapshot of the enumeration: everything needed to continue a run."""
+
+    __slots__ = (
+        "histories",
+        "timelines",
+        "in_transit",
+        "sends",
+        "deliveries",
+        "externals",
+        "pending",
+    )
+
+    def __init__(
+        self,
+        histories: Dict[Process, History],
+        timelines: Dict[Process, List[Tuple[int, BasicNode]]],
+        in_transit: List[_InTransit],
+        sends: List[SendRecord],
+        deliveries: List[DeliveryRecord],
+        externals: List[ExternalDeliveryRecord],
+        pending: List[SendRecord],
+    ):
+        self.histories = histories
+        self.timelines = timelines
+        self.in_transit = in_transit
+        self.sends = sends
+        self.deliveries = deliveries
+        self.externals = externals
+        self.pending = pending
+
+    def copy(self) -> "_State":
+        return _State(
+            dict(self.histories),
+            {p: list(t) for p, t in self.timelines.items()},
+            list(self.in_transit),
+            list(self.sends),
+            list(self.deliveries),
+            list(self.externals),
+            list(self.pending),
+        )
+
+
+def enumerate_runs(
+    context: Context,
+    protocols=None,
+    external_inputs: Iterable[ExternalInput | Tuple[int, Process, str]] = (),
+    horizon: int = 10,
+    max_runs: Optional[int] = None,
+) -> Iterator[Run]:
+    """Yield every legal run of ``protocols`` in ``context`` up to ``horizon``.
+
+    The number of runs is exponential in the number of messages; keep networks
+    tiny (2--4 processes) and horizons short (<= ~10) or pass ``max_runs``.
+    """
+    from .engine import _normalise_protocols
+
+    assignment = _normalise_protocols(
+        protocols if protocols is not None else ProtocolAssignment()
+    )
+    net = context.timed_network
+    external_schedule = schedule(external_inputs)
+    externals_by_time: Dict[int, List[ExternalInput]] = {}
+    for external in external_schedule:
+        externals_by_time.setdefault(external.time, []).append(external)
+
+    initial = _State(
+        histories={p: History.initial(p) for p in net.processes},
+        timelines={p: [(0, BasicNode.initial(p))] for p in net.processes},
+        in_transit=[],
+        sends=[],
+        deliveries=[],
+        externals=[],
+        pending=[],
+    )
+
+    produced = 0
+
+    def finish(state: _State) -> Run:
+        return Run(
+            context=context,
+            horizon=horizon,
+            timelines={p: tuple(t) for p, t in state.timelines.items()},
+            sends=tuple(state.sends),
+            deliveries=tuple(state.deliveries),
+            external_deliveries=tuple(state.externals),
+            pending=tuple(state.pending) + tuple(item.send for item in state.in_transit),
+        )
+
+    def expand(state: _State, now: int) -> Iterator[Run]:
+        nonlocal produced
+        if max_runs is not None and produced >= max_runs:
+            return
+        if now > horizon:
+            produced += 1
+            yield finish(state)
+            return
+
+        due = [item for item in state.in_transit if item.delivery_time == now]
+        remaining = [item for item in state.in_transit if item.delivery_time != now]
+        due_externals = externals_by_time.get(now, [])
+
+        incoming: Dict[Process, Dict[str, list]] = {}
+        for external in due_externals:
+            incoming.setdefault(external.process, {"ext": [], "msg": []})["ext"].append(external)
+        for item in due:
+            incoming.setdefault(item.send.destination, {"ext": [], "msg": []})["msg"].append(item)
+
+        state = state.copy()
+        state.in_transit = remaining
+        new_sends: List[SendRecord] = []
+        for process in net.processes:
+            if process not in incoming:
+                continue
+            slot = incoming[process]
+            observations, delivered_items, delivered_externals = Simulator._build_observations(
+                slot["ext"], slot["msg"]
+            )
+            previous = state.histories[process]
+            ctx = StepContext(
+                process=process,
+                previous_history=previous,
+                observations=observations,
+                timed_network=net,
+            )
+            decision = assignment.for_process(process).on_step(ctx)
+            step = observations + tuple(LocalAction(name) for name in decision.actions)
+            new_history = previous.extend(step)
+            state.histories[process] = new_history
+            new_node = BasicNode(process, new_history)
+            state.timelines[process].append((now, new_node))
+            for item in delivered_items:
+                state.deliveries.append(
+                    DeliveryRecord(send=item.send, receiver_node=new_node, delivery_time=now)
+                )
+            for external in delivered_externals:
+                state.externals.append(
+                    ExternalDeliveryRecord(external=external, receiver_node=new_node)
+                )
+            destinations = Simulator._destinations(decision, process, net)
+            if destinations:
+                message = Message(
+                    sender=process,
+                    recipients=tuple(destinations),
+                    sender_history=new_history,
+                    payload=decision.payload,
+                )
+                for destination in destinations:
+                    new_sends.append(
+                        SendRecord(
+                            message=message,
+                            sender_node=new_node,
+                            destination=destination,
+                            send_time=now,
+                        )
+                    )
+
+        state.sends.extend(new_sends)
+
+        # Branch over the delivery delay of every message sent in this step.
+        choice_lists: List[List[Optional[int]]] = []
+        for record in new_sends:
+            lower = net.L(record.sender, record.destination)
+            upper = net.U(record.sender, record.destination)
+            choices: List[Optional[int]] = [
+                delay for delay in range(lower, upper + 1) if now + delay <= horizon
+            ]
+            if now + upper > horizon:
+                choices.append(_PENDING)
+            choice_lists.append(choices)
+
+        if not choice_lists:
+            yield from expand(state, now + 1)
+            return
+
+        for combination in itertools.product(*choice_lists):
+            if max_runs is not None and produced >= max_runs:
+                return
+            branch = state.copy()
+            for record, delay in zip(new_sends, combination):
+                if delay is _PENDING:
+                    branch.pending.append(record)
+                else:
+                    branch.in_transit.append(
+                        _InTransit(send=record, delivery_time=now + delay)
+                    )
+            yield from expand(branch, now + 1)
+
+    yield from expand(initial, 1)
+
+
+def enumerate_indistinguishable_runs(
+    context: Context,
+    sigma: BasicNode,
+    protocols=None,
+    external_inputs: Iterable[ExternalInput | Tuple[int, Process, str]] = (),
+    horizon: int = 10,
+    max_runs: Optional[int] = None,
+) -> Iterator[Run]:
+    """Yield the enumerated runs in which the basic node ``sigma`` appears.
+
+    These are exactly the runs indistinguishable from the current one at
+    ``sigma`` (``r' ~sigma r``), restricted to the given external schedule and
+    horizon.
+    """
+    for run in enumerate_runs(
+        context,
+        protocols=protocols,
+        external_inputs=external_inputs,
+        horizon=horizon,
+        max_runs=max_runs,
+    ):
+        if run.appears(sigma):
+            yield run

@@ -1,0 +1,315 @@
+"""Messages, observations, and local histories (local states) for the bcm model.
+
+In the paper a process's local state is its initial state followed by the
+sequence of events it has observed.  Because the coordination analysis is
+carried out for *full-information* protocols, the message payload of every
+internal message is the sender's entire local history at the moment of
+sending.  We therefore model
+
+* :class:`History` -- an immutable local state: a process name plus the
+  sequence of *steps* the process has taken so far, where each step is the
+  tuple of :class:`Observation` objects the process observed atomically (a
+  process is scheduled only when messages are delivered to it, and all
+  messages delivered at the same instant are observed in a single step,
+  together with any local actions the protocol performs in response); and
+* :class:`Message` -- an internal message carrying the sender's history plus a
+  recipients header (the paper assumes every message contains a header
+  specifying its intended recipients, which is what makes zigzag patterns
+  detectable).
+
+Histories form a DAG: a receipt observation embeds the sender's history, which
+in turn embeds earlier histories.  All objects are immutable and hashable,
+with hashes cached at construction time so that comparing deep histories stays
+cheap (shared sub-histories are compared by identity first).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Tuple
+
+from .network import Process
+
+#: Sentinel tag for the spontaneous external message that triggers C's "go".
+GO_TRIGGER = "mu_go"
+
+#: A step: the observations a process makes in one atomic scheduling instant.
+Step = Tuple["Observation", ...]
+
+
+class Observation:
+    """Base class for everything a process can observe locally."""
+
+    __slots__ = ("_hash",)
+
+    def describe(self) -> str:
+        raise NotImplementedError
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return self.describe()
+
+
+class ExternalReceipt(Observation):
+    """Receipt of a spontaneous external message (an element of ``E``)."""
+
+    __slots__ = ("tag",)
+
+    def __init__(self, tag: str):
+        object.__setattr__(self, "tag", str(tag))
+        object.__setattr__(self, "_hash", hash(("ext", self.tag)))
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("ExternalReceipt is immutable")
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        return isinstance(other, ExternalReceipt) and other.tag == self.tag
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def describe(self) -> str:
+        return f"ext({self.tag})"
+
+
+class LocalAction(Observation):
+    """An application-level action performed by the process (e.g. ``a`` or ``b``)."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        object.__setattr__(self, "name", str(name))
+        object.__setattr__(self, "_hash", hash(("act", self.name)))
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("LocalAction is immutable")
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        return isinstance(other, LocalAction) and other.name == self.name
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def describe(self) -> str:
+        return f"act({self.name})"
+
+
+class Message:
+    """An internal message.
+
+    Attributes
+    ----------
+    sender:
+        The sending process.
+    recipients:
+        Header listing every process the message was sent to (the same
+        logical message is flooded to all of them under an FFIP).
+    sender_history:
+        The sender's full local history at the moment of sending.  This is the
+        full-information payload; it also uniquely identifies the basic node
+        at which the message was sent.
+    payload:
+        Optional application payload (a short string), unused by the theory
+        but convenient for examples.
+    """
+
+    __slots__ = ("sender", "recipients", "sender_history", "payload", "_hash")
+
+    def __init__(
+        self,
+        sender: Process,
+        recipients: Tuple[Process, ...],
+        sender_history: "History",
+        payload: Optional[str] = None,
+    ):
+        object.__setattr__(self, "sender", str(sender))
+        object.__setattr__(self, "recipients", tuple(recipients))
+        object.__setattr__(self, "sender_history", sender_history)
+        object.__setattr__(self, "payload", payload)
+        object.__setattr__(
+            self,
+            "_hash",
+            hash(("msg", self.sender, self.recipients, self.sender_history, self.payload)),
+        )
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("Message is immutable")
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if not isinstance(other, Message):
+            return NotImplemented
+        return (
+            self._hash == other._hash
+            and self.sender == other.sender
+            and self.recipients == other.recipients
+            and self.payload == other.payload
+            and self.sender_history == other.sender_history
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def describe(self) -> str:
+        extra = f", payload={self.payload}" if self.payload is not None else ""
+        return f"Message(from={self.sender}, to={list(self.recipients)}{extra})"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return self.describe()
+
+
+class MessageReceipt(Observation):
+    """Receipt of an internal message."""
+
+    __slots__ = ("message",)
+
+    def __init__(self, message: Message):
+        object.__setattr__(self, "message", message)
+        object.__setattr__(self, "_hash", hash(("recv", message)))
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("MessageReceipt is immutable")
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if not isinstance(other, MessageReceipt):
+            return NotImplemented
+        return self.message == other.message
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    @property
+    def sender(self) -> Process:
+        return self.message.sender
+
+    def describe(self) -> str:
+        return f"recv(from={self.message.sender})"
+
+
+class History:
+    """An immutable local state: the sequence of steps taken by one process.
+
+    The empty history (``steps == ()``) is the process's initial state.  Each
+    step is the non-empty tuple of observations (message receipts, external
+    receipts, and local actions) the process observed at one scheduling
+    instant.  Histories are extended with :meth:`extend`; prefixes (earlier
+    local states of the same process) are produced by :meth:`prefixes`.
+    """
+
+    __slots__ = ("process", "steps", "_hash")
+
+    def __init__(self, process: Process, steps: Tuple[Step, ...] = ()):
+        normalised = tuple(tuple(step) for step in steps)
+        if any(not step for step in normalised):
+            raise ValueError("history steps must be non-empty")
+        object.__setattr__(self, "process", str(process))
+        object.__setattr__(self, "steps", normalised)
+        object.__setattr__(self, "_hash", hash(("hist", self.process, normalised)))
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("History is immutable")
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if not isinstance(other, History):
+            return NotImplemented
+        return (
+            self._hash == other._hash
+            and self.process == other.process
+            and self.steps == other.steps
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def initial(cls, process: Process) -> "History":
+        """The initial local state of ``process``."""
+        return cls(process, ())
+
+    def extend(self, observations: Tuple[Observation, ...]) -> "History":
+        """The local state obtained by observing ``observations`` in one step."""
+        step = tuple(observations)
+        if not step:
+            raise ValueError("cannot extend a history with an empty step")
+        return History(self.process, self.steps + (step,))
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def is_initial(self) -> bool:
+        return not self.steps
+
+    def __len__(self) -> int:
+        """The number of steps taken so far."""
+        return len(self.steps)
+
+    @property
+    def last_step(self) -> Step:
+        if not self.steps:
+            raise ValueError("the initial history has no last step")
+        return self.steps[-1]
+
+    def predecessor(self) -> Optional["History"]:
+        """The local state one step earlier, or ``None`` for the initial state."""
+        if not self.steps:
+            return None
+        return History(self.process, self.steps[:-1])
+
+    def prefixes(self, include_self: bool = True) -> Iterator["History"]:
+        """All earlier local states of this process (shortest first)."""
+        end = len(self.steps) + 1 if include_self else len(self.steps)
+        for k in range(end):
+            yield History(self.process, self.steps[:k])
+
+    def is_prefix_of(self, other: "History") -> bool:
+        """Whether this local state occurs (weakly) before ``other`` on the same timeline."""
+        if self.process != other.process or len(self.steps) > len(other.steps):
+            return False
+        return other.steps[: len(self.steps)] == self.steps
+
+    def observations(self) -> Iterator[Observation]:
+        """All observations, flattened across steps, oldest first."""
+        for step in self.steps:
+            yield from step
+
+    def receipts(self) -> Iterator[MessageReceipt]:
+        for event in self.observations():
+            if isinstance(event, MessageReceipt):
+                yield event
+
+    def external_receipts(self) -> Iterator[ExternalReceipt]:
+        for event in self.observations():
+            if isinstance(event, ExternalReceipt):
+                yield event
+
+    def actions(self) -> Iterator[LocalAction]:
+        for event in self.observations():
+            if isinstance(event, LocalAction):
+                yield event
+
+    def has_action(self, name: str) -> bool:
+        return any(action.name == name for action in self.actions())
+
+    def has_external(self, tag: str) -> bool:
+        return any(ext.tag == tag for ext in self.external_receipts())
+
+    def describe(self) -> str:
+        inner = "; ".join(
+            ", ".join(event.describe() for event in step) for step in self.steps
+        )
+        return f"{self.process}[{inner}]"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"History({self.describe()})"

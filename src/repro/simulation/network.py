@@ -1,0 +1,362 @@
+"""Communication networks and transmission-time bounds for the bcm model.
+
+The bounded communication model (bcm) of the paper is parameterised by a
+directed network ``Net = (Procs, Chans)`` together with per-channel lower and
+upper bounds ``L, U : Chans -> N`` on message transmission times, satisfying
+``1 <= L_ij <= U_ij < infinity``.
+
+This module provides :class:`Network` (the directed graph of processes and
+channels), :class:`Bounds` (the L/U functions, extended to paths), and
+:class:`TimedNetwork`, the pairing of the two that the rest of the library
+consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, Mapping, Sequence, Tuple
+
+Process = str
+Channel = Tuple[Process, Process]
+Path = Tuple[Process, ...]
+
+
+class NetworkError(ValueError):
+    """Raised when a network, bound assignment, or path is malformed."""
+
+
+def as_path(path: Sequence[Process]) -> Path:
+    """Normalise a sequence of process names into a path tuple.
+
+    A path is a non-empty sequence of process names.  A singleton path
+    ``[i]`` denotes the trivial path that stays at process ``i``.
+    """
+    result = tuple(path)
+    if not result:
+        raise NetworkError("a path must contain at least one process")
+    return result
+
+
+def compose_paths(first: Sequence[Process], second: Sequence[Process]) -> Path:
+    """Compose two paths whose endpoints coincide (the paper's ``p * q``).
+
+    The last element of ``first`` must equal the first element of ``second``;
+    the shared element appears once in the result.
+    """
+    p = as_path(first)
+    q = as_path(second)
+    if p[-1] != q[0]:
+        raise NetworkError(
+            f"cannot compose paths: {p} ends at {p[-1]!r} but {q} starts at {q[0]!r}"
+        )
+    return p + q[1:]
+
+
+def concatenate_paths(first: Sequence[Process], second: Sequence[Process]) -> Path:
+    """Concatenate two paths (the paper's ``p . q``), keeping both endpoints."""
+    return as_path(first) + as_path(second)
+
+
+@dataclass(frozen=True)
+class Network:
+    """A directed communication network ``Net = (Procs, Chans)``.
+
+    Parameters
+    ----------
+    processes:
+        The process names.  Order is preserved and used for deterministic
+        iteration throughout the library.
+    channels:
+        Directed channels ``(i, j)`` meaning process ``i`` can send messages
+        to process ``j``.  Self-channels are permitted (the paper uses them to
+        model actions that extend over time).
+    """
+
+    processes: Tuple[Process, ...]
+    channels: Tuple[Channel, ...]
+    _out: Mapping[Process, Tuple[Process, ...]] = field(
+        init=False, repr=False, compare=False, hash=False, default=None
+    )
+    _in: Mapping[Process, Tuple[Process, ...]] = field(
+        init=False, repr=False, compare=False, hash=False, default=None
+    )
+
+    def __init__(self, processes: Iterable[Process], channels: Iterable[Channel]):
+        procs = tuple(processes)
+        if len(procs) != len(set(procs)):
+            raise NetworkError("duplicate process names")
+        if not procs:
+            raise NetworkError("a network needs at least one process")
+        chans = tuple((str(i), str(j)) for i, j in channels)
+        proc_set = set(procs)
+        seen = set()
+        for i, j in chans:
+            if i not in proc_set or j not in proc_set:
+                raise NetworkError(f"channel ({i}, {j}) references unknown process")
+            if (i, j) in seen:
+                raise NetworkError(f"duplicate channel ({i}, {j})")
+            seen.add((i, j))
+        object.__setattr__(self, "processes", procs)
+        object.__setattr__(self, "channels", chans)
+        out: Dict[Process, list] = {p: [] for p in procs}
+        incoming: Dict[Process, list] = {p: [] for p in procs}
+        for i, j in chans:
+            out[i].append(j)
+            incoming[j].append(i)
+        object.__setattr__(self, "_out", {p: tuple(v) for p, v in out.items()})
+        object.__setattr__(self, "_in", {p: tuple(v) for p, v in incoming.items()})
+
+    # -- basic queries -----------------------------------------------------
+
+    def has_process(self, process: Process) -> bool:
+        return process in self._out
+
+    def has_channel(self, sender: Process, receiver: Process) -> bool:
+        return (sender, receiver) in set(self.channels)
+
+    def out_neighbors(self, process: Process) -> Tuple[Process, ...]:
+        """Processes that ``process`` can send messages to."""
+        self._require_process(process)
+        return self._out[process]
+
+    def in_neighbors(self, process: Process) -> Tuple[Process, ...]:
+        """Processes that can send messages to ``process``."""
+        self._require_process(process)
+        return self._in[process]
+
+    def _require_process(self, process: Process) -> None:
+        if process not in self._out:
+            raise NetworkError(f"unknown process {process!r}")
+
+    # -- paths -------------------------------------------------------------
+
+    def is_path(self, path: Sequence[Process]) -> bool:
+        """Whether ``path`` is a walk in the network graph."""
+        p = as_path(path)
+        if any(not self.has_process(node) for node in p):
+            return False
+        channel_set = set(self.channels)
+        return all((p[k], p[k + 1]) in channel_set for k in range(len(p) - 1))
+
+    def validate_path(self, path: Sequence[Process]) -> Path:
+        p = as_path(path)
+        if not self.is_path(p):
+            raise NetworkError(f"{p} is not a path in the network")
+        return p
+
+    def iter_paths(self, source: Process, max_hops: int) -> Iterator[Path]:
+        """Yield every walk of at most ``max_hops`` hops starting at ``source``.
+
+        Used by planners and exhaustive searches on small networks.  Walks may
+        revisit processes (the paper's paths are arbitrary walks in ``Net``).
+        """
+        self._require_process(source)
+        frontier: list[Path] = [(source,)]
+        for _ in range(max_hops + 1):
+            next_frontier: list[Path] = []
+            for path in frontier:
+                yield path
+                for succ in self._out[path[-1]]:
+                    next_frontier.append(path + (succ,))
+            frontier = next_frontier
+            if not frontier:
+                return
+
+    def __contains__(self, process: Process) -> bool:
+        return self.has_process(process)
+
+    def __len__(self) -> int:
+        return len(self.processes)
+
+
+@dataclass(frozen=True)
+class Bounds:
+    """Per-channel lower/upper transmission-time bounds ``L`` and ``U``.
+
+    Bounds must satisfy ``1 <= L_ij <= U_ij`` for every channel.  The class
+    also extends the bounds to paths: ``path_lower(p)`` is the sum of lower
+    bounds along ``p`` (the paper's ``L(p)``) and ``path_upper(p)`` the sum of
+    upper bounds (``U(p)``).
+    """
+
+    lower: Mapping[Channel, int]
+    upper: Mapping[Channel, int]
+
+    def __init__(
+        self,
+        lower: Mapping[Channel, int],
+        upper: Mapping[Channel, int],
+    ):
+        lo = {(str(i), str(j)): int(v) for (i, j), v in dict(lower).items()}
+        up = {(str(i), str(j)): int(v) for (i, j), v in dict(upper).items()}
+        if set(lo) != set(up):
+            raise NetworkError("lower and upper bounds must cover the same channels")
+        for chan, l_value in lo.items():
+            u_value = up[chan]
+            if not 1 <= l_value <= u_value:
+                raise NetworkError(
+                    f"bounds for channel {chan} must satisfy 1 <= L <= U, "
+                    f"got L={l_value}, U={u_value}"
+                )
+        object.__setattr__(self, "lower", lo)
+        object.__setattr__(self, "upper", up)
+
+    @classmethod
+    def uniform(cls, channels: Iterable[Channel], lower: int, upper: int) -> "Bounds":
+        """Assign the same ``(lower, upper)`` window to every channel."""
+        chans = list(channels)
+        return cls({c: lower for c in chans}, {c: upper for c in chans})
+
+    @classmethod
+    def from_pairs(cls, pairs: Mapping[Channel, Tuple[int, int]]) -> "Bounds":
+        """Build bounds from ``{channel: (L, U)}`` pairs."""
+        return cls(
+            {c: lu[0] for c, lu in pairs.items()},
+            {c: lu[1] for c, lu in pairs.items()},
+        )
+
+    def channels(self) -> Tuple[Channel, ...]:
+        return tuple(self.lower)
+
+    def L(self, sender: Process, receiver: Process) -> int:  # noqa: N802 (paper notation)
+        """Lower bound ``L_ij`` for the channel ``(sender, receiver)``."""
+        return self._lookup(self.lower, sender, receiver)
+
+    def U(self, sender: Process, receiver: Process) -> int:  # noqa: N802 (paper notation)
+        """Upper bound ``U_ij`` for the channel ``(sender, receiver)``."""
+        return self._lookup(self.upper, sender, receiver)
+
+    def window(self, sender: Process, receiver: Process) -> Tuple[int, int]:
+        return self.L(sender, receiver), self.U(sender, receiver)
+
+    def _lookup(self, table: Mapping[Channel, int], sender: Process, receiver: Process) -> int:
+        try:
+            return table[(sender, receiver)]
+        except KeyError:
+            raise NetworkError(f"no bounds declared for channel ({sender}, {receiver})") from None
+
+    def path_lower(self, path: Sequence[Process]) -> int:
+        """The paper's ``L(p)``: sum of lower bounds along the path."""
+        p = as_path(path)
+        return sum(self.L(p[k], p[k + 1]) for k in range(len(p) - 1))
+
+    def path_upper(self, path: Sequence[Process]) -> int:
+        """The paper's ``U(p)``: sum of upper bounds along the path."""
+        p = as_path(path)
+        return sum(self.U(p[k], p[k + 1]) for k in range(len(p) - 1))
+
+
+@dataclass(frozen=True)
+class TimedNetwork:
+    """A network together with its transmission bounds: ``(Net, L, U)``."""
+
+    network: Network
+    bounds: Bounds
+
+    def __post_init__(self) -> None:
+        declared = set(self.bounds.channels())
+        actual = set(self.network.channels)
+        if declared != actual:
+            missing = actual - declared
+            extra = declared - actual
+            raise NetworkError(
+                "bounds must be declared for exactly the network channels; "
+                f"missing={sorted(missing)}, extra={sorted(extra)}"
+            )
+
+    # Convenience pass-throughs so call sites read like the paper.
+    @property
+    def processes(self) -> Tuple[Process, ...]:
+        return self.network.processes
+
+    @property
+    def channels(self) -> Tuple[Channel, ...]:
+        return self.network.channels
+
+    def L(self, sender: Process, receiver: Process) -> int:  # noqa: N802
+        return self.bounds.L(sender, receiver)
+
+    def U(self, sender: Process, receiver: Process) -> int:  # noqa: N802
+        return self.bounds.U(sender, receiver)
+
+    def path_lower(self, path: Sequence[Process]) -> int:
+        self.network.validate_path(path)
+        return self.bounds.path_lower(path)
+
+    def path_upper(self, path: Sequence[Process]) -> int:
+        self.network.validate_path(path)
+        return self.bounds.path_upper(path)
+
+    def out_neighbors(self, process: Process) -> Tuple[Process, ...]:
+        return self.network.out_neighbors(process)
+
+    def in_neighbors(self, process: Process) -> Tuple[Process, ...]:
+        return self.network.in_neighbors(process)
+
+    def is_path(self, path: Sequence[Process]) -> bool:
+        return self.network.is_path(path)
+
+
+def timed_network(
+    channel_bounds: Mapping[Channel, Tuple[int, int]],
+    processes: Iterable[Process] | None = None,
+) -> TimedNetwork:
+    """Build a :class:`TimedNetwork` from ``{(i, j): (L, U)}`` in one call.
+
+    If ``processes`` is omitted, the process set is inferred from the channel
+    endpoints (in first-appearance order).
+    """
+    chans = list(channel_bounds)
+    if processes is None:
+        seen: list[Process] = []
+        for i, j in chans:
+            if i not in seen:
+                seen.append(i)
+            if j not in seen:
+                seen.append(j)
+        procs: Iterable[Process] = seen
+    else:
+        procs = processes
+    network = Network(procs, chans)
+    bounds = Bounds.from_pairs(channel_bounds)
+    return TimedNetwork(network, bounds)
+
+
+def fully_connected(
+    processes: Sequence[Process], lower: int = 1, upper: int = 1
+) -> TimedNetwork:
+    """A complete directed network (no self loops) with uniform bounds."""
+    procs = list(processes)
+    chans = [(i, j) for i in procs for j in procs if i != j]
+    return TimedNetwork(Network(procs, chans), Bounds.uniform(chans, lower, upper))
+
+
+def ring(processes: Sequence[Process], lower: int = 1, upper: int = 1) -> TimedNetwork:
+    """A unidirectional ring network with uniform bounds."""
+    procs = list(processes)
+    if len(procs) < 2:
+        raise NetworkError("a ring needs at least two processes")
+    chans = [(procs[k], procs[(k + 1) % len(procs)]) for k in range(len(procs))]
+    return TimedNetwork(Network(procs, chans), Bounds.uniform(chans, lower, upper))
+
+
+def line(
+    processes: Sequence[Process], lower: int = 1, upper: int = 1, bidirectional: bool = True
+) -> TimedNetwork:
+    """A line (path) network with uniform bounds."""
+    procs = list(processes)
+    if len(procs) < 2:
+        raise NetworkError("a line needs at least two processes")
+    chans = [(procs[k], procs[k + 1]) for k in range(len(procs) - 1)]
+    if bidirectional:
+        chans += [(procs[k + 1], procs[k]) for k in range(len(procs) - 1)]
+    return TimedNetwork(Network(procs, chans), Bounds.uniform(chans, lower, upper))
+
+
+def star(
+    hub: Process, leaves: Sequence[Process], lower: int = 1, upper: int = 1
+) -> TimedNetwork:
+    """A star network: the hub has bidirectional channels to every leaf."""
+    procs = [hub, *leaves]
+    chans = [(hub, leaf) for leaf in leaves] + [(leaf, hub) for leaf in leaves]
+    return TimedNetwork(Network(procs, chans), Bounds.uniform(chans, lower, upper))

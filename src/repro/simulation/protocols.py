@@ -1,0 +1,251 @@
+"""Protocols for the bcm model.
+
+A protocol is a deterministic function of a process's local state: whenever a
+process is scheduled (i.e. one or more messages -- internal or external -- are
+delivered to it), the protocol decides which local actions to perform and to
+which neighbours to send messages.  Processes never observe the time; the
+protocol interface therefore exposes only local information.
+
+Every message sent by the simulation engine carries the sender's full local
+history (full-information payload).  The paper's *flooding full-information
+protocol* (FFIP) is the protocol that, on every receipt, floods to all
+out-neighbours and performs no actions; it is provided as
+:class:`FloodingFullInformationProtocol`.  Application behaviour (performing
+the actions ``a`` and ``b`` of the coordination problems, sending the "go"
+message, and so on) is layered on top via :class:`RuleBasedProtocol` and
+:class:`ActionRule` objects, keeping communication FFIP-shaped as the theory
+requires.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence, Tuple
+
+from .messages import GO_TRIGGER, History, MessageReceipt, Observation
+from .network import Process, TimedNetwork
+
+
+@dataclass(frozen=True)
+class StepContext:
+    """Everything a protocol may consult when a process is scheduled.
+
+    Attributes
+    ----------
+    process:
+        The process being scheduled.
+    previous_history:
+        The process's local state just before this step.
+    observations:
+        The new observations delivered in this step (external receipts first,
+        then message receipts in a deterministic order).  Local actions are
+        *not* part of this tuple; they are what the protocol returns.
+    timed_network:
+        The static context ``(Net, L, U)``, which is common knowledge.
+    """
+
+    process: Process
+    previous_history: History
+    observations: Tuple[Observation, ...]
+    timed_network: TimedNetwork
+
+    @property
+    def tentative_history(self) -> History:
+        """The local state including the new receipts but no new actions."""
+        return self.previous_history.extend(self.observations)
+
+    def received_from(self, sender: Process) -> Tuple[MessageReceipt, ...]:
+        """The message receipts of this step coming from ``sender``."""
+        return tuple(
+            obs
+            for obs in self.observations
+            if isinstance(obs, MessageReceipt) and obs.sender == sender
+        )
+
+
+@dataclass(frozen=True)
+class StepDecision:
+    """What a protocol decides to do in one step.
+
+    Attributes
+    ----------
+    actions:
+        Names of local actions to perform, in order.
+    send_to:
+        Processes to send a (full-information) message to.  ``None`` means
+        "flood to every out-neighbour" (the FFIP behaviour); an empty tuple
+        means "send nothing".
+    payload:
+        Optional application payload attached to every message sent in this
+        step.
+    """
+
+    actions: Tuple[str, ...] = ()
+    send_to: Optional[Tuple[Process, ...]] = None
+    payload: Optional[str] = None
+
+    @classmethod
+    def flood(cls, actions: Sequence[str] = (), payload: Optional[str] = None) -> "StepDecision":
+        return cls(actions=tuple(actions), send_to=None, payload=payload)
+
+    @classmethod
+    def silent(cls, actions: Sequence[str] = ()) -> "StepDecision":
+        return cls(actions=tuple(actions), send_to=())
+
+
+class Protocol(ABC):
+    """A deterministic per-process protocol."""
+
+    @abstractmethod
+    def on_step(self, ctx: StepContext) -> StepDecision:
+        """Decide the actions and sends for one scheduling step."""
+
+
+class FloodingFullInformationProtocol(Protocol):
+    """The paper's FFIP: on every receipt, flood the full history to all neighbours."""
+
+    def on_step(self, ctx: StepContext) -> StepDecision:
+        return StepDecision.flood()
+
+
+class SilentProtocol(Protocol):
+    """A protocol that never sends and never acts (useful as a degenerate baseline)."""
+
+    def on_step(self, ctx: StepContext) -> StepDecision:
+        return StepDecision.silent()
+
+
+class ActionRule(ABC):
+    """A rule deciding which local actions a process performs in a step.
+
+    Rules see the tentative history (previous state plus the new receipts) and
+    return action names.  Rules must be deterministic functions of that local
+    information only.
+    """
+
+    @abstractmethod
+    def actions(self, ctx: StepContext) -> Tuple[str, ...]:
+        """Action names to perform in this step (possibly empty)."""
+
+
+class FunctionRule(ActionRule):
+    """Wrap a plain callable ``(StepContext) -> Sequence[str]`` as an ActionRule."""
+
+    def __init__(self, fn: Callable[[StepContext], Sequence[str]], name: str = "rule"):
+        self._fn = fn
+        self._name = name
+
+    def actions(self, ctx: StepContext) -> Tuple[str, ...]:
+        return tuple(self._fn(ctx))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FunctionRule({self._name})"
+
+
+class PerformOnceRule(ActionRule):
+    """Perform ``action`` (at most once per run) when ``condition`` first holds.
+
+    ``condition`` receives the step context; the "at most once" guard checks
+    whether the action already appears in the process's history.
+    """
+
+    def __init__(self, action: str, condition: Callable[[StepContext], bool]):
+        self.action = action
+        self._condition = condition
+
+    def actions(self, ctx: StepContext) -> Tuple[str, ...]:
+        if ctx.tentative_history.has_action(self.action):
+            return ()
+        if self._condition(ctx):
+            return (self.action,)
+        return ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"PerformOnceRule({self.action})"
+
+
+class RuleBasedProtocol(Protocol):
+    """An FFIP-communicating protocol whose actions are given by rules.
+
+    Communication is always full-information flooding (``flood=True``) or
+    silent (``flood=False``); the rules only control local actions.  This is
+    the general shape used by the paper: the interesting part of a protocol in
+    the bcm model is *when* it performs its actions, and FFIP communication is
+    without loss of generality.
+    """
+
+    def __init__(self, rules: Sequence[ActionRule] = (), flood: bool = True):
+        self.rules = tuple(rules)
+        self.flood = flood
+
+    def on_step(self, ctx: StepContext) -> StepDecision:
+        actions: list[str] = []
+        for rule in self.rules:
+            actions.extend(rule.actions(ctx))
+        if self.flood:
+            return StepDecision.flood(actions)
+        return StepDecision.silent(actions)
+
+
+# ---------------------------------------------------------------------------
+# Rules for the roles of Definition 1 (processes A, B and C).
+# ---------------------------------------------------------------------------
+
+
+def received_go_trigger(ctx: StepContext, trigger: str = GO_TRIGGER) -> bool:
+    """Whether this step delivers the spontaneous external trigger to the process."""
+    from .messages import ExternalReceipt
+
+    return any(
+        isinstance(obs, ExternalReceipt) and obs.tag == trigger for obs in ctx.observations
+    )
+
+
+def go_seen_in_message_from(
+    ctx: StepContext, sender: Process, trigger: str = GO_TRIGGER
+) -> bool:
+    """Whether this step delivers a message from ``sender`` whose history saw the trigger.
+
+    Under an FFIP, "C sends A a *go* message when it receives ``mu_go``"
+    manifests as A receiving a message from C whose embedded history contains
+    the external receipt of ``mu_go``.
+    """
+    return any(
+        receipt.message.sender_history.has_external(trigger)
+        for receipt in ctx.received_from(sender)
+    )
+
+
+def go_sender_protocol(trigger: str = GO_TRIGGER) -> RuleBasedProtocol:
+    """Protocol for process C: flood; mark the 'send_go' action when the trigger arrives."""
+    rule = PerformOnceRule("send_go", lambda ctx: received_go_trigger(ctx, trigger))
+    return RuleBasedProtocol([rule])
+
+
+def actor_protocol(
+    action: str, go_sender: Process, trigger: str = GO_TRIGGER
+) -> RuleBasedProtocol:
+    """Protocol for process A: perform ``action`` upon receiving C's go message."""
+    rule = PerformOnceRule(
+        action, lambda ctx: go_seen_in_message_from(ctx, go_sender, trigger)
+    )
+    return RuleBasedProtocol([rule])
+
+
+@dataclass
+class ProtocolAssignment:
+    """A joint protocol ``P = (P_1, ..., P_n)``: one protocol per process.
+
+    Unassigned processes fall back to ``default`` (an FFIP relay by default).
+    """
+
+    protocols: dict = field(default_factory=dict)
+    default: Protocol = field(default_factory=FloodingFullInformationProtocol)
+
+    def for_process(self, process: Process) -> Protocol:
+        return self.protocols.get(process, self.default)
+
+    def assign(self, process: Process, protocol: Protocol) -> "ProtocolAssignment":
+        self.protocols[process] = protocol
+        return self

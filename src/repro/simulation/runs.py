@@ -1,0 +1,376 @@
+"""Runs: finite executions of a protocol in a bounded context.
+
+A run of the paper is an infinite sequence of global states; a simulator can
+only ever produce a finite prefix, so :class:`Run` represents an execution up
+to a ``horizon``.  Messages still in transit at the horizon are recorded as
+*pending* (their forced-delivery deadline lies beyond the horizon or simply
+was not reached); everything delivered inside the horizon respects the channel
+bounds, which :meth:`Run.validate` checks.
+
+The run records, for every process, its *timeline*: the sequence of basic
+nodes (local states) it passes through together with the time at which each
+node first appears (``time_r(sigma)`` in the paper).  It also records every
+send and every delivery, which is what the bounds-graph construction of the
+core package consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from ..core.nodes import BasicNode, GeneralNode
+from .context import Context, ExternalInput
+from .messages import History, LocalAction, Message, MessageReceipt
+from .network import Process, TimedNetwork
+
+
+class RunError(ValueError):
+    """Raised when a run is queried about nodes or chains it does not contain."""
+
+
+class RunValidationError(RunError):
+    """Raised by :meth:`Run.validate` when the execution violates the model."""
+
+
+@dataclass(frozen=True)
+class SendRecord:
+    """A message sent at ``send_time`` from ``sender_node`` towards ``destination``."""
+
+    message: Message
+    sender_node: BasicNode
+    destination: Process
+    send_time: int
+
+    @property
+    def sender(self) -> Process:
+        return self.sender_node.process
+
+
+@dataclass(frozen=True)
+class DeliveryRecord:
+    """A delivered message: the send plus the receiving node and time."""
+
+    send: SendRecord
+    receiver_node: BasicNode
+    delivery_time: int
+
+    @property
+    def sender_node(self) -> BasicNode:
+        return self.send.sender_node
+
+    @property
+    def sender(self) -> Process:
+        return self.send.sender
+
+    @property
+    def destination(self) -> Process:
+        return self.send.destination
+
+    @property
+    def send_time(self) -> int:
+        return self.send.send_time
+
+    @property
+    def delay(self) -> int:
+        return self.delivery_time - self.send.send_time
+
+
+@dataclass(frozen=True)
+class ExternalDeliveryRecord:
+    """A spontaneous external message delivered to ``process`` at ``time``."""
+
+    external: ExternalInput
+    receiver_node: BasicNode
+
+    @property
+    def process(self) -> Process:
+        return self.external.process
+
+    @property
+    def time(self) -> int:
+        return self.external.time
+
+    @property
+    def tag(self) -> str:
+        return self.external.tag
+
+
+@dataclass(frozen=True)
+class ActionRecord:
+    """A local action performed at a node."""
+
+    process: Process
+    action: str
+    node: BasicNode
+    time: int
+
+
+@dataclass
+class Run:
+    """A finite execution prefix of a protocol in a bounded context."""
+
+    context: Context
+    horizon: int
+    timelines: Mapping[Process, Tuple[Tuple[int, BasicNode], ...]]
+    sends: Tuple[SendRecord, ...]
+    deliveries: Tuple[DeliveryRecord, ...]
+    external_deliveries: Tuple[ExternalDeliveryRecord, ...]
+    pending: Tuple[SendRecord, ...] = ()
+
+    # Derived indexes, built lazily.
+    _times: Optional[Dict[BasicNode, int]] = field(default=None, repr=False)
+    _delivery_index: Optional[Dict[Tuple[BasicNode, Process], DeliveryRecord]] = field(
+        default=None, repr=False
+    )
+    _send_index: Optional[Dict[Tuple[BasicNode, Process], SendRecord]] = field(
+        default=None, repr=False
+    )
+
+    # -- derived indexes -----------------------------------------------------
+
+    @property
+    def timed_network(self) -> TimedNetwork:
+        return self.context.timed_network
+
+    @property
+    def processes(self) -> Tuple[Process, ...]:
+        return self.timed_network.processes
+
+    def _time_index(self) -> Dict[BasicNode, int]:
+        if self._times is None:
+            times: Dict[BasicNode, int] = {}
+            for process, timeline in self.timelines.items():
+                for time, node in timeline:
+                    times[node] = time
+            self._times = times
+        return self._times
+
+    def _deliveries_by_send(self) -> Dict[Tuple[BasicNode, Process], DeliveryRecord]:
+        if self._delivery_index is None:
+            self._delivery_index = {
+                (record.sender_node, record.destination): record
+                for record in self.deliveries
+            }
+        return self._delivery_index
+
+    def _sends_by_node(self) -> Dict[Tuple[BasicNode, Process], SendRecord]:
+        if self._send_index is None:
+            self._send_index = {
+                (record.sender_node, record.destination): record for record in self.sends
+            }
+        return self._send_index
+
+    # -- node queries ----------------------------------------------------------
+
+    def nodes(self) -> Iterator[BasicNode]:
+        """All basic nodes appearing in the run (per process, in timeline order)."""
+        for process in self.processes:
+            for _, node in self.timelines[process]:
+                yield node
+
+    def nodes_of(self, process: Process) -> Tuple[BasicNode, ...]:
+        return tuple(node for _, node in self.timelines[process])
+
+    def appears(self, node: BasicNode) -> bool:
+        return node in self._time_index()
+
+    def time_of(self, node: BasicNode) -> int:
+        """``time_r(sigma)``: the first time at which the node's local state holds."""
+        try:
+            return self._time_index()[node]
+        except KeyError:
+            raise RunError(f"node {node.describe()} does not appear in this run") from None
+
+    def node_at(self, process: Process, time: int) -> BasicNode:
+        """The basic node of ``process`` whose local state holds at ``time``."""
+        if time < 0 or time > self.horizon:
+            raise RunError(f"time {time} outside run horizon [0, {self.horizon}]")
+        timeline = self.timelines[process]
+        current = timeline[0][1]
+        for node_time, node in timeline:
+            if node_time <= time:
+                current = node
+            else:
+                break
+        return current
+
+    def final_node(self, process: Process) -> BasicNode:
+        return self.timelines[process][-1][1]
+
+    def initial_node(self, process: Process) -> BasicNode:
+        return self.timelines[process][0][1]
+
+    def successor(self, node: BasicNode) -> Optional[BasicNode]:
+        """The next node on the same timeline, or ``None`` if it is the last."""
+        timeline = self.timelines[node.process]
+        for index, (_, candidate) in enumerate(timeline):
+            if candidate == node:
+                if index + 1 < len(timeline):
+                    return timeline[index + 1][1]
+                return None
+        raise RunError(f"node {node.describe()} does not appear in this run")
+
+    def predecessor(self, node: BasicNode) -> Optional[BasicNode]:
+        """The previous node on the same timeline, or ``None`` for the initial node."""
+        if not self.appears(node):
+            raise RunError(f"node {node.describe()} does not appear in this run")
+        return node.predecessor()
+
+    # -- message queries -----------------------------------------------------
+
+    def delivery_of(self, sender_node: BasicNode, destination: Process) -> Optional[DeliveryRecord]:
+        """The delivery of the message sent at ``sender_node`` to ``destination``, if any."""
+        return self._deliveries_by_send().get((sender_node, destination))
+
+    def send_of(self, sender_node: BasicNode, destination: Process) -> Optional[SendRecord]:
+        return self._sends_by_node().get((sender_node, destination))
+
+    def deliveries_to(self, process: Process) -> Tuple[DeliveryRecord, ...]:
+        return tuple(d for d in self.deliveries if d.destination == process)
+
+    def deliveries_at(self, node: BasicNode) -> Tuple[DeliveryRecord, ...]:
+        """The deliveries whose receipt created ``node``."""
+        return tuple(d for d in self.deliveries if d.receiver_node == node)
+
+    # -- general nodes ---------------------------------------------------------
+
+    def resolve(self, theta: GeneralNode) -> Optional[BasicNode]:
+        """``basic(theta, r)`` (Definition 4), or ``None`` if the chain is unresolved.
+
+        The chain is unresolved when the base node does not appear in the run,
+        when some process along the path was never sent the chain message, or
+        when a chain message is still pending at the horizon.
+        """
+        current = theta.base
+        if not self.appears(current):
+            return None
+        for hop in theta.path[1:]:
+            delivery = self.delivery_of(current, hop)
+            if delivery is None:
+                return None
+            current = delivery.receiver_node
+        return current
+
+    def time_of_general(self, theta: GeneralNode) -> int:
+        """``time_r(theta)``: the time of the corresponding basic node."""
+        resolved = self.resolve(theta)
+        if resolved is None:
+            raise RunError(f"general node {theta.describe()} does not appear in this run")
+        return self.time_of(resolved)
+
+    def general_appears(self, theta: GeneralNode) -> bool:
+        return self.resolve(theta) is not None
+
+    # -- causality --------------------------------------------------------------
+
+    def past(self, node: BasicNode) -> frozenset:
+        """``past(r, sigma)``: all basic nodes that happen-before ``node``."""
+        from ..core.causality import past_nodes
+
+        if not self.appears(node):
+            raise RunError(f"node {node.describe()} does not appear in this run")
+        return past_nodes(node)
+
+    def happens_before(self, earlier: BasicNode, later: BasicNode) -> bool:
+        """Lamport's happens-before over basic nodes of this run (Definition 2)."""
+        from ..core.causality import happens_before
+
+        return happens_before(earlier, later)
+
+    # -- actions -----------------------------------------------------------------
+
+    def actions(self) -> Tuple[ActionRecord, ...]:
+        """All local actions performed in the run, with their nodes and times."""
+        records: List[ActionRecord] = []
+        for process in self.processes:
+            for time, node in self.timelines[process]:
+                if node.is_initial:
+                    continue
+                for observation in node.history.last_step:
+                    if isinstance(observation, LocalAction):
+                        records.append(ActionRecord(process, observation.name, node, time))
+        return tuple(records)
+
+    def find_action(self, process: Process, action: str) -> Optional[ActionRecord]:
+        """The first occurrence of ``action`` at ``process``, or ``None``."""
+        for record in self.actions():
+            if record.process == process and record.action == action:
+                return record
+        return None
+
+    def action_time(self, process: Process, action: str) -> Optional[int]:
+        record = self.find_action(process, action)
+        return None if record is None else record.time
+
+    # -- validation ---------------------------------------------------------------
+
+    def validate(self, require_forced_delivery: bool = True) -> None:
+        """Check that this execution is legal for the bcm model.
+
+        * every delivered message respects its channel's ``[L, U]`` window;
+        * every pending message's forced-delivery deadline lies beyond the
+          horizon (unless ``require_forced_delivery`` is False);
+        * timelines start at time 0 with the initial node and are strictly
+          increasing in time, with each node extending its predecessor by one
+          step;
+        * every non-initial node's step contains at least one receipt
+          (processes act only when scheduled by a delivery).
+        """
+        bounds = self.timed_network
+        for record in self.deliveries:
+            lower = bounds.L(record.sender, record.destination)
+            upper = bounds.U(record.sender, record.destination)
+            if not lower <= record.delay <= upper:
+                raise RunValidationError(
+                    f"delivery on channel ({record.sender}, {record.destination}) "
+                    f"took {record.delay} time units, outside [{lower}, {upper}]"
+                )
+        if require_forced_delivery:
+            for record in self.pending:
+                deadline = record.send_time + bounds.U(record.sender, record.destination)
+                if deadline <= self.horizon:
+                    raise RunValidationError(
+                        f"message from {record.sender} to {record.destination} sent at "
+                        f"{record.send_time} should have been delivered by {deadline} "
+                        f"but is still pending at horizon {self.horizon}"
+                    )
+        for process in self.processes:
+            timeline = self.timelines[process]
+            if not timeline:
+                raise RunValidationError(f"process {process} has an empty timeline")
+            first_time, first_node = timeline[0]
+            if first_time != 0 or not first_node.is_initial:
+                raise RunValidationError(
+                    f"process {process} must start at time 0 in its initial node"
+                )
+            for (prev_time, prev_node), (time, node) in zip(timeline, timeline[1:]):
+                if time <= prev_time:
+                    raise RunValidationError(
+                        f"process {process} timeline times must be strictly increasing"
+                    )
+                if node.predecessor() != prev_node:
+                    raise RunValidationError(
+                        f"process {process} node at time {time} does not extend its "
+                        "predecessor by exactly one step"
+                    )
+                has_receipt = any(
+                    not isinstance(obs, LocalAction) for obs in node.history.last_step
+                )
+                if not has_receipt:
+                    raise RunValidationError(
+                        f"process {process} took a step at time {time} without receiving "
+                        "any message (processes are event-driven)"
+                    )
+
+    # -- convenience --------------------------------------------------------------
+
+    def describe(self) -> str:
+        lines = [f"Run(horizon={self.horizon})"]
+        for process in self.processes:
+            entries = ", ".join(
+                f"t={time}:{node.describe()}" for time, node in self.timelines[process]
+            )
+            lines.append(f"  {process}: {entries}")
+        lines.append(f"  deliveries: {len(self.deliveries)}, pending: {len(self.pending)}")
+        return "\n".join(lines)

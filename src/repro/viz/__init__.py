@@ -1,0 +1,13 @@
+"""Text-based visualisation of runs and bounds graphs."""
+
+from .graphs import extended_graph_listing, graph_listing, path_listing
+from .spacetime import action_table, message_table, spacetime_diagram
+
+__all__ = [
+    "action_table",
+    "extended_graph_listing",
+    "graph_listing",
+    "message_table",
+    "path_listing",
+    "spacetime_diagram",
+]

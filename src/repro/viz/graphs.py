@@ -1,0 +1,71 @@
+"""Textual dumps of bounds graphs and extended bounds graphs.
+
+These renderers produce stable, human-readable listings of the graph
+structures the analysis relies on -- the textual analogue of the paper's
+Figures 6, 7 and 8 -- so that examples can show *why* a precedence is known.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from ..core.extended_graph import AuxiliaryNode, ChainNode, ExtendedBoundsGraph
+from ..core.graph import Edge, WeightedGraph
+from ..core.nodes import BasicNode
+from ..simulation.runs import Run
+
+
+def _node_label(node, run: Optional[Run] = None) -> str:
+    if isinstance(node, BasicNode):
+        if run is not None and run.appears(node):
+            return f"{node.process}@t{run.time_of(node)}"
+        return node.describe()
+    if isinstance(node, (AuxiliaryNode, ChainNode)):
+        return node.describe()
+    return str(node)
+
+
+def graph_listing(
+    graph: WeightedGraph,
+    run: Optional[Run] = None,
+    labels: Optional[Sequence[str]] = None,
+) -> str:
+    """List a weighted graph's edges, one per line, grouped by label."""
+    lines = [f"nodes: {len(graph)}, edges: {graph.edge_count()}"]
+    selected = list(graph.edges)
+    if labels is not None:
+        wanted = set(labels)
+        selected = [edge for edge in selected if edge.label in wanted]
+    selected.sort(key=lambda edge: (edge.label, _node_label(edge.source, run), _node_label(edge.target, run)))
+    for edge in selected:
+        lines.append(
+            f"  [{edge.label:>11}] {_node_label(edge.source, run):<18} "
+            f"--({edge.weight:+d})--> {_node_label(edge.target, run)}"
+        )
+    return "\n".join(lines)
+
+
+def extended_graph_listing(extended: ExtendedBoundsGraph, run: Optional[Run] = None) -> str:
+    """Render an extended bounds graph, reporting the edge-set sizes of Figure 8."""
+    counts = extended.edge_summary()
+    lines = [
+        extended.describe(),
+        "edge sets: "
+        + ", ".join(f"{label}={count}" for label, count in sorted(counts.items())),
+        graph_listing(extended.graph, run),
+    ]
+    return "\n".join(lines)
+
+
+def path_listing(edges: Sequence[Edge], run: Optional[Run] = None) -> str:
+    """Render a path (e.g. a longest constraint path) edge by edge with its weight."""
+    if not edges:
+        return "(empty path, weight 0)"
+    total = sum(edge.weight for edge in edges)
+    lines = [f"path weight {total:+d}:"]
+    for edge in edges:
+        lines.append(
+            f"  {_node_label(edge.source, run):<18} --({edge.weight:+d}, {edge.label})--> "
+            f"{_node_label(edge.target, run)}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,121 @@
+"""ASCII space-time diagrams of runs.
+
+The paper's figures are space-time diagrams: one horizontal line per process,
+time flowing to the right, arrows for messages, and marks for actions.  This
+module renders the same picture as text so that examples and debugging
+sessions can "see" a run without any plotting dependency.
+
+Example output (Figure 1 style)::
+
+    t        0    1    2    3    4    5    6
+    A        .    .    .    .    a<C  .    .
+    B        .    .    .    .    .    .    *<C
+    C        .    .    G!   .    .    .    .
+
+``G!`` marks receipt of an external trigger, ``x<P`` a message received from
+process ``P`` together with any action performed at that step, and ``.`` an
+idle instant.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.nodes import BasicNode
+from ..simulation.messages import ExternalReceipt, LocalAction, MessageReceipt
+from ..simulation.runs import Run
+
+
+def _cell_for_node(node: BasicNode) -> str:
+    """A compact label for the step taken at a node."""
+    if node.is_initial:
+        return "."
+    senders: List[str] = []
+    actions: List[str] = []
+    external = False
+    for observation in node.history.last_step:
+        if isinstance(observation, MessageReceipt):
+            senders.append(observation.message.sender)
+        elif isinstance(observation, ExternalReceipt):
+            external = True
+        elif isinstance(observation, LocalAction):
+            actions.append(observation.name)
+    label = ""
+    if actions:
+        label += "".join(actions)
+    elif senders or external:
+        label += "*"
+    if external:
+        label += "G!"
+    if senders:
+        label += "<" + ",".join(sorted(set(senders)))
+    return label or "*"
+
+
+def spacetime_diagram(
+    run: Run,
+    processes: Optional[Sequence[str]] = None,
+    start: int = 0,
+    end: Optional[int] = None,
+    column_width: Optional[int] = None,
+) -> str:
+    """Render a run as an ASCII space-time diagram.
+
+    ``processes`` restricts and orders the rows (default: all, network order);
+    ``start``/``end`` bound the displayed time window.
+    """
+    if processes is None:
+        processes = run.processes
+    if end is None:
+        end = run.horizon
+    end = min(end, run.horizon)
+
+    cells: Dict[str, Dict[int, str]] = {process: {} for process in processes}
+    for process in processes:
+        for time, node in run.timelines[process]:
+            if start <= time <= end and not node.is_initial:
+                cells[process][time] = _cell_for_node(node)
+
+    if column_width is None:
+        longest = 1
+        for row in cells.values():
+            for value in row.values():
+                longest = max(longest, len(value))
+        column_width = max(longest + 1, 4)
+
+    name_width = max(len("t"), *(len(p) for p in processes)) + 1
+
+    def format_row(name: str, values: List[str]) -> str:
+        return name.ljust(name_width) + "".join(v.ljust(column_width) for v in values)
+
+    lines = [format_row("t", [str(t) for t in range(start, end + 1)])]
+    for process in processes:
+        row = [cells[process].get(t, ".") for t in range(start, end + 1)]
+        lines.append(format_row(process, row))
+    return "\n".join(lines)
+
+
+def message_table(run: Run, limit: Optional[int] = None) -> str:
+    """A tabular listing of the run's deliveries (sender, receiver, send/recv times)."""
+    header = f"{'from':>6} {'to':>6} {'sent':>6} {'recv':>6} {'delay':>6} {'window':>10}"
+    lines = [header, "-" * len(header)]
+    deliveries = sorted(run.deliveries, key=lambda d: (d.delivery_time, d.sender, d.destination))
+    if limit is not None:
+        deliveries = deliveries[:limit]
+    net = run.timed_network
+    for record in deliveries:
+        window = f"[{net.L(record.sender, record.destination)},{net.U(record.sender, record.destination)}]"
+        lines.append(
+            f"{record.sender:>6} {record.destination:>6} {record.send_time:>6} "
+            f"{record.delivery_time:>6} {record.delay:>6} {window:>10}"
+        )
+    return "\n".join(lines)
+
+
+def action_table(run: Run) -> str:
+    """A tabular listing of the actions performed in the run."""
+    header = f"{'process':>8} {'action':>8} {'time':>6}"
+    lines = [header, "-" * len(header)]
+    for record in sorted(run.actions(), key=lambda a: a.time):
+        lines.append(f"{record.process:>8} {record.action:>8} {record.time:>6}")
+    return "\n".join(lines)

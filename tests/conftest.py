@@ -1,0 +1,95 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.coordination import late_task
+from repro.scenarios import (
+    figure1_scenario,
+    figure2a_scenario,
+    figure2b_scenario,
+    figure3_scenario,
+    figure6_scenario,
+    figure8_scenario,
+    flooding_scenario,
+)
+from repro.simulation import (
+    Context,
+    EarliestDelivery,
+    ProtocolAssignment,
+    actor_protocol,
+    fully_connected,
+    go_at,
+    go_sender_protocol,
+    simulate,
+    timed_network,
+)
+
+
+@pytest.fixture(scope="session")
+def triangle_net():
+    """A fully connected 3-process network with bounds [1, 3]."""
+    return fully_connected(["A", "B", "C"], 1, 3)
+
+
+@pytest.fixture(scope="session")
+def triangle_run(triangle_net):
+    """A run on the triangle network: go to C at t=2, everything floods."""
+    protocols = ProtocolAssignment()
+    protocols.assign("C", go_sender_protocol())
+    protocols.assign("A", actor_protocol("a", "C"))
+    return simulate(
+        Context(triangle_net),
+        protocols,
+        delivery=EarliestDelivery(),
+        external_inputs=go_at(2, "C"),
+        horizon=10,
+    )
+
+
+@pytest.fixture(scope="session")
+def two_process_net():
+    """A tiny two-process network (one channel each way) with asymmetric bounds."""
+    return timed_network({("P", "Q"): (2, 4), ("Q", "P"): (1, 3)})
+
+
+@pytest.fixture(scope="session")
+def figure1_run():
+    return figure1_scenario().run()
+
+
+@pytest.fixture(scope="session")
+def figure2a_run():
+    return figure2a_scenario().run()
+
+
+@pytest.fixture(scope="session")
+def figure2b_run():
+    return figure2b_scenario().run()
+
+
+@pytest.fixture(scope="session")
+def figure3_run():
+    return figure3_scenario().run()
+
+
+@pytest.fixture(scope="session")
+def figure6_run():
+    return figure6_scenario().run()
+
+
+@pytest.fixture(scope="session")
+def figure8_run():
+    return figure8_scenario().run()
+
+
+@pytest.fixture(scope="session")
+def flooding_run():
+    """A medium-sized random flooding run used by analysis tests."""
+    return flooding_scenario(num_processes=4, seed=7, horizon=12).run()
+
+
+@pytest.fixture(scope="session")
+def late7_task():
+    return late_task(7)

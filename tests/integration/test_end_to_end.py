@@ -1,0 +1,124 @@
+"""End-to-end integration tests: simulate -> analyse -> decide -> verify."""
+
+import pytest
+
+from repro.core import (
+    KnowledgeChecker,
+    basic_bounds_graph,
+    check_theorem3,
+    general,
+    local_bounds_graph,
+    verify_against_run,
+)
+from repro.coordination import (
+    ChainLowerBoundProtocol,
+    LocalGraphProtocol,
+    NeverActProtocol,
+    OptimalCoordinationProtocol,
+    evaluate,
+    late_task,
+    summarise,
+)
+from repro.scenarios import (
+    figure2b_scenario,
+    random_workload,
+    workload_scenario,
+    zigzag_chain_scenario,
+)
+from repro.simulation import SeededRandomDelivery
+
+
+class TestFullPipeline:
+    def test_simulate_analyse_act_verify(self):
+        """The quickstart pipeline: every stage is consistent with the others."""
+        margin = 4
+        task = late_task(margin)
+        scenario = figure2b_scenario(margin=margin)
+        run = scenario.run()
+
+        # 1. The run is legal and its bounds graph is consistent with it.
+        run.validate()
+        ok, message = verify_against_run(basic_bounds_graph(run), run)
+        assert ok, message
+
+        # 2. B acted, and at its action node it knew the required precedence.
+        outcome = evaluate(run, task)
+        assert outcome.b_performed and outcome.satisfied
+        report = check_theorem3(
+            run, actor="B", action="b", go_sender="C", go_recipient="A", margin=margin, late=True
+        )
+        assert report.holds
+
+        # 3. The knowledge that justified the action is reproducible offline.
+        sigma = run.find_action("B", "b").node
+        go_node = next(r.receiver_node for r in run.external_deliveries if r.process == "C")
+        checker = KnowledgeChecker(sigma, run.timed_network)
+        assert checker.knows(general(go_node, ("C", "A")), sigma, margin)
+
+        # 4. One step earlier, the knowledge did not yet hold (optimality).
+        predecessor = run.predecessor(sigma)
+        if predecessor is not None and not predecessor.is_initial:
+            earlier_checker = KnowledgeChecker(predecessor, run.timed_network)
+            if go_node in run.past(predecessor):
+                assert not earlier_checker.knows(
+                    general(go_node, ("C", "A")), predecessor, margin
+                )
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_workloads_are_always_safe(self, seed):
+        """On random networks, every protocol in the suite is safe (never violates)."""
+        margin = 2
+        task = late_task(margin)
+        workload = random_workload(num_processes=5, seed=seed)
+        task = late_task(
+            margin,
+            actor_a=workload.actor_a,
+            actor_b=workload.actor_b,
+            go_sender=workload.go_sender,
+        )
+        outcomes = []
+        for protocol_cls in (OptimalCoordinationProtocol, LocalGraphProtocol, ChainLowerBoundProtocol, NeverActProtocol):
+            scenario = workload_scenario(workload, b_protocol=protocol_cls(task), horizon=30)
+            run = scenario.run()
+            outcomes.append(evaluate(run, task))
+        summary = summarise(outcomes)
+        assert summary.safe
+
+    def test_optimal_acts_no_later_than_local_graph_ablation(self):
+        """The auxiliary-node reasoning can only help (never hurts) action time."""
+        for margin in (1, 2, 3):
+            task = late_task(margin)
+            optimal = zigzag_chain_scenario(
+                num_forks=2, with_reports=True, b_protocol=OptimalCoordinationProtocol(task)
+            ).run()
+            local = zigzag_chain_scenario(
+                num_forks=2, with_reports=True, b_protocol=LocalGraphProtocol(task)
+            ).run()
+            t_optimal = optimal.action_time("B", "b")
+            t_local = local.action_time("B", "b")
+            if t_local is not None:
+                assert t_optimal is not None and t_optimal <= t_local
+
+    def test_local_graph_equals_local_bounds_analysis(self):
+        """The ablation's knowledge agrees with a hand-built local bounds graph query."""
+        margin = 2
+        task = late_task(margin)
+        scenario = zigzag_chain_scenario(
+            num_forks=2, with_reports=True, b_protocol=LocalGraphProtocol(task)
+        )
+        run = scenario.run()
+        record = run.find_action("B", "b")
+        if record is None:
+            pytest.skip("the ablation never acted on this workload")
+        sigma = record.node
+        graph = local_bounds_graph(sigma, run.timed_network)
+        assert sigma in graph
+
+    @pytest.mark.parametrize("delivery_seed", range(3))
+    def test_adversarial_delivery_never_breaks_safety(self, delivery_seed):
+        margin = 5
+        task = late_task(margin)
+        scenario = figure2b_scenario(margin=margin)
+        run = scenario.with_delivery(SeededRandomDelivery(seed=delivery_seed)).run()
+        outcome = evaluate(run, task)
+        assert outcome.satisfied

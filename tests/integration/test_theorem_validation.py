@@ -1,0 +1,180 @@
+"""Ground-truth validation of the theorems by exhaustive enumeration.
+
+On tiny networks every legal schedule can be enumerated, which turns the
+theorems into checkable statements:
+
+* Theorem 1: any zigzag's weight is respected in *every* enumerated run;
+* Theorem 2: whenever the enumerated system supports a precedence, the
+  bounds-graph zigzag witness reaches that margin, and the slow run attains
+  the bound exactly;
+* Theorem 4: the knowledge computed from the extended bounds graph equals the
+  minimum gap over all enumerated runs indistinguishable at the observer
+  (soundness always; completeness on schedules the enumeration covers).
+"""
+
+import itertools
+
+import pytest
+
+from repro.core import (
+    KnowledgeChecker,
+    basic_bounds_graph,
+    check_theorem2,
+    empirical_min_gap,
+    general,
+    longest_zigzag_between,
+    supported_margin,
+)
+from repro.simulation import (
+    Context,
+    ExternalInput,
+    ProtocolAssignment,
+    actor_protocol,
+    enumerate_runs,
+    go_at,
+    go_sender_protocol,
+    simulate,
+    timed_network,
+)
+
+
+def tiny_setup():
+    """A 3-process context small enough to enumerate exhaustively."""
+    net = timed_network(
+        {
+            ("C", "A"): (1, 2),
+            ("C", "B"): (2, 3),
+            ("A", "B"): (1, 2),
+        }
+    )
+    protocols = ProtocolAssignment()
+    protocols.assign("C", go_sender_protocol())
+    protocols.assign("A", actor_protocol("a", "C"))
+    return Context(net), protocols
+
+
+HORIZON = 7
+
+
+@pytest.fixture(scope="module")
+def enumerated():
+    context, protocols = tiny_setup()
+    runs = list(enumerate_runs(context, protocols, external_inputs=go_at(1, "C"), horizon=HORIZON))
+    assert len(runs) > 1
+    return context, protocols, runs
+
+
+class TestTheorem1Exhaustive:
+    def test_zigzag_weights_hold_in_every_run(self, enumerated):
+        context, protocols, runs = enumerated
+        reference = runs[0]
+        a_record = reference.find_action("A", "a")
+        assert a_record is not None
+        for run in runs:
+            graph = basic_bounds_graph(run)
+            nodes = [run.final_node(p) for p in run.processes]
+            for source, target in itertools.permutations(nodes, 2):
+                found = longest_zigzag_between(run, source, target)
+                if found is None:
+                    continue
+                weight, pattern = found
+                assert run.time_of(target) - run.time_of(source) >= weight
+                assert pattern.weight(run) == weight
+
+
+class TestTheorem2Exhaustive:
+    def test_supported_margin_is_witnessed_by_a_zigzag(self, enumerated):
+        context, protocols, runs = enumerated
+        # Pick node pairs that appear across runs: C's go node and A's action node.
+        reference = runs[0]
+        go_node = reference.external_deliveries[0].receiver_node
+        a_node = reference.find_action("A", "a").node
+        margin = supported_margin(runs, go_node, a_node)
+        assert margin is not None
+        for run in runs:
+            if not (run.appears(go_node) and run.appears(a_node)):
+                continue
+            report = check_theorem2(run, go_node, a_node)
+            assert report.has_constraint
+            assert report.zigzag_weight >= margin
+            assert report.tight
+
+    def test_slow_run_realises_the_minimum_gap(self, enumerated):
+        """The slow run's gap equals the minimum over all enumerated runs."""
+        context, protocols, runs = enumerated
+        reference = runs[0]
+        go_node = reference.external_deliveries[0].receiver_node
+        a_node = reference.find_action("A", "a").node
+        margin = supported_margin(runs, go_node, a_node)
+        report = check_theorem2(reference, go_node, a_node)
+        # The slow-run gap can be no larger than the enumerated minimum (the
+        # enumeration is capped by the horizon) and no smaller than the
+        # constraint weight.
+        assert report.slow_run_gap == report.constraint_weight
+        assert margin >= report.constraint_weight
+
+
+class TestTheorem4Exhaustive:
+    @pytest.mark.parametrize("observer", ["A", "B"])
+    def test_knowledge_equals_empirical_minimum(self, enumerated, observer):
+        context, protocols, runs = enumerated
+        reference = simulate(
+            context, protocols, external_inputs=go_at(1, "C"), horizon=HORIZON
+        )
+        go_node = reference.external_deliveries[0].receiver_node
+        theta_a = general(go_node, ("C", "A"))
+        sigma = reference.final_node(observer)
+        if go_node not in reference.past(sigma):
+            pytest.skip("observer never hears about the go within the horizon")
+        checker = KnowledgeChecker(sigma, reference.timed_network)
+        known = checker.max_known_gap(theta_a, sigma)
+        empirical = empirical_min_gap(runs, sigma, theta_a, sigma)
+        assert empirical is not None
+        # Soundness: knowledge never exceeds the true minimum gap.
+        assert known is not None and known <= empirical
+        # Completeness over the enumerated schedule space: the bound is attained.
+        assert known == empirical
+
+    def test_knowledge_sound_across_alternative_go_times(self, enumerated):
+        """Soundness must also hold against runs with different external timing."""
+        context, protocols, _ = enumerated
+        reference = simulate(
+            context, protocols, external_inputs=go_at(1, "C"), horizon=HORIZON
+        )
+        go_node = reference.external_deliveries[0].receiver_node
+        theta_a = general(go_node, ("C", "A"))
+        sigma = reference.final_node("B")
+        checker = KnowledgeChecker(sigma, reference.timed_network)
+        known = checker.max_known_gap(theta_a, sigma)
+        all_runs = []
+        for go_time in (1, 2, 3):
+            all_runs.extend(
+                enumerate_runs(
+                    context,
+                    protocols,
+                    external_inputs=go_at(go_time, "C"),
+                    horizon=HORIZON + 2,
+                )
+            )
+        empirical = empirical_min_gap(all_runs, sigma, theta_a, sigma)
+        if empirical is not None and known is not None:
+            assert known <= empirical
+
+
+class TestReverseDirectionKnowledge:
+    def test_upper_bound_knowledge_is_sound(self, enumerated):
+        """K(sigma --x--> theta_a) with negative x encodes an upper bound on a's lag."""
+        context, protocols, runs = enumerated
+        reference = runs[0]
+        go_node = reference.external_deliveries[0].receiver_node
+        theta_a = general(go_node, ("C", "A"))
+        sigma = reference.final_node("B")
+        if go_node not in reference.past(sigma):
+            pytest.skip("B never hears about the go")
+        checker = KnowledgeChecker(sigma, reference.timed_network)
+        known = checker.max_known_gap(sigma, theta_a)
+        if known is None:
+            return
+        empirical = empirical_min_gap(runs, sigma, sigma, theta_a)
+        if empirical is not None:
+            assert known <= empirical

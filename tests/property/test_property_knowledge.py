@@ -1,0 +1,128 @@
+"""Property-based tests for knowledge: soundness against exhaustive enumeration.
+
+The critical invariant of the whole library is that graph-derived knowledge is
+*sound*: whatever bound a node claims to know must hold in every legal run
+indistinguishable at that node.  Here small random contexts are enumerated
+exhaustively (over several external schedules) and the claim is checked for
+every observing node and every recognized target node.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import KnowledgeChecker, empirical_min_gap, general, is_recognized, past_nodes
+from repro.coordination import evaluate, late_task
+from repro.scenarios import random_workload, workload_scenario
+from repro.simulation import (
+    Context,
+    ProtocolAssignment,
+    actor_protocol,
+    enumerate_runs,
+    go_at,
+    go_sender_protocol,
+    simulate,
+    timed_network,
+)
+
+SMALL = dict(max_examples=10, deadline=None)
+
+
+def tiny_context(lu_ca, lu_cb, lu_ab):
+    net = timed_network({("C", "A"): lu_ca, ("C", "B"): lu_cb, ("A", "B"): lu_ab})
+    protocols = ProtocolAssignment()
+    protocols.assign("C", go_sender_protocol())
+    protocols.assign("A", actor_protocol("a", "C"))
+    return Context(net), protocols
+
+
+bound_pair = st.tuples(st.integers(1, 3), st.integers(0, 2)).map(lambda t: (t[0], t[0] + t[1]))
+
+
+@settings(**SMALL)
+@given(lu_ca=bound_pair, lu_cb=bound_pair, lu_ab=bound_pair, go_time=st.integers(1, 2))
+def test_knowledge_is_sound_against_enumeration(lu_ca, lu_cb, lu_ab, go_time):
+    context, protocols = tiny_context(lu_ca, lu_cb, lu_ab)
+    horizon = 7
+    reference = simulate(context, protocols, external_inputs=go_at(go_time, "C"), horizon=horizon)
+    runs = list(
+        enumerate_runs(context, protocols, external_inputs=go_at(go_time, "C"), horizon=horizon)
+    )
+    go_node = reference.external_deliveries[0].receiver_node
+    theta_a = general(go_node, ("C", "A"))
+    for observer in ("A", "B"):
+        sigma = reference.final_node(observer)
+        if not is_recognized(theta_a, sigma):
+            continue
+        checker = KnowledgeChecker(sigma, reference.timed_network)
+        known = checker.max_known_gap(theta_a, sigma)
+        empirical = empirical_min_gap(runs, sigma, theta_a, sigma)
+        if known is None or empirical is None:
+            continue
+        assert known <= empirical
+        # Completeness over the enumerated schedule space (Theorem 4's equality).
+        assert known == empirical
+
+
+@settings(**SMALL)
+@given(lu_ca=bound_pair, lu_cb=bound_pair, lu_ab=bound_pair, go_time=st.integers(1, 2))
+def test_reverse_knowledge_is_sound(lu_ca, lu_cb, lu_ab, go_time):
+    context, protocols = tiny_context(lu_ca, lu_cb, lu_ab)
+    horizon = 7
+    reference = simulate(context, protocols, external_inputs=go_at(go_time, "C"), horizon=horizon)
+    runs = list(
+        enumerate_runs(context, protocols, external_inputs=go_at(go_time, "C"), horizon=horizon)
+    )
+    go_node = reference.external_deliveries[0].receiver_node
+    theta_a = general(go_node, ("C", "A"))
+    sigma = reference.final_node("B")
+    if not is_recognized(theta_a, sigma):
+        return
+    checker = KnowledgeChecker(sigma, reference.timed_network)
+    known = checker.max_known_gap(sigma, theta_a)
+    empirical = empirical_min_gap(runs, sigma, sigma, theta_a)
+    if known is not None and empirical is not None:
+        assert known <= empirical
+
+
+@settings(**SMALL)
+@given(
+    seed=st.integers(min_value=0, max_value=200),
+    margin=st.integers(min_value=0, max_value=4),
+)
+def test_optimal_protocol_never_violates_on_random_workloads(seed, margin):
+    """Protocol 2's action is always safe, for any margin and any workload."""
+    from repro.coordination import OptimalCoordinationProtocol
+
+    workload = random_workload(num_processes=4, seed=seed)
+    task = late_task(
+        margin,
+        actor_a=workload.actor_a,
+        actor_b=workload.actor_b,
+        go_sender=workload.go_sender,
+    )
+    scenario = workload_scenario(workload, b_protocol=OptimalCoordinationProtocol(task), horizon=25)
+    outcome = evaluate(scenario.run(), task)
+    assert outcome.satisfied
+
+
+@settings(**SMALL)
+@given(seed=st.integers(min_value=0, max_value=200))
+def test_knowledge_gap_monotone_along_observer_timeline(seed):
+    """Knowledge about a fixed recognized node only strengthens as B's state grows."""
+    workload = random_workload(num_processes=4, seed=seed)
+    scenario = workload_scenario(workload, horizon=20)
+    run = scenario.run()
+    go_records = [r for r in run.external_deliveries if r.process == workload.go_sender]
+    if not go_records:
+        return
+    go_node = go_records[0].receiver_node
+    theta_a = general(go_node, (workload.go_sender, workload.actor_a))
+    previous = None
+    for _, node in run.timelines[workload.actor_b]:
+        if node.is_initial or go_node not in past_nodes(node):
+            continue
+        gap = KnowledgeChecker(node, run.timed_network).max_known_gap(theta_a, node)
+        if gap is None:
+            continue
+        if previous is not None:
+            assert gap >= previous
+        previous = gap

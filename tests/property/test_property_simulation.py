@@ -1,0 +1,96 @@
+"""Property-based tests for the bcm simulator substrate."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.scenarios import flooding_scenario, random_timed_network, random_workload, workload_scenario
+from repro.simulation import (
+    Context,
+    ProtocolAssignment,
+    SeededRandomDelivery,
+    actor_protocol,
+    go_at,
+    go_sender_protocol,
+    simulate,
+)
+
+SMALL = dict(max_examples=20, deadline=None)
+
+
+@settings(**SMALL)
+@given(
+    num_processes=st.integers(min_value=2, max_value=5),
+    seed=st.integers(min_value=0, max_value=1_000),
+    horizon=st.integers(min_value=5, max_value=14),
+)
+def test_flooding_runs_are_always_legal(num_processes, seed, horizon):
+    """Every simulated run validates: bounds respected, event-driven steps only."""
+    run = flooding_scenario(num_processes=num_processes, seed=seed, horizon=horizon).run()
+    run.validate()
+
+
+@settings(**SMALL)
+@given(
+    num_processes=st.integers(min_value=2, max_value=5),
+    seed=st.integers(min_value=0, max_value=500),
+)
+def test_random_networks_have_consistent_bounds(num_processes, seed):
+    net = random_timed_network(num_processes, seed=seed)
+    for (i, j) in net.channels:
+        assert 1 <= net.L(i, j) <= net.U(i, j)
+    # Path bounds are additive and monotone.
+    for (i, j) in net.channels:
+        assert net.path_lower((i, j)) <= net.path_upper((i, j))
+
+
+@settings(**SMALL)
+@given(
+    seed=st.integers(min_value=0, max_value=200),
+    delivery_seed=st.integers(min_value=0, max_value=200),
+    horizon=st.integers(min_value=8, max_value=18),
+)
+def test_delivery_times_always_inside_windows(seed, delivery_seed, horizon):
+    scenario = flooding_scenario(num_processes=4, seed=seed, horizon=horizon)
+    run = scenario.with_delivery(SeededRandomDelivery(seed=delivery_seed)).run()
+    net = run.timed_network
+    for record in run.deliveries:
+        assert net.L(record.sender, record.destination) <= record.delay
+        assert record.delay <= net.U(record.sender, record.destination)
+    for record in run.pending:
+        assert record.send_time + net.U(record.sender, record.destination) > run.horizon
+
+
+@settings(**SMALL)
+@given(seed=st.integers(min_value=0, max_value=300))
+def test_local_states_grow_monotonically(seed):
+    """Along every timeline, each node extends its predecessor by exactly one step."""
+    run = flooding_scenario(num_processes=4, seed=seed, horizon=12).run()
+    for process in run.processes:
+        timeline = run.timelines[process]
+        for (_, previous), (_, current) in zip(timeline, timeline[1:]):
+            assert current.predecessor() == previous
+            assert previous.history.is_prefix_of(current.history)
+
+
+@settings(**SMALL)
+@given(
+    seed=st.integers(min_value=0, max_value=300),
+    go_time=st.integers(min_value=1, max_value=4),
+)
+def test_actor_acts_exactly_once_and_after_go(seed, go_time):
+    workload = random_workload(num_processes=4, seed=seed, go_time=go_time)
+    run = workload_scenario(workload, horizon=25).run()
+    go_records = [r for r in run.external_deliveries if r.process == workload.go_sender]
+    assert go_records
+    action = run.find_action(workload.actor_a, "a")
+    if action is not None:
+        assert action.time > go_records[0].time
+        occurrences = [r for r in run.actions() if r.process == workload.actor_a and r.action == "a"]
+        assert len(occurrences) == 1
+
+
+@settings(**SMALL)
+@given(seed=st.integers(min_value=0, max_value=300))
+def test_same_seed_same_run(seed):
+    first = flooding_scenario(num_processes=3, seed=seed, horizon=10).run()
+    second = flooding_scenario(num_processes=3, seed=seed, horizon=10).run()
+    assert first.timelines == second.timelines

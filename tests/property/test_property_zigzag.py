@@ -1,0 +1,88 @@
+"""Property-based tests for forks and zigzag patterns on the parametric chain scenario."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import TwoLeggedFork, ZigzagPattern, check_theorem1, general
+from repro.scenarios import (
+    spontaneous_tag,
+    zigzag_chain_equation_weight,
+    zigzag_chain_layout,
+    zigzag_chain_scenario,
+)
+
+SMALL = dict(max_examples=15, deadline=None)
+
+bound_pair = st.tuples(st.integers(1, 6), st.integers(0, 4)).map(lambda t: (t[0], t[0] + t[1]))
+
+
+def build_pattern(run, num_forks):
+    """The canonical zigzag of a chain scenario, built from its external triggers."""
+    layout = zigzag_chain_layout(num_forks)
+    externals = {r.process: r.receiver_node for r in run.external_deliveries}
+    forks = []
+    for index in range(num_forks):
+        source = layout.sources[index]
+        head = layout.pivots[index] if index < num_forks - 1 else layout.target
+        tail = layout.actor if index == 0 else layout.pivots[index - 1]
+        forks.append(
+            TwoLeggedFork(general(externals[source]), (source, head), (source, tail))
+        )
+    return ZigzagPattern(tuple(forks))
+
+
+@settings(**SMALL)
+@given(
+    num_forks=st.integers(min_value=1, max_value=3),
+    head_bounds=bound_pair,
+    tail_bounds=bound_pair,
+    actor_bounds=bound_pair,
+    target_bounds=bound_pair,
+)
+def test_chain_zigzag_weight_and_theorem1(
+    num_forks, head_bounds, tail_bounds, actor_bounds, target_bounds
+):
+    """For any bounds, the canonical chain zigzag is valid and satisfies Theorem 1."""
+    scenario = zigzag_chain_scenario(
+        num_forks=num_forks,
+        head_bounds=head_bounds,
+        tail_bounds=tail_bounds,
+        actor_bounds=actor_bounds,
+        target_bounds=target_bounds,
+    )
+    run = scenario.run()
+    pattern = build_pattern(run, num_forks)
+    assert pattern.is_valid_in(run)
+    report = check_theorem1(run, pattern)
+    assert report.holds
+    # The run weight is the static fork-weight sum plus the (non-negative) separations.
+    equation = zigzag_chain_equation_weight(scenario, num_forks)
+    assert pattern.weight(run) >= equation
+    assert pattern.separations(run) == len(pattern) - 1 - sum(pattern.joined_flags(run))
+
+
+@settings(**SMALL)
+@given(
+    num_forks=st.integers(min_value=1, max_value=3),
+    head_bounds=bound_pair,
+    tail_bounds=bound_pair,
+)
+def test_action_gap_respects_equation_weight(num_forks, head_bounds, tail_bounds):
+    """The naive B rule still lands at least Eq.(1)-weight after a, for any bounds."""
+    scenario = zigzag_chain_scenario(
+        num_forks=num_forks, head_bounds=head_bounds, tail_bounds=tail_bounds
+    )
+    run = scenario.run()
+    a_time = run.action_time("A", "a")
+    b_time = run.action_time("B", "b")
+    assert a_time is not None and b_time is not None
+    assert b_time - a_time >= zigzag_chain_equation_weight(scenario, num_forks)
+
+
+@settings(**SMALL)
+@given(num_forks=st.integers(min_value=1, max_value=4))
+def test_chain_layout_triggers_are_distinct(num_forks):
+    layout = zigzag_chain_layout(num_forks)
+    assert len(set(layout.sources)) == num_forks
+    assert len(set(layout.pivots)) == num_forks - 1
+    tags = {spontaneous_tag(i) for i in range(1, num_forks)}
+    assert len(tags) == num_forks - 1

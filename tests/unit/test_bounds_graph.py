@@ -1,0 +1,97 @@
+"""Unit tests for the basic and local bounds graphs (Definitions 8 and 14)."""
+
+import pytest
+
+from repro.core import (
+    LOWER_EDGE,
+    SUCCESSOR_EDGE,
+    UPPER_EDGE,
+    basic_bounds_graph,
+    is_p_closed,
+    local_bounds_graph,
+    local_bounds_graph_from_run,
+    precedence_set,
+    verify_against_run,
+)
+
+
+class TestBasicBoundsGraph:
+    def test_contains_every_basic_node(self, triangle_run):
+        graph = basic_bounds_graph(triangle_run)
+        for node in triangle_run.nodes():
+            assert node in graph
+
+    def test_edge_kinds_and_weights(self, figure6_run):
+        graph = basic_bounds_graph(figure6_run)
+        labels = {}
+        for edge in graph.edges:
+            labels.setdefault(edge.label, []).append(edge)
+        # One message from i to j: one lower edge (+L) and one upper edge (-U).
+        net = figure6_run.timed_network
+        assert len(labels[LOWER_EDGE]) == 1
+        assert labels[LOWER_EDGE][0].weight == net.L("i", "j")
+        assert len(labels[UPPER_EDGE]) == 1
+        assert labels[UPPER_EDGE][0].weight == -net.U("i", "j")
+        # Successor edges: i has 1 step, j has 1 step.
+        assert len(labels[SUCCESSOR_EDGE]) == 2
+        assert all(edge.weight == 1 for edge in labels[SUCCESSOR_EDGE])
+
+    def test_no_positive_cycles(self, triangle_run, figure2a_run, flooding_run):
+        for run in (triangle_run, figure2a_run, flooding_run):
+            assert not basic_bounds_graph(run).has_positive_cycle()
+
+    def test_every_edge_constraint_holds_in_run(self, triangle_run, figure2a_run):
+        for run in (triangle_run, figure2a_run):
+            ok, message = verify_against_run(basic_bounds_graph(run), run)
+            assert ok, message
+
+    def test_longest_path_is_a_valid_constraint(self, triangle_run):
+        graph = basic_bounds_graph(triangle_run)
+        go_node = triangle_run.external_deliveries[0].receiver_node
+        target = triangle_run.final_node("B")
+        weight = graph.longest_path_weight(go_node, target)
+        assert weight is not None
+        gap = triangle_run.time_of(target) - triangle_run.time_of(go_node)
+        assert gap >= weight
+
+
+class TestLocalBoundsGraph:
+    def test_matches_induced_subgraph_of_run_graph(self, triangle_run):
+        sigma = triangle_run.final_node("B")
+        local = local_bounds_graph(sigma, triangle_run.timed_network)
+        from_run = local_bounds_graph_from_run(triangle_run, sigma)
+        assert set(local.nodes) == set(from_run.nodes)
+        local_edges = {(e.source, e.target, e.weight, e.label) for e in local.edges}
+        run_edges = {(e.source, e.target, e.weight, e.label) for e in from_run.edges}
+        assert local_edges == run_edges
+
+    def test_local_graph_only_contains_past(self, triangle_run):
+        sigma = triangle_run.timelines["B"][1][1]
+        local = local_bounds_graph(sigma, triangle_run.timed_network)
+        past = triangle_run.past(sigma)
+        assert set(local.nodes) == set(past)
+
+    def test_local_graph_constraints_hold(self, figure2b_run):
+        sigma = figure2b_run.final_node("B")
+        local = local_bounds_graph(sigma, figure2b_run.timed_network)
+        ok, message = verify_against_run(local, figure2b_run)
+        assert ok, message
+
+
+class TestPrecedenceSets:
+    def test_precedence_set_contains_target(self, triangle_run):
+        graph = basic_bounds_graph(triangle_run)
+        sigma = triangle_run.final_node("B")
+        nodes = precedence_set(graph, sigma)
+        assert sigma in nodes
+
+    def test_precedence_set_is_p_closed(self, triangle_run, figure2a_run):
+        for run in (triangle_run, figure2a_run):
+            graph = basic_bounds_graph(run)
+            sigma = run.final_node("B")
+            assert is_p_closed(graph, precedence_set(graph, sigma))
+
+    def test_arbitrary_subset_usually_not_p_closed(self, triangle_run):
+        graph = basic_bounds_graph(triangle_run)
+        sigma = triangle_run.final_node("B")
+        assert not is_p_closed(graph, {sigma})

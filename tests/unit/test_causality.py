@@ -1,0 +1,143 @@
+"""Unit tests for happens-before, pasts, boundary nodes, and recognition."""
+
+import pytest
+
+from repro.core import (
+    boundary_nodes,
+    common_past,
+    general,
+    happens_before,
+    is_recognized,
+    local_delivery_map,
+    past_nodes,
+    resolve_within_past,
+)
+from repro.core.causality import causal_frontier
+
+
+class TestPastNodes:
+    def test_past_includes_self_and_initial(self, triangle_run):
+        node = triangle_run.final_node("B")
+        past = past_nodes(node)
+        assert node in past
+        assert node.timeline_prefix()[0] in past  # B's initial node
+
+    def test_past_is_closed_under_predecessors(self, triangle_run):
+        node = triangle_run.final_node("B")
+        past = past_nodes(node)
+        for member in past:
+            predecessor = member.predecessor()
+            if predecessor is not None:
+                assert predecessor in past
+
+    def test_past_includes_message_senders(self, triangle_run):
+        go_node = triangle_run.external_deliveries[0].receiver_node
+        b_late = triangle_run.final_node("B")
+        assert go_node in past_nodes(b_late)
+
+    def test_initial_node_past_is_singleton(self):
+        from repro.core import BasicNode
+
+        node = BasicNode.initial("X")
+        assert past_nodes(node) == frozenset({node})
+
+    def test_past_agrees_with_run_past(self, triangle_run):
+        node = triangle_run.final_node("A")
+        assert past_nodes(node) == triangle_run.past(node)
+
+
+class TestHappensBefore:
+    def test_local_order(self, triangle_run):
+        initial = triangle_run.initial_node("C")
+        later = triangle_run.final_node("C")
+        assert happens_before(initial, later)
+        assert not happens_before(later, initial)
+
+    def test_strict_excludes_equality(self, triangle_run):
+        node = triangle_run.final_node("C")
+        assert happens_before(node, node)
+        assert not happens_before(node, node, strict=True)
+
+    def test_cross_process_via_message(self, triangle_run):
+        go_node = triangle_run.external_deliveries[0].receiver_node
+        a_node = triangle_run.resolve(general(go_node, ("C", "A")))
+        assert happens_before(go_node, a_node)
+        assert not happens_before(a_node, go_node)
+
+    def test_concurrent_nodes_unrelated(self, figure2a_run):
+        # C's go node and E's spontaneous node are causally independent.
+        externals = {r.process: r.receiver_node for r in figure2a_run.external_deliveries}
+        assert not happens_before(externals["C"], externals["E"])
+        assert not happens_before(externals["E"], externals["C"])
+
+    def test_run_happens_before_wrapper(self, triangle_run):
+        go_node = triangle_run.external_deliveries[0].receiver_node
+        assert triangle_run.happens_before(go_node, triangle_run.final_node("B"))
+
+
+class TestBoundaryAndDeliveryMaps:
+    def test_boundary_nodes_are_latest(self, triangle_run):
+        sigma = triangle_run.final_node("B")
+        boundary = boundary_nodes(sigma)
+        assert boundary["B"] == sigma
+        for process, node in boundary.items():
+            assert node.process == process
+            # No later node of that process is in the past.
+            for other in past_nodes(sigma):
+                if other.process == process:
+                    assert other.precedes_locally(node)
+
+    def test_local_delivery_map_matches_run(self, triangle_run):
+        sigma = triangle_run.final_node("B")
+        delivered = local_delivery_map(sigma)
+        for (sender_node, destination), receiver in delivered.items():
+            record = triangle_run.delivery_of(sender_node, destination)
+            assert record is not None
+            assert record.receiver_node == receiver
+
+    def test_causal_frontier_lists_boundary(self, triangle_run):
+        sigma = triangle_run.final_node("B")
+        frontier = causal_frontier(sigma)
+        assert frontier["B"] == sigma
+
+
+class TestRecognitionAndResolution:
+    def test_recognized_iff_base_in_past(self, triangle_run):
+        sigma = triangle_run.final_node("B")
+        go_node = triangle_run.external_deliveries[0].receiver_node
+        assert is_recognized(general(go_node, ("C", "A")), sigma)
+        # A node from B's own future is not recognized at an earlier B node.
+        early_b = triangle_run.timelines["B"][1][1]
+        assert not is_recognized(general(sigma), early_b)
+
+    def test_resolve_within_past_full_chain(self, triangle_run):
+        sigma = triangle_run.final_node("B")
+        go_node = triangle_run.external_deliveries[0].receiver_node
+        theta = general(go_node, ("C", "A"))
+        resolved, hops = resolve_within_past(theta, sigma)
+        assert hops == 1
+        assert resolved == triangle_run.resolve(theta)
+
+    def test_resolve_within_past_partial_chain(self, triangle_run):
+        sigma = triangle_run.timelines["B"][1][1]  # B's first non-initial node
+        go_node = triangle_run.external_deliveries[0].receiver_node
+        # The chain C -> A -> B -> A goes beyond what sigma has seen.
+        theta = general(go_node, ("C", "A", "B", "A"))
+        if is_recognized(theta, sigma):
+            resolved, hops = resolve_within_past(theta, sigma)
+            assert hops <= 2
+
+    def test_resolve_unrecognized_raises(self, triangle_run):
+        sigma = triangle_run.timelines["B"][1][1]
+        future_b = triangle_run.final_node("B")
+        if not is_recognized(general(future_b), sigma):
+            with pytest.raises(ValueError):
+                resolve_within_past(general(future_b), sigma)
+
+    def test_common_past(self, triangle_run):
+        a_final = triangle_run.final_node("A")
+        b_final = triangle_run.final_node("B")
+        shared = common_past([a_final, b_final])
+        go_node = triangle_run.external_deliveries[0].receiver_node
+        assert go_node in shared
+        assert common_past([]) == frozenset()

@@ -1,0 +1,78 @@
+"""Unit tests for delivery strategies (the environment's adversaries)."""
+
+import pytest
+
+from repro.simulation import (
+    BiasedDelivery,
+    DelayTableDelivery,
+    DeliveryError,
+    EarliestDelivery,
+    History,
+    LatestDelivery,
+    Message,
+    ScriptedDelivery,
+    SeededRandomDelivery,
+    timed_network,
+)
+
+
+@pytest.fixture()
+def net():
+    return timed_network({("C", "A"): (2, 6), ("C", "B"): (3, 9)})
+
+
+def message(sender="C", recipients=("A", "B")):
+    return Message(sender, recipients, History.initial(sender))
+
+
+class TestFixedStrategies:
+    def test_earliest_uses_lower_bound(self, net):
+        assert EarliestDelivery().checked_delay(message(), "A", 0, net) == 2
+        assert EarliestDelivery().checked_delay(message(), "B", 0, net) == 3
+
+    def test_latest_uses_upper_bound(self, net):
+        assert LatestDelivery().checked_delay(message(), "A", 0, net) == 6
+        assert LatestDelivery().checked_delay(message(), "B", 0, net) == 9
+
+
+class TestSeededRandom:
+    def test_within_window(self, net):
+        strategy = SeededRandomDelivery(seed=5)
+        for _ in range(50):
+            delay = strategy.checked_delay(message(), "A", 0, net)
+            assert 2 <= delay <= 6
+
+    def test_reproducible(self, net):
+        first = [SeededRandomDelivery(seed=3).delay(message(), "A", 0, net) for _ in range(1)]
+        second = [SeededRandomDelivery(seed=3).delay(message(), "A", 0, net) for _ in range(1)]
+        assert first == second
+
+    def test_reset_restores_sequence(self, net):
+        strategy = SeededRandomDelivery(seed=9)
+        sequence = [strategy.delay(message(), "A", t, net) for t in range(5)]
+        strategy.reset()
+        assert [strategy.delay(message(), "A", t, net) for t in range(5)] == sequence
+
+
+class TestBiasedAndScripted:
+    def test_biased_overrides_channel(self, net):
+        strategy = BiasedDelivery({("C", "A"): 4}, fallback=LatestDelivery())
+        assert strategy.checked_delay(message(), "A", 0, net) == 4
+        assert strategy.checked_delay(message(), "B", 0, net) == 9
+
+    def test_out_of_window_choice_rejected(self, net):
+        strategy = BiasedDelivery({("C", "A"): 1})
+        with pytest.raises(DeliveryError):
+            strategy.checked_delay(message(), "A", 0, net)
+
+    def test_scripted_matcher(self, net):
+        strategy = ScriptedDelivery().add(
+            lambda msg, dest, sent: dest == "B" and sent == 5, 7
+        )
+        assert strategy.checked_delay(message(), "B", 5, net) == 7
+        assert strategy.checked_delay(message(), "B", 6, net) == 3  # fallback earliest
+
+    def test_delay_table(self, net):
+        strategy = DelayTableDelivery({("C", "A", 2): 5})
+        assert strategy.checked_delay(message(), "A", 2, net) == 5
+        assert strategy.checked_delay(message(), "A", 3, net) == 2

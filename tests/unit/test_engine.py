@@ -1,0 +1,176 @@
+"""Unit tests for the discrete-event engine and run bookkeeping."""
+
+import pytest
+
+from repro.simulation import (
+    Context,
+    EarliestDelivery,
+    ExternalInput,
+    LatestDelivery,
+    ProtocolAssignment,
+    ScheduleError,
+    SeededRandomDelivery,
+    SilentProtocol,
+    SimulationError,
+    Simulator,
+    actor_protocol,
+    fully_connected,
+    go_at,
+    go_sender_protocol,
+    simulate,
+    timed_network,
+)
+from repro.simulation.engine import _normalise_protocols
+
+
+@pytest.fixture()
+def triangle():
+    return fully_connected(["A", "B", "C"], 1, 3)
+
+
+def coordination_protocols():
+    protocols = ProtocolAssignment()
+    protocols.assign("C", go_sender_protocol())
+    protocols.assign("A", actor_protocol("a", "C"))
+    return protocols
+
+
+class TestSimulatorConfiguration:
+    def test_rejects_negative_horizon(self, triangle):
+        with pytest.raises(SimulationError):
+            Simulator(Context(triangle), horizon=-1)
+
+    def test_rejects_unknown_external_recipient(self, triangle):
+        with pytest.raises(SimulationError):
+            Simulator(Context(triangle), external_inputs=[ExternalInput(1, "Z")])
+
+    def test_rejects_time_zero_external(self, triangle):
+        with pytest.raises(ScheduleError):
+            ExternalInput(0, "A")
+
+    def test_protocol_normalisation(self):
+        assignment = _normalise_protocols(SilentProtocol())
+        assert isinstance(assignment, ProtocolAssignment)
+        mapping = _normalise_protocols({"A": SilentProtocol()})
+        assert isinstance(mapping.for_process("A"), SilentProtocol)
+        with pytest.raises(SimulationError):
+            _normalise_protocols(42)
+
+
+class TestBasicExecution:
+    def test_no_external_input_means_no_activity(self, triangle):
+        run = simulate(Context(triangle), horizon=10)
+        assert all(len(timeline) == 1 for timeline in run.timelines.values())
+        assert not run.deliveries and not run.sends
+
+    def test_flooding_reaches_everyone(self, triangle):
+        run = simulate(
+            Context(triangle),
+            coordination_protocols(),
+            external_inputs=go_at(2, "C"),
+            horizon=10,
+        )
+        run.validate()
+        for process in run.processes:
+            assert len(run.timelines[process]) > 1
+
+    def test_action_a_performed_on_go(self, triangle):
+        run = simulate(
+            Context(triangle),
+            coordination_protocols(),
+            external_inputs=go_at(2, "C"),
+            horizon=10,
+        )
+        assert run.action_time("C", "send_go") == 2
+        # Earliest delivery: C -> A has lower bound 1.
+        assert run.action_time("A", "a") == 3
+
+    def test_latest_delivery_delays_action(self, triangle):
+        run = simulate(
+            Context(triangle),
+            coordination_protocols(),
+            delivery=LatestDelivery(),
+            external_inputs=go_at(2, "C"),
+            horizon=10,
+        )
+        assert run.action_time("A", "a") == 5  # upper bound 3
+
+    def test_deliveries_respect_bounds_under_random_adversary(self, triangle):
+        run = simulate(
+            Context(triangle),
+            coordination_protocols(),
+            delivery=SeededRandomDelivery(seed=11),
+            external_inputs=go_at(2, "C"),
+            horizon=12,
+        )
+        run.validate()
+        net = run.timed_network
+        for record in run.deliveries:
+            low, high = net.L(record.sender, record.destination), net.U(record.sender, record.destination)
+            assert low <= record.delay <= high
+
+    def test_silent_protocol_produces_no_messages(self, triangle):
+        run = simulate(
+            Context(triangle),
+            SilentProtocol(),
+            external_inputs=go_at(2, "C"),
+            horizon=8,
+        )
+        assert not run.sends
+        # C still takes a step when the external input arrives.
+        assert len(run.timelines["C"]) == 2
+
+    def test_messages_pending_at_horizon_are_recorded(self, triangle):
+        run = simulate(
+            Context(triangle),
+            coordination_protocols(),
+            delivery=LatestDelivery(),
+            external_inputs=go_at(2, "C"),
+            horizon=3,
+        )
+        # C's flood at t=2 with delay 3 lands at t=5 > horizon.
+        assert run.pending
+        run.validate()
+
+    def test_runs_are_deterministic(self, triangle):
+        first = simulate(
+            Context(triangle), coordination_protocols(), external_inputs=go_at(2, "C"), horizon=8
+        )
+        second = simulate(
+            Context(triangle), coordination_protocols(), external_inputs=go_at(2, "C"), horizon=8
+        )
+        assert first.timelines == second.timelines
+        assert first.action_time("A", "a") == second.action_time("A", "a")
+
+    def test_simultaneous_deliveries_form_one_step(self):
+        # Both neighbours send to Z with identical bounds; Z observes both in one step.
+        net = timed_network({("X", "Z"): (2, 2), ("Y", "Z"): (2, 2)})
+        protocols = ProtocolAssignment()
+        protocols.assign("X", go_sender_protocol())
+        protocols.assign("Y", go_sender_protocol("mu_other"))
+        run = simulate(
+            Context(net),
+            protocols,
+            external_inputs=[ExternalInput(1, "X"), ExternalInput(1, "Y", "mu_other")],
+            horizon=5,
+        )
+        z_timeline = run.timelines["Z"]
+        assert len(z_timeline) == 2
+        final = z_timeline[-1][1]
+        assert len(final.history.last_step) == 2
+
+    def test_send_restricted_to_existing_channels(self):
+        from repro.simulation import Protocol, StepDecision
+
+        class BadProtocol(Protocol):
+            def on_step(self, ctx):
+                return StepDecision(actions=(), send_to=("Z",))
+
+        net = timed_network({("X", "Y"): (1, 2)})
+        with pytest.raises(SimulationError):
+            simulate(
+                Context(net),
+                {"X": BadProtocol()},
+                external_inputs=[ExternalInput(1, "X")],
+                horizon=4,
+            )

@@ -1,0 +1,179 @@
+"""Unit tests for the extended bounds graph GE(r, sigma) and its chain nodes."""
+
+import pytest
+
+from repro.core import (
+    AuxiliaryNode,
+    ExtendedBoundsGraph,
+    ExtendedGraphError,
+    general,
+)
+from repro.core.extended_graph import (
+    AUXILIARY_EDGE,
+    CHAIN_ANCHOR_EDGE,
+    CHAIN_LOWER_EDGE,
+    CHAIN_UPPER_EDGE,
+    FLOODING_EDGE,
+    UNDELIVERED_EDGE,
+    ChainNode,
+)
+
+
+@pytest.fixture()
+def extended_b(triangle_run):
+    sigma = triangle_run.final_node("B")
+    return ExtendedBoundsGraph(sigma, triangle_run.timed_network), sigma, triangle_run
+
+
+class TestStructure:
+    def test_auxiliary_node_per_process(self, extended_b):
+        extended, sigma, run = extended_b
+        assert set(extended.auxiliary_keys()) == {
+            AuxiliaryNode(p) for p in run.processes
+        }
+
+    def test_auxiliary_edges_from_boundaries(self, extended_b):
+        extended, sigma, run = extended_b
+        aux_edges = [e for e in extended.graph.edges if e.label == AUXILIARY_EDGE]
+        assert {e.source for e in aux_edges} == set(extended.boundary.values())
+        assert all(e.weight == 1 for e in aux_edges)
+
+    def test_flooding_edges_cover_channels(self, extended_b):
+        extended, sigma, run = extended_b
+        flooding = [e for e in extended.graph.edges if e.label == FLOODING_EDGE]
+        net = run.timed_network
+        assert len(flooding) == len(net.channels)
+        for edge in flooding:
+            # Edge (psi_receiver -> psi_sender) with weight -U(sender, receiver).
+            assert isinstance(edge.source, AuxiliaryNode)
+            assert isinstance(edge.target, AuxiliaryNode)
+            assert edge.weight == -net.U(edge.target.process, edge.source.process)
+
+    def test_undelivered_edges_only_for_unseen_deliveries(self, extended_b):
+        extended, sigma, run = extended_b
+        delivered = set(extended.delivered)
+        for edge in extended.graph.edges:
+            if edge.label == UNDELIVERED_EDGE:
+                sender_node = edge.target
+                destination = edge.source.process
+                assert (sender_node, destination) not in delivered
+                assert sender_node in extended.past
+
+    def test_figure8_edge_summary_has_all_sets(self, figure8_run):
+        sigma = figure8_run.final_node("i")
+        extended = ExtendedBoundsGraph(sigma, figure8_run.timed_network)
+        summary = extended.edge_summary()
+        for label in (AUXILIARY_EDGE, UNDELIVERED_EDGE, FLOODING_EDGE):
+            assert summary.get(label, 0) > 0
+        assert "ExtendedBoundsGraph" in extended.describe()
+
+    def test_no_positive_cycle(self, extended_b, figure2b_run):
+        extended, sigma, run = extended_b
+        assert not extended.graph.has_positive_cycle()
+        sigma2 = figure2b_run.final_node("B")
+        assert not ExtendedBoundsGraph(sigma2, figure2b_run.timed_network).graph.has_positive_cycle()
+
+    def test_without_auxiliary_layer(self, triangle_run):
+        sigma = triangle_run.final_node("B")
+        bare = ExtendedBoundsGraph(sigma, triangle_run.timed_network, include_auxiliary=False)
+        assert not bare.auxiliary_keys()
+        assert bare.edge_summary().get(FLOODING_EDGE, 0) == 0
+
+
+class TestGeneralNodes:
+    def test_resolved_chain_maps_to_basic_node(self, extended_b):
+        extended, sigma, run = extended_b
+        go_node = run.external_deliveries[0].receiver_node
+        theta = general(go_node, ("C", "A"))
+        key = extended.add_general_node(theta)
+        assert key == run.resolve(theta)
+
+    def test_unresolved_chain_creates_chain_nodes(self, extended_b):
+        extended, sigma, run = extended_b
+        # sigma's own flood to A has certainly not been seen to arrive by sigma.
+        theta = general(sigma, ("B", "A"))
+        key = extended.add_general_node(theta)
+        assert isinstance(key, ChainNode)
+        labels = {e.label for e in extended.graph.out_edges(key)}
+        assert CHAIN_UPPER_EDGE in labels
+        summary = extended.edge_summary()
+        assert summary.get(CHAIN_LOWER_EDGE, 0) >= 1
+        assert summary.get(CHAIN_ANCHOR_EDGE, 0) >= 1
+
+    def test_adding_twice_does_not_duplicate(self, extended_b):
+        extended, sigma, run = extended_b
+        theta = general(sigma, ("B", "A", "C"))
+        extended.add_general_node(theta)
+        edges_before = extended.graph.edge_count()
+        extended.add_general_node(theta)
+        assert extended.graph.edge_count() == edges_before
+
+    def test_shared_prefixes_share_chain_nodes(self, extended_b):
+        extended, sigma, run = extended_b
+        extended.add_general_node(general(sigma, ("B", "A")))
+        count_after_first = len(extended.chain_keys())
+        extended.add_general_node(general(sigma, ("B", "A", "C")))
+        assert len(extended.chain_keys()) == count_after_first + 1
+
+    def test_unrecognized_node_rejected(self, triangle_run):
+        early_b = triangle_run.timelines["B"][1][1]
+        late_b = triangle_run.final_node("B")
+        extended = ExtendedBoundsGraph(early_b, triangle_run.timed_network)
+        with pytest.raises(ExtendedGraphError):
+            extended.add_general_node(general(late_b))
+
+    def test_chain_from_initial_node_rejected(self, extended_b):
+        extended, sigma, run = extended_b
+        initial_a = run.initial_node("A")
+        with pytest.raises(ExtendedGraphError):
+            extended.add_general_node(general(initial_a, ("A", "B")))
+
+    def test_auxiliary_lookup_validates_process(self, extended_b):
+        extended, sigma, run = extended_b
+        assert extended.auxiliary("A") == AuxiliaryNode("A")
+        with pytest.raises(ExtendedGraphError):
+            extended.auxiliary("nope")
+
+
+class TestConstraintQueries:
+    def test_longest_weight_between_known_nodes(self, extended_b):
+        extended, sigma, run = extended_b
+        go_node = run.external_deliveries[0].receiver_node
+        weight = extended.longest_weight_between(general(go_node), general(sigma))
+        assert weight is not None
+        # Soundness: the constraint holds in the actual run.
+        assert run.time_of(sigma) - run.time_of(go_node) >= weight
+
+    def test_constraint_path_reconstruction(self, extended_b):
+        extended, sigma, run = extended_b
+        go_node = run.external_deliveries[0].receiver_node
+        result = extended.constraint_path(general(go_node), general(sigma))
+        assert result is not None
+        weight, edges = result
+        assert weight == sum(edge.weight for edge in edges)
+
+    def test_over_the_horizon_inference(self, figure8_run):
+        """The Section 5.1 example: an unseen delivery still constrains timing.
+
+        If an i-node sigma_i sent a message to j that has not been seen to
+        arrive by sigma, then sigma knows sigma_j --(1 - U_ij)--> sigma_i for
+        j's boundary node sigma_j.
+        """
+        run = figure8_run
+        sigma = run.final_node("i")
+        extended = ExtendedBoundsGraph(sigma, run.timed_network)
+        net = run.timed_network
+        delivered = set(extended.delivered)
+        found = False
+        for node in extended.past:
+            if node.is_initial:
+                continue
+            for dest in net.out_neighbors(node.process):
+                if (node, dest) in delivered or dest not in extended.boundary:
+                    continue
+                boundary = extended.boundary[dest]
+                weight = extended.longest_weight(boundary, node)
+                assert weight is not None
+                assert weight >= 1 - net.U(node.process, dest)
+                found = True
+        assert found, "scenario should contain at least one unseen delivery"

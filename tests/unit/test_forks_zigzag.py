@@ -1,0 +1,140 @@
+"""Unit tests for two-legged forks and zigzag patterns."""
+
+import pytest
+
+from repro.core import (
+    TwoLeggedFork,
+    ZigzagError,
+    ZigzagPattern,
+    general,
+    simple_fork,
+    single_fork_pattern,
+    trivial_fork,
+)
+from repro.core.nodes import NodeError
+from repro.scenarios import figure1_scenario, figure2a_scenario, zigzag_chain_equation_weight
+
+
+class TestTwoLeggedFork:
+    def _figure1(self):
+        scenario = figure1_scenario()
+        run = scenario.run()
+        go_node = run.external_deliveries[0].receiver_node
+        fork = simple_fork(go_node, head_recipient="B", tail_recipient="A")
+        return scenario, run, fork
+
+    def test_endpoints(self):
+        _, run, fork = self._figure1()
+        assert fork.head.process == "B"
+        assert fork.tail.process == "A"
+        assert fork.base.process == "C"
+        assert not fork.is_trivial
+
+    def test_weight_matches_figure1(self):
+        scenario, _, fork = self._figure1()
+        net = scenario.timed_network
+        assert fork.weight(net) == net.L("C", "B") - net.U("C", "A")
+
+    def test_appears_and_observed_gap(self):
+        _, run, fork = self._figure1()
+        assert fork.appears_in(run)
+        gap = fork.observed_gap(run)
+        assert gap is not None
+        assert gap >= fork.weight(run.timed_network)
+        assert fork.satisfies_theorem1_in(run)
+
+    def test_trivial_fork(self):
+        _, run, _ = self._figure1()
+        node = run.final_node("B")
+        fork = trivial_fork(node)
+        assert fork.is_trivial
+        assert fork.weight(run.timed_network) == 0
+        assert fork.observed_gap(run) == 0
+
+    def test_legs_must_start_at_base(self):
+        _, run, _ = self._figure1()
+        go_node = run.external_deliveries[0].receiver_node
+        with pytest.raises(NodeError):
+            TwoLeggedFork(go_node, ("A", "B"), ("C",))
+
+    def test_unresolved_fork_reports_none(self):
+        _, run, _ = self._figure1()
+        final_b = run.final_node("B")
+        # B has no outgoing channels in Figure 1, so this chain never exists.
+        fork = TwoLeggedFork(general(final_b), ("B",), ("B",))
+        assert fork.observed_gap(run) == 0
+        dangling = TwoLeggedFork(general(run.final_node("C")), ("C", "A"), ("C", "B"))
+        # C's final node sent messages whose deliveries may be pending at the horizon.
+        assert dangling.observed_gap(run) is None or isinstance(dangling.observed_gap(run), int)
+
+
+class TestZigzagPattern:
+    def _figure2a(self):
+        scenario = figure2a_scenario()
+        run = scenario.run()
+        externals = {r.process: r.receiver_node for r in run.external_deliveries}
+        fork1 = TwoLeggedFork(general(externals["C"]), ("C", "D"), ("C", "A"))
+        fork2 = TwoLeggedFork(general(externals["E"]), ("E", "B"), ("E", "D"))
+        pattern = ZigzagPattern((fork1, fork2))
+        return scenario, run, pattern
+
+    def test_empty_pattern_rejected(self):
+        with pytest.raises(ZigzagError):
+            ZigzagPattern(())
+
+    def test_mismatched_fork_processes_rejected(self):
+        scenario, run, pattern = self._figure2a()
+        fork1, fork2 = pattern.forks
+        bad_second = TwoLeggedFork(fork2.base, ("E", "B"), ("E", "B"))
+        with pytest.raises(ZigzagError):
+            ZigzagPattern((fork1, bad_second))
+
+    def test_endpoints(self):
+        _, run, pattern = self._figure2a()
+        assert pattern.tail.process == "A"
+        assert pattern.head.process == "B"
+        assert len(pattern) == 2
+
+    def test_validity_in_run(self):
+        _, run, pattern = self._figure2a()
+        assert pattern.appears_in(run)
+        assert pattern.is_valid_in(run)
+
+    def test_weight_matches_equation1_plus_separation(self):
+        scenario, run, pattern = self._figure2a()
+        equation = zigzag_chain_equation_weight(scenario, 2)
+        # The two forks meet at distinct D-nodes, so S(Z) = 1.
+        assert pattern.separations(run) == 1
+        assert pattern.joined_flags(run) == (False,)
+        assert pattern.weight(run) == equation + 1
+        assert pattern.weight_lower_bound(run.timed_network) == equation
+
+    def test_theorem1_gap(self):
+        _, run, pattern = self._figure2a()
+        assert pattern.observed_gap(run) >= pattern.weight(run)
+
+    def test_single_fork_pattern(self):
+        _, run, pattern = self._figure2a()
+        single = single_fork_pattern(pattern.forks[0])
+        assert len(single) == 1
+        assert single.is_valid_in(run)
+
+    def test_extend_and_concatenate(self):
+        _, run, pattern = self._figure2a()
+        first = single_fork_pattern(pattern.forks[0])
+        extended = first.extend(pattern.forks[1])
+        assert extended.forks == pattern.forks
+        concatenated = first.concatenate(single_fork_pattern(pattern.forks[1]))
+        assert concatenated.forks == pattern.forks
+
+    def test_invalid_when_order_reversed(self):
+        scenario, run, pattern = self._figure2a()
+        fork1, fork2 = pattern.forks
+        # Swapping the forks breaks the head-before-tail requirement at D.
+        reversed_pattern = ZigzagPattern(
+            (
+                TwoLeggedFork(fork2.base, ("E", "D"), ("E", "B")),
+                TwoLeggedFork(fork1.base, ("C", "A"), ("C", "D")),
+            )
+        )
+        assert not reversed_pattern.is_valid_in(run)

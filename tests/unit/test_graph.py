@@ -1,0 +1,113 @@
+"""Unit tests for the weighted-graph toolkit (longest paths, cycles, subgraphs)."""
+
+import pytest
+
+from repro.core import PositiveCycleError, WeightedGraph
+
+
+def chain_graph():
+    graph = WeightedGraph()
+    graph.add_edge("a", "b", 2)
+    graph.add_edge("b", "c", 3)
+    graph.add_edge("a", "c", 1)
+    return graph
+
+
+class TestConstruction:
+    def test_nodes_and_edges(self):
+        graph = chain_graph()
+        assert set(graph.nodes) == {"a", "b", "c"}
+        assert graph.edge_count() == 3
+        assert len(graph) == 3
+        assert "a" in graph and "z" not in graph
+
+    def test_out_and_in_edges(self):
+        graph = chain_graph()
+        assert {e.target for e in graph.out_edges("a")} == {"b", "c"}
+        assert {e.source for e in graph.in_edges("c")} == {"b", "a"}
+        assert list(graph.successors("a")) == ["b", "c"]
+
+    def test_isolated_node(self):
+        graph = WeightedGraph()
+        graph.add_node("solo")
+        assert graph.out_edges("solo") == ()
+        assert len(graph) == 1
+
+
+class TestLongestPaths:
+    def test_longest_path_weights(self):
+        graph = chain_graph()
+        weights = graph.longest_path_weights("a")
+        assert weights["a"] == 0
+        assert weights["b"] == 2
+        assert weights["c"] == 5  # a->b->c beats a->c
+
+    def test_longest_path_weight_unreachable(self):
+        graph = chain_graph()
+        graph.add_node("island")
+        assert graph.longest_path_weight("a", "island") is None
+
+    def test_longest_path_reconstruction(self):
+        graph = chain_graph()
+        weight, edges = graph.longest_path("a", "c")
+        assert weight == 5
+        assert [e.target for e in edges] == ["b", "c"]
+
+    def test_longest_path_missing_target_raises(self):
+        graph = chain_graph()
+        with pytest.raises(KeyError):
+            graph.longest_path_weight("a", "nope")
+        with pytest.raises(KeyError):
+            graph.longest_path_weights("nope")
+
+    def test_negative_weights_allowed(self):
+        graph = WeightedGraph()
+        graph.add_edge("a", "b", -4)
+        graph.add_edge("b", "c", 10)
+        assert graph.longest_path_weight("a", "c") == 6
+
+    def test_zero_weight_cycle_is_fine(self):
+        graph = WeightedGraph()
+        graph.add_edge("a", "b", 3)
+        graph.add_edge("b", "a", -3)
+        graph.add_edge("b", "c", 1)
+        assert graph.longest_path_weight("a", "c") == 4
+        assert not graph.has_positive_cycle()
+
+    def test_positive_cycle_detected(self):
+        graph = WeightedGraph()
+        graph.add_edge("a", "b", 2)
+        graph.add_edge("b", "a", -1)
+        graph.add_edge("b", "c", 1)
+        assert graph.has_positive_cycle()
+        with pytest.raises(PositiveCycleError):
+            graph.longest_path_weights("a")
+        with pytest.raises(PositiveCycleError):
+            graph.longest_path("a", "c")
+
+    def test_self_distance_zero(self):
+        graph = chain_graph()
+        assert graph.longest_path_weight("a", "a") == 0
+        weight, edges = graph.longest_path("b", "b")
+        assert weight == 0 and edges == ()
+
+
+class TestReachabilityAndSubgraphs:
+    def test_reachable_to(self):
+        graph = chain_graph()
+        assert graph.reachable_to("c") == frozenset({"a", "b", "c"})
+        assert graph.reachable_to("a") == frozenset({"a"})
+        with pytest.raises(KeyError):
+            graph.reachable_to("missing")
+
+    def test_reachable_from(self):
+        graph = chain_graph()
+        assert graph.reachable_from("a") == frozenset({"a", "b", "c"})
+        assert graph.reachable_from("c") == frozenset({"c"})
+
+    def test_induced_subgraph(self):
+        graph = chain_graph()
+        sub = graph.induced_subgraph({"a", "b"})
+        assert set(sub.nodes) == {"a", "b"}
+        assert sub.edge_count() == 1
+        assert sub.longest_path_weight("a", "b") == 2

@@ -1,0 +1,126 @@
+"""Unit tests for the knowledge layer (K_sigma of timed precedence)."""
+
+import pytest
+
+from repro.core import (
+    KnowledgeChecker,
+    empirical_min_gap,
+    general,
+    indistinguishable,
+    knows_precedence,
+    max_known_gap,
+)
+from repro.core.extended_graph import ExtendedGraphError
+
+
+class TestKnowledgeChecker:
+    def test_known_gap_is_sound_in_the_actual_run(self, triangle_run):
+        sigma = triangle_run.final_node("B")
+        go_node = triangle_run.external_deliveries[0].receiver_node
+        theta_a = general(go_node, ("C", "A"))
+        checker = KnowledgeChecker(sigma, triangle_run.timed_network)
+        gap = checker.max_known_gap(theta_a, sigma)
+        assert gap is not None
+        actual = triangle_run.time_of(sigma) - triangle_run.time_of_general(theta_a)
+        assert gap <= actual
+
+    def test_knows_matches_max_gap(self, triangle_run):
+        sigma = triangle_run.final_node("B")
+        go_node = triangle_run.external_deliveries[0].receiver_node
+        checker = KnowledgeChecker(sigma, triangle_run.timed_network)
+        gap = checker.max_known_gap(go_node, sigma)
+        assert checker.knows(go_node, sigma, gap)
+        assert not checker.knows(go_node, sigma, gap + 1)
+
+    def test_knows_statement_wrapper(self, triangle_run):
+        from repro.core import precedes
+
+        sigma = triangle_run.final_node("B")
+        go_node = triangle_run.external_deliveries[0].receiver_node
+        checker = KnowledgeChecker(sigma, triangle_run.timed_network)
+        gap = checker.max_known_gap(go_node, sigma)
+        assert checker.knows_statement(precedes(go_node, sigma, gap))
+
+    def test_known_window_brackets_truth(self, triangle_run):
+        sigma = triangle_run.final_node("B")
+        go_node = triangle_run.external_deliveries[0].receiver_node
+        checker = KnowledgeChecker(sigma, triangle_run.timed_network)
+        low, high = checker.known_window(go_node, sigma)
+        actual = triangle_run.time_of(sigma) - triangle_run.time_of(go_node)
+        assert low is not None and low <= actual
+        if high is not None:
+            assert actual <= high
+            assert low <= high
+
+    def test_self_gap_is_zero(self, triangle_run):
+        sigma = triangle_run.final_node("B")
+        checker = KnowledgeChecker(sigma, triangle_run.timed_network)
+        assert checker.max_known_gap(sigma, sigma) == 0
+
+    def test_unrecognized_node_rejected(self, triangle_run):
+        early_b = triangle_run.timelines["B"][1][1]
+        late_b = triangle_run.final_node("B")
+        checker = KnowledgeChecker(early_b, triangle_run.timed_network)
+        with pytest.raises(ExtendedGraphError):
+            checker.max_known_gap(late_b, early_b)
+
+    def test_convenience_wrappers(self, triangle_run):
+        sigma = triangle_run.final_node("B")
+        go_node = triangle_run.external_deliveries[0].receiver_node
+        gap = max_known_gap(sigma, go_node, sigma, triangle_run.timed_network)
+        assert gap is not None
+        assert knows_precedence(sigma, go_node, sigma, gap, triangle_run.timed_network)
+        assert not knows_precedence(sigma, go_node, sigma, gap + 5, triangle_run.timed_network)
+
+    def test_local_only_checker_is_weaker_or_equal(self, figure2b_run):
+        sigma = figure2b_run.final_node("B")
+        go_node = figure2b_run.external_deliveries[0].receiver_node
+        theta_a = general(go_node, ("C", "A"))
+        net = figure2b_run.timed_network
+        full = KnowledgeChecker(sigma, net).max_known_gap(theta_a, sigma)
+        local = KnowledgeChecker(sigma, net, include_auxiliary=False).max_known_gap(
+            theta_a, sigma
+        )
+        assert full is not None
+        if local is not None:
+            assert local <= full
+
+    def test_knowledge_grows_along_timeline(self, figure2b_run):
+        """Later B-nodes know at least as strong a bound as earlier ones."""
+        run = figure2b_run
+        go_node = run.external_deliveries[0].receiver_node
+        theta_a = general(go_node, ("C", "A"))
+        net = run.timed_network
+        previous_offset = None
+        for time, node in run.timelines["B"]:
+            if node.is_initial:
+                continue
+            from repro.core import past_nodes
+
+            if go_node not in past_nodes(node):
+                continue
+            gap = KnowledgeChecker(node, net).max_known_gap(theta_a, node)
+            assert gap is not None
+            # Normalise to an absolute lower bound on time(sigma_B) - time(a):
+            # it can only improve (weakly) as B's time advances.
+            offset = gap - time
+            if previous_offset is not None:
+                assert offset >= previous_offset - (time - previous_time)
+            previous_offset, previous_time = offset, time
+
+
+class TestEmpiricalHelpers:
+    def test_indistinguishable(self, triangle_run, figure1_run):
+        go_triangle = triangle_run.external_deliveries[0].receiver_node
+        assert indistinguishable(triangle_run, triangle_run, go_triangle)
+        # C's post-go local state is the same in the figure 1 run.
+        assert indistinguishable(triangle_run, figure1_run, go_triangle)
+        b_node = triangle_run.final_node("B")
+        assert not indistinguishable(triangle_run, figure1_run, b_node)
+
+    def test_empirical_min_gap(self, triangle_run):
+        sigma = triangle_run.final_node("B")
+        go_node = triangle_run.external_deliveries[0].receiver_node
+        gap = empirical_min_gap([triangle_run], sigma, go_node, sigma)
+        assert gap == triangle_run.time_of(sigma) - triangle_run.time_of(go_node)
+        assert empirical_min_gap([], sigma, go_node, sigma) is None

@@ -1,0 +1,130 @@
+"""Unit tests for observations, messages, and histories."""
+
+import pytest
+
+from repro.simulation import (
+    ExternalReceipt,
+    History,
+    LocalAction,
+    Message,
+    MessageReceipt,
+)
+
+
+def make_message(sender="C", recipients=("A", "B"), payload=None):
+    return Message(sender, recipients, History.initial(sender).extend((ExternalReceipt("go"),)), payload)
+
+
+class TestObservations:
+    def test_external_receipt_equality(self):
+        assert ExternalReceipt("go") == ExternalReceipt("go")
+        assert ExternalReceipt("go") != ExternalReceipt("stop")
+        assert hash(ExternalReceipt("go")) == hash(ExternalReceipt("go"))
+
+    def test_local_action_equality(self):
+        assert LocalAction("a") == LocalAction("a")
+        assert LocalAction("a") != LocalAction("b")
+
+    def test_observations_are_immutable(self):
+        with pytest.raises(AttributeError):
+            ExternalReceipt("go").tag = "other"
+        with pytest.raises(AttributeError):
+            LocalAction("a").name = "b"
+
+    def test_describe(self):
+        assert "go" in ExternalReceipt("go").describe()
+        assert "a" in LocalAction("a").describe()
+
+
+class TestMessage:
+    def test_equality_and_hash(self):
+        m1 = make_message()
+        m2 = make_message()
+        assert m1 == m2
+        assert hash(m1) == hash(m2)
+
+    def test_payload_distinguishes(self):
+        assert make_message(payload="x") != make_message(payload="y")
+
+    def test_recipients_header_preserved(self):
+        message = make_message(recipients=("A", "B", "D"))
+        assert message.recipients == ("A", "B", "D")
+
+    def test_immutable(self):
+        with pytest.raises(AttributeError):
+            make_message().payload = "boom"
+
+    def test_receipt_wraps_message(self):
+        message = make_message()
+        receipt = MessageReceipt(message)
+        assert receipt.sender == "C"
+        assert receipt == MessageReceipt(message)
+
+
+class TestHistory:
+    def test_initial_history(self):
+        history = History.initial("A")
+        assert history.is_initial
+        assert len(history) == 0
+        assert history.predecessor() is None
+
+    def test_extend_creates_steps(self):
+        history = History.initial("A").extend((ExternalReceipt("go"), LocalAction("a")))
+        assert len(history) == 1
+        assert len(history.last_step) == 2
+        assert not history.is_initial
+
+    def test_extend_rejects_empty_step(self):
+        with pytest.raises(ValueError):
+            History.initial("A").extend(())
+
+    def test_steps_must_be_nonempty(self):
+        with pytest.raises(ValueError):
+            History("A", ((),))
+
+    def test_predecessor_drops_one_step(self):
+        h0 = History.initial("A")
+        h1 = h0.extend((ExternalReceipt("go"),))
+        h2 = h1.extend((LocalAction("a"),))
+        assert h2.predecessor() == h1
+        assert h1.predecessor() == h0
+
+    def test_prefixes_order(self):
+        h = History.initial("A").extend((ExternalReceipt("x"),)).extend((LocalAction("a"),))
+        prefixes = list(h.prefixes())
+        assert len(prefixes) == 3
+        assert prefixes[0].is_initial
+        assert prefixes[-1] == h
+        assert len(list(h.prefixes(include_self=False))) == 2
+
+    def test_is_prefix_of(self):
+        h1 = History.initial("A").extend((ExternalReceipt("x"),))
+        h2 = h1.extend((LocalAction("a"),))
+        assert h1.is_prefix_of(h2)
+        assert h2.is_prefix_of(h2)
+        assert not h2.is_prefix_of(h1)
+        assert not h1.is_prefix_of(History.initial("B").extend((ExternalReceipt("x"),)))
+
+    def test_query_helpers(self):
+        message = make_message()
+        h = (
+            History.initial("A")
+            .extend((ExternalReceipt("go"),))
+            .extend((MessageReceipt(message), LocalAction("a")))
+        )
+        assert h.has_external("go")
+        assert not h.has_external("stop")
+        assert h.has_action("a")
+        assert not h.has_action("b")
+        assert len(list(h.receipts())) == 1
+        assert len(list(h.observations())) == 3
+
+    def test_equality_and_hash(self):
+        h1 = History.initial("A").extend((ExternalReceipt("go"),))
+        h2 = History.initial("A").extend((ExternalReceipt("go"),))
+        assert h1 == h2 and hash(h1) == hash(h2)
+        assert h1 != History.initial("B").extend((ExternalReceipt("go"),))
+
+    def test_immutable(self):
+        with pytest.raises(AttributeError):
+            History.initial("A").process = "B"

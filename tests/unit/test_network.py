@@ -1,0 +1,157 @@
+"""Unit tests for networks, bounds, and path arithmetic."""
+
+import pytest
+
+from repro.simulation import Bounds, Network, NetworkError, TimedNetwork, timed_network
+from repro.simulation.network import (
+    as_path,
+    compose_paths,
+    concatenate_paths,
+    fully_connected,
+    line,
+    ring,
+    star,
+)
+
+
+class TestNetwork:
+    def test_basic_construction(self):
+        net = Network(["A", "B"], [("A", "B")])
+        assert net.processes == ("A", "B")
+        assert net.has_channel("A", "B")
+        assert not net.has_channel("B", "A")
+
+    def test_duplicate_process_rejected(self):
+        with pytest.raises(NetworkError):
+            Network(["A", "A"], [])
+
+    def test_empty_process_set_rejected(self):
+        with pytest.raises(NetworkError):
+            Network([], [])
+
+    def test_unknown_channel_endpoint_rejected(self):
+        with pytest.raises(NetworkError):
+            Network(["A"], [("A", "B")])
+
+    def test_duplicate_channel_rejected(self):
+        with pytest.raises(NetworkError):
+            Network(["A", "B"], [("A", "B"), ("A", "B")])
+
+    def test_neighbors(self):
+        net = Network(["A", "B", "C"], [("A", "B"), ("A", "C"), ("B", "C")])
+        assert net.out_neighbors("A") == ("B", "C")
+        assert net.in_neighbors("C") == ("A", "B")
+        assert net.out_neighbors("C") == ()
+
+    def test_unknown_process_raises(self):
+        net = Network(["A"], [])
+        with pytest.raises(NetworkError):
+            net.out_neighbors("Z")
+
+    def test_is_path(self):
+        net = Network(["A", "B", "C"], [("A", "B"), ("B", "C")])
+        assert net.is_path(("A", "B", "C"))
+        assert net.is_path(("A",))
+        assert not net.is_path(("A", "C"))
+        assert not net.is_path(("A", "B", "A"))
+
+    def test_validate_path_raises(self):
+        net = Network(["A", "B"], [("A", "B")])
+        with pytest.raises(NetworkError):
+            net.validate_path(("B", "A"))
+
+    def test_iter_paths_counts(self):
+        net = Network(["A", "B", "C"], [("A", "B"), ("B", "C"), ("C", "A")])
+        paths = list(net.iter_paths("A", max_hops=3))
+        # Exactly one walk of each length 0..3 from A in a directed 3-cycle.
+        assert len(paths) == 4
+        assert ("A", "B", "C", "A") in paths
+
+    def test_contains_and_len(self):
+        net = Network(["A", "B"], [("A", "B")])
+        assert "A" in net and "Z" not in net
+        assert len(net) == 2
+
+
+class TestPaths:
+    def test_as_path_rejects_empty(self):
+        with pytest.raises(NetworkError):
+            as_path([])
+
+    def test_compose_requires_matching_endpoint(self):
+        assert compose_paths(("A", "B"), ("B", "C")) == ("A", "B", "C")
+        with pytest.raises(NetworkError):
+            compose_paths(("A", "B"), ("C", "D"))
+
+    def test_concatenate_keeps_both(self):
+        assert concatenate_paths(("A", "B"), ("B", "C")) == ("A", "B", "B", "C")
+
+
+class TestBounds:
+    def test_valid_bounds(self):
+        bounds = Bounds({("A", "B"): 2}, {("A", "B"): 5})
+        assert bounds.L("A", "B") == 2
+        assert bounds.U("A", "B") == 5
+        assert bounds.window("A", "B") == (2, 5)
+
+    def test_rejects_zero_lower(self):
+        with pytest.raises(NetworkError):
+            Bounds({("A", "B"): 0}, {("A", "B"): 5})
+
+    def test_rejects_lower_above_upper(self):
+        with pytest.raises(NetworkError):
+            Bounds({("A", "B"): 6}, {("A", "B"): 5})
+
+    def test_rejects_mismatched_channels(self):
+        with pytest.raises(NetworkError):
+            Bounds({("A", "B"): 1}, {("B", "A"): 1})
+
+    def test_uniform_and_from_pairs(self):
+        uniform = Bounds.uniform([("A", "B"), ("B", "A")], 1, 2)
+        assert uniform.L("B", "A") == 1
+        pairs = Bounds.from_pairs({("A", "B"): (3, 7)})
+        assert pairs.window("A", "B") == (3, 7)
+
+    def test_path_bounds_accumulate(self):
+        bounds = Bounds.from_pairs({("A", "B"): (2, 4), ("B", "C"): (3, 6)})
+        assert bounds.path_lower(("A", "B", "C")) == 5
+        assert bounds.path_upper(("A", "B", "C")) == 10
+        assert bounds.path_lower(("A",)) == 0
+
+    def test_missing_channel_raises(self):
+        bounds = Bounds.from_pairs({("A", "B"): (1, 1)})
+        with pytest.raises(NetworkError):
+            bounds.L("B", "A")
+
+
+class TestTimedNetwork:
+    def test_bounds_must_match_channels(self):
+        net = Network(["A", "B"], [("A", "B")])
+        with pytest.raises(NetworkError):
+            TimedNetwork(net, Bounds.from_pairs({("B", "A"): (1, 1)}))
+
+    def test_helper_constructor_infers_processes(self):
+        net = timed_network({("X", "Y"): (1, 2), ("Y", "Z"): (2, 3)})
+        assert net.processes == ("X", "Y", "Z")
+        assert net.L("Y", "Z") == 2
+
+    def test_path_bounds_validate_path(self):
+        net = timed_network({("X", "Y"): (1, 2)})
+        with pytest.raises(NetworkError):
+            net.path_lower(("Y", "X"))
+
+    def test_topology_helpers(self):
+        full = fully_connected(["a", "b", "c"], 1, 2)
+        assert len(full.channels) == 6
+        rng = ring(["a", "b", "c"], 1, 1)
+        assert len(rng.channels) == 3
+        lin = line(["a", "b", "c"], 1, 1)
+        assert len(lin.channels) == 4
+        lin_one_way = line(["a", "b", "c"], 1, 1, bidirectional=False)
+        assert len(lin_one_way.channels) == 2
+        st = star("hub", ["x", "y"], 1, 1)
+        assert ("hub", "x") in st.channels and ("y", "hub") in st.channels
+
+    def test_ring_needs_two(self):
+        with pytest.raises(NetworkError):
+            ring(["solo"])

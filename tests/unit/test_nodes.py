@@ -1,0 +1,98 @@
+"""Unit tests for basic and general nodes."""
+
+import pytest
+
+from repro.core import BasicNode, GeneralNode, NodeError, general
+from repro.simulation import ExternalReceipt, History, LocalAction
+
+
+def node_after_steps(process="A", steps=1):
+    history = History.initial(process)
+    for k in range(steps):
+        history = history.extend((ExternalReceipt(f"e{k}"),))
+    return BasicNode(process, history)
+
+
+class TestBasicNode:
+    def test_initial_node(self):
+        node = BasicNode.initial("A")
+        assert node.is_initial
+        assert node.step_count == 0
+        assert node.predecessor() is None
+
+    def test_process_history_mismatch_rejected(self):
+        with pytest.raises(NodeError):
+            BasicNode("A", History.initial("B"))
+
+    def test_predecessor_chain(self):
+        node = node_after_steps(steps=3)
+        assert node.step_count == 3
+        assert node.predecessor().step_count == 2
+        assert node.predecessor().predecessor().predecessor().is_initial
+
+    def test_timeline_prefix(self):
+        node = node_after_steps(steps=2)
+        prefix = node.timeline_prefix()
+        assert len(prefix) == 3
+        assert prefix[0].is_initial and prefix[-1] == node
+        assert len(node.timeline_prefix(include_self=False)) == 2
+
+    def test_precedes_locally(self):
+        node = node_after_steps(steps=2)
+        earlier = node.predecessor()
+        assert earlier.precedes_locally(node)
+        assert node.precedes_locally(node)
+        assert not node.precedes_locally(earlier)
+        assert not node.precedes_locally(node_after_steps("B", 3))
+
+    def test_equality_and_hash(self):
+        assert node_after_steps() == node_after_steps()
+        assert hash(node_after_steps()) == hash(node_after_steps())
+        assert node_after_steps() != node_after_steps(steps=2)
+
+    def test_immutability(self):
+        with pytest.raises(AttributeError):
+            node_after_steps().process = "Z"
+
+
+class TestGeneralNode:
+    def test_singleton_path_is_basic(self):
+        node = node_after_steps()
+        theta = general(node)
+        assert theta.is_basic
+        assert theta.process == "A"
+        assert theta.hops == 0
+
+    def test_path_must_start_at_base_process(self):
+        node = node_after_steps("A")
+        with pytest.raises(NodeError):
+            GeneralNode(node, ("B", "A"))
+
+    def test_follow_extends_path(self):
+        node = node_after_steps("A")
+        theta = general(node, ("A", "B"))
+        extended = theta.follow(("B", "C"))
+        assert extended.path == ("A", "B", "C")
+        assert extended.process == "C"
+        with pytest.raises(NodeError):
+            theta.follow(("A", "C"))
+
+    def test_prefix_and_remaining(self):
+        node = node_after_steps("A")
+        theta = general(node, ("A", "B", "C"))
+        assert theta.prefix(0).is_basic
+        assert theta.prefix(1).path == ("A", "B")
+        assert theta.remaining_path(1) == ("B", "C")
+        with pytest.raises(NodeError):
+            theta.prefix(5)
+        with pytest.raises(NodeError):
+            theta.remaining_path(-1)
+
+    def test_equality(self):
+        node = node_after_steps("A")
+        assert general(node, ("A", "B")) == general(node, ("A", "B"))
+        assert general(node, ("A", "B")) != general(node, ("A", "C"))
+
+    def test_describe_mentions_path(self):
+        node = node_after_steps("A")
+        assert "->" in general(node, ("A", "B")).describe()

@@ -1,0 +1,47 @@
+"""The public package surface: everything advertised in __all__ is importable."""
+
+import importlib
+
+import pytest
+
+import repro
+import repro.coordination
+import repro.core
+import repro.scenarios
+import repro.simulation
+import repro.viz
+
+
+@pytest.mark.parametrize(
+    "module",
+    [repro, repro.core, repro.simulation, repro.coordination, repro.scenarios, repro.viz],
+    ids=lambda m: m.__name__,
+)
+def test_all_exports_resolve(module):
+    assert module.__doc__, "every public module needs a docstring"
+    for name in getattr(module, "__all__", []):
+        assert hasattr(module, name), f"{module.__name__}.__all__ lists missing name {name}"
+
+
+def test_version_is_exposed():
+    assert repro.__version__ == "1.0.0"
+
+
+def test_readme_quickstart_snippet_works():
+    """The README's quickstart snippet must keep working verbatim."""
+    from repro.coordination import evaluate, late_task
+    from repro.scenarios import figure2b_scenario
+
+    task = late_task(5)
+    scenario = figure2b_scenario(margin=5)
+    run = scenario.run()
+    outcome = evaluate(run, task)
+    assert outcome.satisfied and outcome.b_performed
+
+    from repro.core import KnowledgeChecker, general
+
+    sigma = run.find_action("B", "b").node
+    go = next(r.receiver_node for r in run.external_deliveries if r.process == "C")
+    theta_a = general(go, ("C", "A"))
+    gap = KnowledgeChecker(sigma, run.timed_network).max_known_gap(theta_a, sigma)
+    assert gap is not None and gap >= 5

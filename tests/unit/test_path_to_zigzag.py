@@ -1,0 +1,121 @@
+"""Unit tests for the Lemma 5 conversion: bounds-graph paths to zigzag patterns."""
+
+import pytest
+
+from repro.core import (
+    ConversionError,
+    basic_bounds_graph,
+    check_theorem1,
+    general,
+    longest_zigzag_between,
+    path_to_zigzag,
+)
+
+
+class TestPathToZigzag:
+    def test_empty_path_needs_endpoints(self, triangle_run):
+        with pytest.raises(ConversionError):
+            path_to_zigzag(triangle_run, [])
+
+    def test_empty_path_with_matching_endpoints(self, triangle_run):
+        node = triangle_run.final_node("B")
+        pattern = path_to_zigzag(triangle_run, [], general(node), general(node))
+        assert pattern.weight(triangle_run) == 0
+        assert pattern.is_valid_in(triangle_run)
+
+    def test_empty_path_with_mismatched_endpoints_rejected(self, triangle_run):
+        node = triangle_run.final_node("B")
+        other = triangle_run.final_node("A")
+        with pytest.raises(ConversionError):
+            path_to_zigzag(triangle_run, [], general(node), general(other))
+
+    def test_single_lower_edge(self, figure6_run):
+        graph = basic_bounds_graph(figure6_run)
+        go_node = figure6_run.external_deliveries[0].receiver_node
+        receiver = figure6_run.deliveries[0].receiver_node
+        weight, edges = graph.longest_path(go_node, receiver)
+        pattern = path_to_zigzag(figure6_run, edges)
+        assert pattern.weight(figure6_run) == weight
+        assert figure6_run.resolve(pattern.tail) == go_node
+        assert figure6_run.resolve(pattern.head) == receiver
+
+    def test_single_upper_edge(self, figure6_run):
+        graph = basic_bounds_graph(figure6_run)
+        go_node = figure6_run.external_deliveries[0].receiver_node
+        receiver = figure6_run.deliveries[0].receiver_node
+        weight, edges = graph.longest_path(receiver, go_node)
+        pattern = path_to_zigzag(figure6_run, edges)
+        assert pattern.weight(figure6_run) == weight
+        assert figure6_run.resolve(pattern.tail) == receiver
+        assert figure6_run.resolve(pattern.head) == go_node
+
+    def test_noncontiguous_edges_rejected(self, triangle_run):
+        graph = basic_bounds_graph(triangle_run)
+        edges = list(graph.edges)
+        bad = [edges[0], edges[0]] if edges[0].target != edges[0].source else edges[:1]
+        if bad[0].target != bad[-1].source:
+            with pytest.raises(ConversionError):
+                path_to_zigzag(triangle_run, bad)
+
+    def test_wrong_general_endpoints_rejected(self, figure6_run):
+        graph = basic_bounds_graph(figure6_run)
+        go_node = figure6_run.external_deliveries[0].receiver_node
+        receiver = figure6_run.deliveries[0].receiver_node
+        _, edges = graph.longest_path(go_node, receiver)
+        with pytest.raises(ConversionError):
+            path_to_zigzag(figure6_run, edges, general(receiver), general(receiver))
+
+    @pytest.mark.parametrize("source_process,target_process", [("C", "B"), ("A", "B"), ("C", "A"), ("B", "C")])
+    def test_longest_path_conversion_preserves_weight(
+        self, triangle_run, source_process, target_process
+    ):
+        graph = basic_bounds_graph(triangle_run)
+        source = triangle_run.final_node(source_process) if source_process != "C" else triangle_run.external_deliveries[0].receiver_node
+        target = triangle_run.final_node(target_process)
+        result = graph.longest_path(source, target)
+        if result is None:
+            pytest.skip("no constraint between the chosen nodes")
+        weight, edges = result
+        pattern = path_to_zigzag(triangle_run, edges)
+        assert pattern.is_valid_in(triangle_run)
+        assert pattern.weight(triangle_run) == weight
+        report = check_theorem1(triangle_run, pattern)
+        assert report.holds
+
+
+class TestLongestZigzagBetween:
+    def test_matches_longest_path(self, figure2a_run):
+        run = figure2a_run
+        externals = {r.process: r.receiver_node for r in run.external_deliveries}
+        a_node = run.resolve(general(externals["C"], ("C", "A")))
+        b_node = run.find_action("B", "b").node
+        found = longest_zigzag_between(run, a_node, b_node)
+        assert found is not None
+        weight, pattern = found
+        assert pattern.weight(run) == weight
+        assert run.resolve(pattern.tail) == a_node
+        assert run.resolve(pattern.head) == b_node
+        # The constraint is satisfied by the actual run times (Theorem 1).
+        assert run.time_of(b_node) - run.time_of(a_node) >= weight
+
+    def test_returns_none_without_constraint(self, figure2a_run):
+        run = figure2a_run
+        # Nothing constrains how late A's action can be relative to B's action
+        # node in this pattern (no path from B's node back to A's).
+        a_node = run.find_action("A", "a").node
+        b_node = run.find_action("B", "b").node
+        assert longest_zigzag_between(run, b_node, a_node) is None
+
+    def test_every_pair_conversion_is_consistent(self, flooding_run):
+        run = flooding_run
+        graph = basic_bounds_graph(run)
+        nodes = [run.final_node(p) for p in run.processes]
+        for source in nodes:
+            for target in nodes:
+                result = graph.longest_path(source, target)
+                if result is None:
+                    continue
+                weight, edges = result
+                pattern = path_to_zigzag(run, edges, general(source), general(target))
+                assert pattern.weight(run) == weight
+                assert check_theorem1(run, pattern).holds

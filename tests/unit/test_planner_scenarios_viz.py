@@ -1,0 +1,245 @@
+"""Unit tests for the static planner, scenario builders, context, and viz helpers."""
+
+import pytest
+
+from repro.coordination import (
+    best_fork_plan,
+    early_task,
+    earliest_guaranteed_action_offset,
+    evaluate,
+    guaranteed_margin,
+    is_statically_solvable,
+    late_task,
+    optimistic_margin,
+)
+from repro.scenarios import (
+    figure1_guaranteed_margin,
+    figure1_scenario,
+    figure3_fork_weight,
+    figure3_scenario,
+    figure4_scenario,
+    figure5_scenario,
+    figure6_scenario,
+    figure8_scenario,
+    flooding_scenario,
+    random_timed_network,
+    random_workload,
+    workload_scenario,
+    zigzag_chain_equation_weight,
+    zigzag_chain_layout,
+    zigzag_chain_scenario,
+)
+from repro.simulation import (
+    Context,
+    ExternalInput,
+    LatestDelivery,
+    ScheduleError,
+    SilentProtocol,
+    go_at,
+    schedule,
+)
+from repro.viz import (
+    action_table,
+    extended_graph_listing,
+    graph_listing,
+    message_table,
+    path_listing,
+    spacetime_diagram,
+)
+
+
+class TestPlanner:
+    def test_figure1_fork_plan(self):
+        scenario = figure1_scenario()
+        task = late_task(3)
+        plan = best_fork_plan(scenario.timed_network, task)
+        assert plan is not None
+        assert plan.chain_to_b == ("C", "B")
+        assert plan.guaranteed_margin == figure1_guaranteed_margin(scenario)
+        assert "ForkPlan" in plan.describe()
+
+    def test_guaranteed_margin_and_solvability(self):
+        scenario = figure1_scenario(lower_cb=8, upper_ca=4)
+        net = scenario.timed_network
+        assert guaranteed_margin(net, late_task(0)) == 4
+        assert is_statically_solvable(net, late_task(4))
+        assert not is_statically_solvable(net, late_task(5))
+
+    def test_early_task_planning(self):
+        scenario = figure1_scenario(lower_cb=1, upper_cb=2, lower_ca=6, upper_ca=8)
+        net = scenario.timed_network
+        # Early margin: L_CA - U_CB = 6 - 2 = 4.
+        assert guaranteed_margin(net, early_task(0)) == 4
+        assert is_statically_solvable(net, early_task(4))
+
+    def test_no_plan_without_go_channel(self):
+        scenario = figure1_scenario()
+        task = late_task(1, go_sender="B")  # B has no channel to A
+        assert best_fork_plan(scenario.timed_network, task) is None
+        assert guaranteed_margin(scenario.timed_network, task) is None
+
+    def test_earliest_guaranteed_action_offset(self):
+        scenario = figure1_scenario(lower_cb=8, upper_cb=10, upper_ca=4)
+        net = scenario.timed_network
+        assert earliest_guaranteed_action_offset(net, late_task(4)) == 10
+        assert earliest_guaranteed_action_offset(net, late_task(5)) is None
+
+    def test_optimistic_margin_at_least_guaranteed(self):
+        scenario = zigzag_chain_scenario(num_forks=2, with_reports=True)
+        net = scenario.timed_network
+        task = late_task(0)
+        optimistic = optimistic_margin(net, task)
+        guaranteed = guaranteed_margin(net, task)
+        if guaranteed is not None and optimistic is not None:
+            assert optimistic >= guaranteed
+
+
+class TestScenarios:
+    def test_figure1_margin_holds_under_any_adversary(self):
+        for delivery in (None, LatestDelivery()):
+            scenario = figure1_scenario(delivery=delivery)
+            run = scenario.run()
+            gap = run.action_time("B", "b") - run.action_time("A", "a")
+            assert gap >= figure1_guaranteed_margin(scenario)
+
+    def test_zigzag_chain_layout(self):
+        layout = zigzag_chain_layout(3)
+        assert layout.sources == ("C", "E", "E2")
+        assert layout.pivots == ("D", "D2")
+        with pytest.raises(ValueError):
+            zigzag_chain_layout(0)
+
+    def test_zigzag_chain_pivot_order(self, figure2a_run):
+        # Each pivot hears the earlier source before the later one.
+        deliveries = sorted(
+            (d for d in figure2a_run.deliveries if d.destination == "D"),
+            key=lambda d: d.delivery_time,
+        )
+        assert [d.sender for d in deliveries[:2]] == ["C", "E"]
+
+    def test_zigzag_chain_gap_exceeds_equation_weight(self):
+        for forks in (2, 3):
+            scenario = zigzag_chain_scenario(num_forks=forks)
+            run = scenario.run()
+            weight = zigzag_chain_equation_weight(scenario, forks)
+            gap = run.action_time("B", "b") - run.action_time("A", "a")
+            assert gap >= weight
+
+    def test_figure3_weight_and_gap(self):
+        scenario = figure3_scenario(head_hops=3, tail_hops=2)
+        run = scenario.run()
+        weight = figure3_fork_weight(scenario, head_hops=3, tail_hops=2)
+        gap = run.action_time("B", "b") - run.action_time("A", "a")
+        assert gap >= weight
+
+    def test_figure3_rejects_zero_hops(self):
+        with pytest.raises(ValueError):
+            figure3_scenario(head_hops=0)
+
+    def test_figure4_and_5_build_and_satisfy(self):
+        for builder in (figure4_scenario, figure5_scenario):
+            scenario = builder(margin=3)
+            run = scenario.run()
+            outcome = evaluate(run, late_task(3))
+            assert outcome.satisfied
+
+    def test_figure6_single_delivery(self, figure6_run):
+        assert len(figure6_run.deliveries) == 1
+
+    def test_figure8_has_pending_traffic(self, figure8_run):
+        assert figure8_run.deliveries
+        assert figure8_run.pending or figure8_run.sends
+
+    def test_scenario_with_helpers(self):
+        scenario = figure1_scenario()
+        slower = scenario.with_delivery(LatestDelivery())
+        assert slower.delivery.__class__.__name__ == "LatestDelivery"
+        shorter = scenario.with_horizon(5)
+        assert shorter.horizon == 5
+        replaced = scenario.with_protocol("B", SilentProtocol())
+        assert isinstance(replaced.protocols.for_process("B"), SilentProtocol)
+        # The original is untouched.
+        assert not isinstance(scenario.protocols.for_process("B"), SilentProtocol)
+
+    def test_random_network_properties(self):
+        net = random_timed_network(5, seed=1)
+        assert len(net.processes) == 5
+        for (i, j) in net.channels:
+            assert 1 <= net.L(i, j) <= net.U(i, j)
+        with pytest.raises(ValueError):
+            random_timed_network(1)
+
+    def test_random_network_reproducible(self):
+        assert random_timed_network(4, seed=9).channels == random_timed_network(4, seed=9).channels
+
+    def test_random_workload_roles(self):
+        workload = random_workload(num_processes=5, seed=4)
+        assert workload.net.is_path((workload.go_sender, workload.actor_a))
+        scenario = workload_scenario(workload)
+        run = scenario.run()
+        assert run.action_time(workload.actor_a, "a") is not None
+
+    def test_flooding_scenario_runs(self):
+        run = flooding_scenario(num_processes=3, seed=2, horizon=8).run()
+        run.validate()
+
+
+class TestContextAndSchedules:
+    def test_schedule_normalisation(self):
+        inputs = schedule([(3, "C", "mu_go"), ExternalInput(1, "E", "mu_x")])
+        assert inputs[0].time == 1
+        with pytest.raises(ScheduleError):
+            schedule([(1, "C", "mu_go"), (1, "C", "mu_go")])
+
+    def test_go_at_helper(self):
+        (item,) = go_at(4, "C")
+        assert item.time == 4 and item.process == "C"
+
+    def test_context_processes(self, triangle_net):
+        context = Context(triangle_net, description="test")
+        assert context.processes == triangle_net.processes
+        assert context.initial_processes() == triangle_net.processes
+
+
+class TestViz:
+    def test_spacetime_diagram_contains_rows(self, figure2b_run):
+        text = spacetime_diagram(figure2b_run, end=20)
+        for process in figure2b_run.processes:
+            assert process in text
+        assert "G!" in text  # the external trigger is marked
+
+    def test_spacetime_window_and_subset(self, figure2b_run):
+        text = spacetime_diagram(figure2b_run, processes=["A", "B"], start=2, end=6)
+        rows = text.splitlines()
+        assert len(rows) == 3  # header plus the two requested processes
+        assert rows[1].startswith("A") and rows[2].startswith("B")
+
+    def test_message_and_action_tables(self, figure2b_run):
+        messages = message_table(figure2b_run, limit=5)
+        assert "from" in messages and "delay" in messages
+        actions = action_table(figure2b_run)
+        assert "a" in actions and "b" in actions
+
+    def test_graph_listings(self, triangle_run):
+        from repro.core import ExtendedBoundsGraph, basic_bounds_graph
+
+        graph = basic_bounds_graph(triangle_run)
+        text = graph_listing(graph, triangle_run)
+        assert "edges" in text
+        filtered = graph_listing(graph, triangle_run, labels=["lower"])
+        assert "upper" not in filtered
+        sigma = triangle_run.final_node("B")
+        extended = ExtendedBoundsGraph(sigma, triangle_run.timed_network)
+        listing = extended_graph_listing(extended, triangle_run)
+        assert "psi(" in listing
+
+    def test_path_listing(self, triangle_run):
+        from repro.core import basic_bounds_graph
+
+        graph = basic_bounds_graph(triangle_run)
+        go_node = triangle_run.external_deliveries[0].receiver_node
+        target = triangle_run.final_node("B")
+        weight, edges = graph.longest_path(go_node, target)
+        text = path_listing(edges, triangle_run)
+        assert f"{weight:+d}" in text
+        assert path_listing([], triangle_run).startswith("(empty")

@@ -1,0 +1,75 @@
+"""Unit tests for timed precedence statements and system support."""
+
+import pytest
+
+from repro.core import TimedPrecedence, general, minimum_gap, precedes, supports
+
+
+class TestTimedPrecedence:
+    def test_holds_in_run(self, triangle_run):
+        go_node = triangle_run.external_deliveries[0].receiver_node
+        b_final = triangle_run.final_node("B")
+        gap = triangle_run.time_of(b_final) - triangle_run.time_of(go_node)
+        assert precedes(go_node, b_final, gap).holds_in(triangle_run)
+        assert not precedes(go_node, b_final, gap + 1).holds_in(triangle_run)
+
+    def test_gap_in(self, triangle_run):
+        go_node = triangle_run.external_deliveries[0].receiver_node
+        theta_a = general(go_node, ("C", "A"))
+        statement = precedes(go_node, theta_a, 1)
+        assert statement.gap_in(triangle_run) == 1
+        assert statement.holds_in(triangle_run)
+
+    def test_unresolved_node_not_satisfied(self, triangle_run):
+        last_a = triangle_run.final_node("A")
+        dangling = general(last_a, ("A", "B"))
+        statement = precedes(last_a, dangling, 0)
+        assert statement.gap_in(triangle_run) is None
+        assert not statement.holds_in(triangle_run)
+
+    def test_negative_margin_is_upper_bound(self, triangle_run):
+        go_node = triangle_run.external_deliveries[0].receiver_node
+        theta_a = general(go_node, ("C", "A"))
+        # a happens at most U_CA after the go: go - (-U) <= a, i.e. a --(-U)--> go.
+        upper = triangle_run.timed_network.U("C", "A")
+        assert precedes(theta_a, go_node, -upper).holds_in(triangle_run)
+
+    def test_reversed_bound(self, triangle_run):
+        go_node = triangle_run.external_deliveries[0].receiver_node
+        b_final = triangle_run.final_node("B")
+        statement = precedes(go_node, b_final, 3)
+        flipped = statement.reversed_bound()
+        assert flipped.margin == -3
+        assert flipped.earlier == statement.later
+
+    def test_describe(self, triangle_run):
+        go_node = triangle_run.external_deliveries[0].receiver_node
+        assert "-->" in precedes(go_node, go_node, 0).describe()
+
+
+class TestSupports:
+    def test_supports_over_single_run(self, triangle_run):
+        go_node = triangle_run.external_deliveries[0].receiver_node
+        b_final = triangle_run.final_node("B")
+        assert supports([triangle_run], precedes(go_node, b_final, 0))
+
+    def test_support_fails_if_one_node_missing(self, triangle_run, figure1_run):
+        go_node = triangle_run.external_deliveries[0].receiver_node
+        b_final = triangle_run.final_node("B")
+        # C's local state after receiving mu_go at t=2 is the same in the Figure 1
+        # run, but the triangle run's B node never appears there, so the pair is
+        # not supported across the two runs.
+        assert not supports([triangle_run, figure1_run], precedes(go_node, b_final, 0))
+
+    def test_support_fails_on_violating_run(self, triangle_run):
+        go_node = triangle_run.external_deliveries[0].receiver_node
+        b_final = triangle_run.final_node("B")
+        huge = 10_000
+        assert not supports([triangle_run], precedes(go_node, b_final, huge))
+
+    def test_minimum_gap(self, triangle_run):
+        go_node = triangle_run.external_deliveries[0].receiver_node
+        b_final = triangle_run.final_node("B")
+        statement = precedes(go_node, b_final, 0)
+        assert minimum_gap([triangle_run], statement) == statement.gap_in(triangle_run)
+        assert minimum_gap([], statement) is None

@@ -1,0 +1,129 @@
+"""Unit tests for protocols, rules, and protocol assignments."""
+
+import pytest
+
+from repro.simulation import (
+    ExternalReceipt,
+    FloodingFullInformationProtocol,
+    FunctionRule,
+    GO_TRIGGER,
+    History,
+    Message,
+    MessageReceipt,
+    PerformOnceRule,
+    ProtocolAssignment,
+    RuleBasedProtocol,
+    SilentProtocol,
+    StepContext,
+    StepDecision,
+    actor_protocol,
+    fully_connected,
+    go_sender_protocol,
+)
+from repro.simulation.protocols import go_seen_in_message_from, received_go_trigger
+
+
+@pytest.fixture()
+def net():
+    return fully_connected(["A", "B", "C"], 1, 2)
+
+
+def make_ctx(net, process="C", previous=None, observations=()):
+    previous = previous if previous is not None else History.initial(process)
+    return StepContext(
+        process=process,
+        previous_history=previous,
+        observations=tuple(observations),
+        timed_network=net,
+    )
+
+
+class TestStepDecision:
+    def test_flood_and_silent_constructors(self):
+        flood = StepDecision.flood(["a"])
+        assert flood.send_to is None and flood.actions == ("a",)
+        silent = StepDecision.silent()
+        assert silent.send_to == ()
+
+
+class TestBuiltinProtocols:
+    def test_ffip_floods(self, net):
+        decision = FloodingFullInformationProtocol().on_step(make_ctx(net))
+        assert decision.send_to is None and decision.actions == ()
+
+    def test_silent_protocol(self, net):
+        decision = SilentProtocol().on_step(make_ctx(net))
+        assert decision.send_to == ()
+
+
+class TestRules:
+    def test_perform_once_rule_fires_once(self, net):
+        from repro.simulation import LocalAction
+
+        rule = PerformOnceRule("a", lambda ctx: True)
+        ctx = make_ctx(net, "A", observations=(ExternalReceipt("x"),))
+        assert rule.actions(ctx) == ("a",)
+        # Once the action is already in the history, the rule stays quiet.
+        done_with_action = History.initial("A").extend((LocalAction("a"),))
+        ctx_done = make_ctx(net, "A", previous=done_with_action, observations=(ExternalReceipt("z"),))
+        assert rule.actions(ctx_done) == ()
+
+    def test_function_rule(self, net):
+        rule = FunctionRule(lambda ctx: ["ping"], name="ping")
+        assert rule.actions(make_ctx(net)) == ("ping",)
+        assert "ping" in repr(rule)
+
+    def test_rule_based_protocol_combines_rules(self, net):
+        protocol = RuleBasedProtocol(
+            [FunctionRule(lambda ctx: ["x"]), FunctionRule(lambda ctx: ["y"])]
+        )
+        decision = protocol.on_step(make_ctx(net))
+        assert decision.actions == ("x", "y")
+        assert decision.send_to is None
+
+    def test_rule_based_protocol_silent_mode(self, net):
+        protocol = RuleBasedProtocol([], flood=False)
+        assert protocol.on_step(make_ctx(net)).send_to == ()
+
+
+class TestRoleHelpers:
+    def test_received_go_trigger(self, net):
+        ctx = make_ctx(net, "C", observations=(ExternalReceipt(GO_TRIGGER),))
+        assert received_go_trigger(ctx)
+        assert not received_go_trigger(make_ctx(net, "C"))
+
+    def test_go_seen_in_message_from(self, net):
+        sender_history = History.initial("C").extend((ExternalReceipt(GO_TRIGGER),))
+        message = Message("C", ("A",), sender_history)
+        ctx = make_ctx(net, "A", observations=(MessageReceipt(message),))
+        assert go_seen_in_message_from(ctx, "C")
+        assert not go_seen_in_message_from(ctx, "B")
+
+    def test_go_sender_protocol_marks_action(self, net):
+        protocol = go_sender_protocol()
+        decision = protocol.on_step(make_ctx(net, "C", observations=(ExternalReceipt(GO_TRIGGER),)))
+        assert decision.actions == ("send_go",)
+
+    def test_actor_protocol_acts_on_go_message(self, net):
+        protocol = actor_protocol("a", "C")
+        sender_history = History.initial("C").extend((ExternalReceipt(GO_TRIGGER),))
+        message = Message("C", ("A",), sender_history)
+        decision = protocol.on_step(make_ctx(net, "A", observations=(MessageReceipt(message),)))
+        assert decision.actions == ("a",)
+        # A message from C that has not seen the trigger does not trigger `a`.
+        quiet = Message("C", ("A",), History.initial("C").extend((ExternalReceipt("noise"),)))
+        decision = protocol.on_step(make_ctx(net, "A", observations=(MessageReceipt(quiet),)))
+        assert decision.actions == ()
+
+
+class TestProtocolAssignment:
+    def test_default_is_ffip(self):
+        assignment = ProtocolAssignment()
+        assert isinstance(assignment.for_process("anyone"), FloodingFullInformationProtocol)
+
+    def test_assign_overrides(self):
+        assignment = ProtocolAssignment()
+        silent = SilentProtocol()
+        assignment.assign("B", silent)
+        assert assignment.for_process("B") is silent
+        assert assignment.for_process("A") is not silent

@@ -1,0 +1,131 @@
+"""Unit tests for timing functions, the slow timing, and run-by-timing (Lemma 8)."""
+
+import pytest
+
+from repro.core import (
+    ConstructionError,
+    TimingError,
+    basic_bounds_graph,
+    is_p_closed,
+    is_valid_timing,
+    precedence_set,
+    realized_gap,
+    run_by_timing,
+    run_timing,
+    slow_run,
+    slow_timing,
+    slow_timing_domain,
+    tight_gap,
+    validate_timing,
+)
+from repro.core.timing import check_p_closed, longest_distances_to
+
+
+class TestTimingFunctions:
+    def test_actual_run_times_are_valid(self, triangle_run, figure2a_run, flooding_run):
+        for run in (triangle_run, figure2a_run, flooding_run):
+            graph = basic_bounds_graph(run)
+            assert is_valid_timing(graph, run_timing(run))
+
+    def test_validate_rejects_violation(self, triangle_run):
+        graph = basic_bounds_graph(triangle_run)
+        timing = run_timing(triangle_run)
+        go_node = triangle_run.external_deliveries[0].receiver_node
+        timing[go_node] = timing[go_node] + 500  # push C's node way past its receivers
+        with pytest.raises(TimingError):
+            validate_timing(graph, timing)
+
+    def test_validate_rejects_negative_times(self, triangle_run):
+        graph = basic_bounds_graph(triangle_run)
+        timing = run_timing(triangle_run)
+        some_node = next(iter(timing))
+        timing[some_node] = -1
+        with pytest.raises(TimingError):
+            validate_timing(graph, timing)
+
+    def test_longest_distances_to(self, triangle_run):
+        graph = basic_bounds_graph(triangle_run)
+        sigma = triangle_run.final_node("B")
+        distances = longest_distances_to(graph, sigma)
+        assert distances[sigma] == 0
+        for node, weight in distances.items():
+            assert graph.longest_path_weight(node, sigma) == weight
+
+
+class TestSlowTiming:
+    def test_domain_is_precedence_set(self, triangle_run):
+        sigma = triangle_run.final_node("B")
+        domain = slow_timing_domain(triangle_run, sigma)
+        graph = basic_bounds_graph(triangle_run)
+        assert domain == precedence_set(graph, sigma)
+        assert check_p_closed(triangle_run, domain)
+
+    def test_slow_timing_is_valid_and_tight(self, triangle_run):
+        sigma = triangle_run.final_node("B")
+        graph = basic_bounds_graph(triangle_run)
+        timing = slow_timing(triangle_run, sigma)
+        assert is_valid_timing(graph, timing)
+        # Tightness: for every node in the domain the gap to sigma equals the
+        # longest-path constraint.
+        for node, assigned in timing.items():
+            constraint = graph.longest_path_weight(node, sigma)
+            assert timing[sigma] - assigned == constraint
+
+    def test_slow_timing_unknown_node_raises(self, triangle_run):
+        from repro.core import BasicNode
+
+        with pytest.raises(TimingError):
+            slow_timing(triangle_run, BasicNode.initial("nonexistent"))
+
+    def test_tight_gap_matches_graph(self, triangle_run):
+        sigma = triangle_run.final_node("B")
+        go_node = triangle_run.external_deliveries[0].receiver_node
+        graph = basic_bounds_graph(triangle_run)
+        assert tight_gap(triangle_run, go_node, sigma) == graph.longest_path_weight(go_node, sigma)
+
+
+class TestRunByTiming:
+    def test_identity_retiming_reproduces_times(self, triangle_run):
+        timing = run_timing(triangle_run)
+        rebuilt = run_by_timing(triangle_run, timing)
+        for node, time in timing.items():
+            if not node.is_initial:
+                assert rebuilt.time_of(node) == time
+
+    def test_slow_run_is_legal_and_tight(self, triangle_run, figure2a_run):
+        for run in (triangle_run, figure2a_run):
+            sigma = run.final_node("B")
+            slowed = slow_run(run, sigma)
+            slowed.validate(require_forced_delivery=False)
+            graph = basic_bounds_graph(run)
+            for node in slow_timing_domain(run, sigma):
+                if node.is_initial:
+                    continue
+                constraint = graph.longest_path_weight(node, sigma)
+                assert realized_gap(slowed, node, sigma) == constraint
+
+    def test_slow_run_preserves_local_states(self, triangle_run):
+        sigma = triangle_run.final_node("B")
+        slowed = slow_run(triangle_run, sigma)
+        assert slowed.appears(sigma)
+        # The past of sigma is identical in both runs (same basic nodes).
+        assert triangle_run.past(sigma) <= set(slowed.past(sigma)) | set()
+
+    def test_rejects_non_p_closed_domain(self, triangle_run):
+        sigma = triangle_run.final_node("B")
+        timing = {sigma: triangle_run.time_of(sigma)}
+        with pytest.raises(ConstructionError):
+            run_by_timing(triangle_run, timing)
+
+    def test_rejects_unknown_nodes(self, triangle_run):
+        from repro.core import BasicNode
+
+        with pytest.raises(ConstructionError):
+            run_by_timing(triangle_run, {BasicNode.initial("ghost"): 0})
+
+    def test_realized_gap_handles_missing_nodes(self, triangle_run):
+        sigma = triangle_run.final_node("B")
+        slowed = slow_run(triangle_run, sigma)
+        from repro.core import BasicNode
+
+        assert realized_gap(slowed, BasicNode.initial("ghost"), sigma) is None
