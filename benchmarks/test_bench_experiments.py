@@ -1,0 +1,99 @@
+"""Benchmarks for the experiment sweep harness.
+
+Measures the properties the subsystem exists to provide: warm (cache-hit)
+sweeps must be orders of magnitude cheaper than cold ones, and multi-worker
+execution must not lose determinism.  The grid is the seeded 3x3x4 default
+(3 scenarios x 3 adversaries x 4 seeds = 36 cells).
+"""
+
+import pytest
+
+from _bench_utils import report
+
+from repro.experiments import ADVERSARIES, ResultStore, expand_grid, run_cell, run_sweep
+from repro.experiments.cli import DEFAULT_SWEEP_SCENARIOS
+
+
+def _grid():
+    return expand_grid(
+        list(DEFAULT_SWEEP_SCENARIOS),
+        adversaries=list(ADVERSARIES),
+        seeds=[0, 1, 2, 3],
+    )
+
+
+def test_bench_cold_sweep_serial(benchmark, tmp_path):
+    """Cold sweep throughput: 36 cells simulated and analysed, no cache."""
+    cells = _grid()
+
+    def pipeline():
+        store = ResultStore(str(tmp_path / f"cold-{pipeline.counter}.jsonl"))
+        pipeline.counter += 1
+        return run_sweep(cells, store=store, workers=1)
+
+    pipeline.counter = 0
+    outcome = benchmark(pipeline)
+    assert outcome.executed == len(cells) and outcome.errors == 0
+    report(
+        "Experiments: cold 3x3x4 sweep (serial)",
+        "no measurement in the paper (harness cost)",
+        f"{outcome.total} cells in {outcome.duration_s:.3f}s "
+        f"({outcome.total / outcome.duration_s:.0f} cells/s)",
+    )
+
+
+def test_bench_warm_sweep_cache_hits(benchmark, tmp_path):
+    """Warm sweep throughput: every cell served from the JSONL store."""
+    cells = _grid()
+    store = ResultStore(str(tmp_path / "warm.jsonl"))
+    cold = run_sweep(cells, store=store, workers=1)
+    assert cold.executed == len(cells)
+
+    outcome = benchmark(lambda: run_sweep(cells, store=store, workers=1))
+    assert outcome.cached == len(cells) and outcome.executed == 0
+    speedup = cold.duration_s / outcome.duration_s if outcome.duration_s else float("inf")
+    report(
+        "Experiments: warm 3x3x4 sweep (100% cache hits)",
+        "no measurement in the paper (harness cost)",
+        f"{outcome.total} hits in {outcome.duration_s * 1e3:.1f}ms "
+        f"(~{speedup:.0f}x over cold)",
+    )
+
+
+@pytest.mark.parametrize("workers", [1, 2, 4])
+def test_bench_sweep_workers(benchmark, tmp_path, workers):
+    """Serial vs. multi-worker speedup on an uncached heavy-ish grid.
+
+    Uses larger instances (bigger torus, deeper tree, longer horizon) so the
+    per-cell work dominates pool overhead.
+    """
+    cells = expand_grid(
+        ["torus-flood", "tree-flood"],
+        adversaries=["random"],
+        seeds=[0, 1, 2],
+        param_grid={"horizon": [16]},
+    )
+
+    def pipeline():
+        return run_sweep(cells, store=None, workers=workers)
+
+    outcome = benchmark.pedantic(pipeline, rounds=2, iterations=1)
+    assert outcome.errors == 0 and outcome.executed == len(cells)
+    report(
+        f"Experiments: uncached sweep, workers={workers}",
+        "no measurement in the paper (harness cost)",
+        f"{outcome.total} cells in {outcome.duration_s:.3f}s",
+    )
+
+
+def test_bench_single_cell_analysis_cost(benchmark):
+    """One cell end-to-end: build, simulate, and run the default analyses."""
+    cells = expand_grid(["torus-flood"], adversaries=["random"], seeds=[0])
+    record = benchmark(lambda: run_cell(cells[0]))
+    assert record["status"] == "ok"
+    report(
+        "Experiments: single torus-flood cell",
+        "no measurement in the paper (harness cost)",
+        f"{record['duration_s'] * 1e3:.1f}ms "
+        f"({record['analyses']['summary']['deliveries']} deliveries analysed)",
+    )

@@ -12,8 +12,13 @@ The package is organised in layers:
 * :mod:`repro.coordination` -- the ``Early``/``Late`` coordination tasks, the
   optimal zigzag-based protocol for process B, and baseline protocols.
 * :mod:`repro.scenarios` -- builders for the exact communication patterns of
-  the paper's figures plus randomized workloads.
+  the paper's figures plus randomized workloads and structured-topology
+  families, all addressable by name through the scenario registry.
 * :mod:`repro.viz` -- ASCII space-time diagrams and bounds-graph dumps.
+* :mod:`repro.experiments` -- the experiment substrate: a parallel sweep
+  runner with deterministic per-cell seeding, versioned analysis passes, a
+  persistent content-addressed result store, and the ``repro`` CLI
+  (``python -m repro`` or the installed console script).
 
 The most common entry points are re-exported here for convenience.
 """

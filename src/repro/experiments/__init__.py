@@ -1,0 +1,76 @@
+"""Experiment orchestration: sweeps, analyses, the result store, and the CLI.
+
+This package is the substrate for running the reproduction at scale: a
+registered scenario (see :mod:`repro.scenarios`) crossed with delivery
+adversaries, seeds and parameter values becomes a grid of *cells*; the
+:mod:`runner <repro.experiments.runner>` executes cells on a process pool
+with deterministic per-cell seeding; versioned :mod:`analysis passes
+<repro.experiments.analyses>` turn each run into JSON metrics; and the
+content-addressed :mod:`store <repro.experiments.store>` makes repeated
+sweeps incremental.  The ``repro`` CLI (:mod:`repro.experiments.cli`) wraps
+the whole pipeline.
+"""
+
+from .analyses import (
+    DEFAULT_ANALYSES,
+    AnalysisError,
+    AnalysisPass,
+    analysis_versions,
+    get_analysis,
+    infer_roles,
+    list_analyses,
+    register_analysis,
+    run_analyses,
+)
+from .cli import main
+from .runner import (
+    ADVERSARIES,
+    SweepCell,
+    SweepError,
+    SweepOutcome,
+    build_cell_scenario,
+    execute_cell,
+    expand_grid,
+    make_cell,
+    make_delivery,
+    run_cell,
+    run_sweep,
+)
+from .store import (
+    DEFAULT_STORE_PATH,
+    STORE_FORMAT_VERSION,
+    ResultStore,
+    StoreError,
+    canonical_json,
+    cell_key,
+)
+
+__all__ = [
+    "ADVERSARIES",
+    "AnalysisError",
+    "AnalysisPass",
+    "DEFAULT_ANALYSES",
+    "DEFAULT_STORE_PATH",
+    "ResultStore",
+    "STORE_FORMAT_VERSION",
+    "StoreError",
+    "SweepCell",
+    "SweepError",
+    "SweepOutcome",
+    "analysis_versions",
+    "build_cell_scenario",
+    "canonical_json",
+    "cell_key",
+    "execute_cell",
+    "expand_grid",
+    "get_analysis",
+    "infer_roles",
+    "list_analyses",
+    "main",
+    "make_cell",
+    "make_delivery",
+    "register_analysis",
+    "run_analyses",
+    "run_cell",
+    "run_sweep",
+]

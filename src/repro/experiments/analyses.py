@@ -1,0 +1,227 @@
+"""Pluggable analysis passes applied to every run a sweep produces.
+
+An analysis pass is a named, versioned function ``(Run) -> dict`` returning
+JSON-scalar results.  The version participates in the result-store cache key,
+so bumping it invalidates exactly the cached cells whose numbers it produced;
+unversioned code changes that do not alter results can ship without
+re-running anything.
+
+Passes adapt the existing analysis machinery of :mod:`repro.core` and
+:mod:`repro.coordination` to arbitrary registry scenarios: roles (go sender,
+actors of ``a`` and ``b``) are inferred from the run itself rather than
+assumed to be the literal processes ``A``/``B``/``C``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional, Sequence, Tuple, TYPE_CHECKING
+
+from ..core.bounds_graph import basic_bounds_graph
+from ..core.extended_graph import ExtendedGraphError
+from ..core.knowledge import KnowledgeChecker
+from ..core.nodes import general
+from ..coordination.tasks import late_task, evaluate
+from ..simulation.messages import GO_TRIGGER
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..simulation.runs import Run
+
+
+class AnalysisError(ValueError):
+    """Raised on unknown analysis names."""
+
+
+@dataclass(frozen=True)
+class AnalysisPass:
+    """A named, versioned analysis over a finished run."""
+
+    name: str
+    version: int
+    fn: Callable[["Run"], Dict[str, Any]]
+    description: str = ""
+
+    def run(self, run: "Run") -> Dict[str, Any]:
+        return self.fn(run)
+
+
+_ANALYSIS_REGISTRY: Dict[str, AnalysisPass] = {}
+
+
+def register_analysis(
+    name: str, version: int = 1, description: str = ""
+) -> Callable[[Callable[["Run"], Dict[str, Any]]], Callable[["Run"], Dict[str, Any]]]:
+    """Register an analysis pass; the decorated function is returned unchanged."""
+
+    def decorator(fn: Callable[["Run"], Dict[str, Any]]):
+        if name in _ANALYSIS_REGISTRY:
+            raise AnalysisError(f"analysis {name!r} is already registered")
+        doc = (fn.__doc__ or "").strip()
+        _ANALYSIS_REGISTRY[name] = AnalysisPass(
+            name=name,
+            version=version,
+            fn=fn,
+            description=description or (doc.splitlines()[0] if doc else ""),
+        )
+        return fn
+
+    return decorator
+
+
+def get_analysis(name: str) -> AnalysisPass:
+    try:
+        return _ANALYSIS_REGISTRY[name]
+    except KeyError:
+        raise AnalysisError(
+            f"unknown analysis {name!r}; registered: {list_analyses()}"
+        ) from None
+
+
+def list_analyses() -> Tuple[str, ...]:
+    return tuple(sorted(_ANALYSIS_REGISTRY))
+
+
+def analysis_versions(names: Sequence[str]) -> Dict[str, int]:
+    """``{name: version}`` for the requested passes (cache-key material)."""
+    return {name: get_analysis(name).version for name in names}
+
+
+def run_analyses(run: "Run", names: Sequence[str]) -> Dict[str, Dict[str, Any]]:
+    """Apply the requested passes to one run, in the requested order."""
+    return {name: get_analysis(name).run(run) for name in names}
+
+
+#: Passes every sweep applies unless told otherwise.
+DEFAULT_ANALYSES: Tuple[str, ...] = ("summary", "bounds_graph", "coordination")
+
+
+# ---------------------------------------------------------------------------
+# Role inference.
+# ---------------------------------------------------------------------------
+
+
+def infer_roles(run: "Run") -> Dict[str, Optional[str]]:
+    """Infer the coordination roles a run actually exhibits.
+
+    The go sender is the process that received ``mu_go``; the actors of ``a``
+    and ``b`` are whichever processes performed those actions.  Any role may
+    be absent (pure flooding scenarios have none).
+    """
+    go_sender: Optional[str] = None
+    for record in run.external_deliveries:
+        if record.tag == GO_TRIGGER:
+            go_sender = record.process
+            break
+    actor_a: Optional[str] = None
+    actor_b: Optional[str] = None
+    for record in run.actions():
+        if record.action == "a" and actor_a is None:
+            actor_a = record.process
+        elif record.action == "b" and actor_b is None:
+            actor_b = record.process
+    return {"go_sender": go_sender, "actor_a": actor_a, "actor_b": actor_b}
+
+
+# ---------------------------------------------------------------------------
+# The built-in passes.
+# ---------------------------------------------------------------------------
+
+
+@register_analysis("summary", version=1)
+def summary_pass(run: "Run") -> Dict[str, Any]:
+    """Cheap structural statistics of the run."""
+    first_action_times: Dict[str, int] = {}
+    for record in run.actions():
+        if record.action not in first_action_times:
+            first_action_times[record.action] = record.time
+    return {
+        "horizon": run.horizon,
+        "processes": len(run.processes),
+        "channels": len(run.timed_network.channels),
+        "sends": len(run.sends),
+        "deliveries": len(run.deliveries),
+        "pending": len(run.pending),
+        "external_deliveries": len(run.external_deliveries),
+        "actions": len(run.actions()),
+        "first_action_times": first_action_times,
+        "max_timeline_steps": max(
+            (len(timeline) - 1 for timeline in run.timelines.values()), default=0
+        ),
+    }
+
+
+@register_analysis("bounds_graph", version=1)
+def bounds_graph_pass(run: "Run") -> Dict[str, Any]:
+    """Size and composition of the run's basic bounds graph ``GB(r)``."""
+    graph = basic_bounds_graph(run)
+    by_label: Dict[str, int] = {}
+    for edge in graph.edges:
+        by_label[edge.label] = by_label.get(edge.label, 0) + 1
+    return {
+        "nodes": len(graph),
+        "edges": graph.edge_count(),
+        "edges_by_label": by_label,
+    }
+
+
+@register_analysis("coordination", version=1)
+def coordination_pass(run: "Run") -> Dict[str, Any]:
+    """Outcome of the run against a ``Late<a --0--> b>`` task with inferred roles."""
+    roles = infer_roles(run)
+    if roles["go_sender"] is None or roles["actor_a"] is None:
+        return {"applicable": False, **roles}
+    task = late_task(
+        0,
+        actor_a=roles["actor_a"],
+        actor_b=roles["actor_b"] or "B",
+        go_sender=roles["go_sender"],
+    )
+    outcome = evaluate(run, task)
+    return {
+        "applicable": True,
+        **roles,
+        "go_time": outcome.go_time,
+        "a_time": outcome.a_time,
+        "b_time": outcome.b_time,
+        "b_performed": outcome.b_performed,
+        "satisfied": outcome.satisfied,
+        "achieved_margin": outcome.achieved_margin,
+    }
+
+
+@register_analysis("knowledge", version=1)
+def knowledge_pass(run: "Run") -> Dict[str, Any]:
+    """``max_known_gap`` at B's action node between A's action and B's action.
+
+    Builds the extended bounds graph at the node where ``b`` was performed
+    and asks for the largest ``x`` with ``K_sigma(theta_a --x--> sigma_b)``
+    (Theorem 4 machinery).  Marked inapplicable when the run has no ``b``
+    action, no go, or the required nodes are not recognized at ``sigma_b``.
+    """
+    roles = infer_roles(run)
+    if roles["go_sender"] is None or roles["actor_a"] is None or roles["actor_b"] is None:
+        return {"applicable": False, **roles}
+    b_record = run.find_action(roles["actor_b"], "b")
+    go_node = None
+    for record in run.external_deliveries:
+        if record.tag == GO_TRIGGER and record.process == roles["go_sender"]:
+            go_node = record.receiver_node
+            break
+    if b_record is None or go_node is None:
+        return {"applicable": False, **roles}
+    sigma_b = b_record.node
+    if not run.timed_network.is_path((roles["go_sender"], roles["actor_a"])):
+        return {"applicable": False, **roles, "reason": "no C->A channel"}
+    theta_a = general(go_node, (roles["go_sender"], roles["actor_a"]))
+    checker = KnowledgeChecker(sigma_b, run.timed_network)
+    try:
+        known_gap = checker.max_known_gap(theta_a, sigma_b)
+    except ExtendedGraphError:
+        return {"applicable": False, **roles, "reason": "not recognized at sigma_b"}
+    return {
+        "applicable": True,
+        **roles,
+        "b_time": b_record.time,
+        "known_gap": known_gap,
+        "knows_precedence": known_gap is not None and known_gap >= 0,
+    }

@@ -1,0 +1,429 @@
+"""The ``repro`` command line: list, run, sweep, report.
+
+* ``repro list`` — registered scenarios (with typed parameters), analysis
+  passes, and delivery adversaries;
+* ``repro run SCENARIO`` — one cell, with an optional space-time diagram;
+* ``repro sweep`` — a parameter grid executed on a process pool, cached in
+  the persistent result store (repeat invocations are incremental);
+* ``repro report`` — aggregate mean/min/max tables over the store, plus
+  per-cell space-time diagrams re-derived from any stored record.
+
+Installed as a console script via ``pip install -e .`` or reachable as
+``python -m repro``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..scenarios.base import ParamSpec, RegistryError, get_scenario, scenario_registry
+from ..viz.spacetime import action_table, spacetime_diagram
+from .analyses import (
+    DEFAULT_ANALYSES,
+    AnalysisError,
+    get_analysis,
+    list_analyses,
+)
+from .runner import (
+    ADVERSARIES,
+    SweepError,
+    build_cell_scenario,
+    execute_cell,
+    expand_grid,
+    make_cell,
+    run_sweep,
+)
+from .store import DEFAULT_STORE_PATH, ResultStore
+
+#: Default axes of `repro sweep`: 3 scenarios x 3 adversaries x 4 seeds = 36 cells.
+DEFAULT_SWEEP_SCENARIOS = ("flooding", "torus-flood", "tree-flood")
+DEFAULT_SWEEP_SEEDS = 4
+DEFAULT_SWEEP_WORKERS = 2
+
+#: Metrics `repro report` aggregates when none are requested explicitly.
+DEFAULT_REPORT_METRICS = (
+    "summary.sends",
+    "summary.deliveries",
+    "bounds_graph.edges",
+    "coordination.achieved_margin",
+)
+
+
+class CliError(ValueError):
+    """Raised on bad command-line input; rendered as an error message."""
+
+
+# ---------------------------------------------------------------------------
+# Argument plumbing.
+# ---------------------------------------------------------------------------
+
+
+def _csv(text: str) -> List[str]:
+    return [item.strip() for item in text.split(",") if item.strip()]
+
+
+def _find_param_spec(scenarios: Sequence[str], name: str) -> ParamSpec:
+    for scenario in scenarios:
+        spec = get_scenario(scenario).param(name)
+        if spec is not None:
+            return spec
+    raise CliError(
+        f"no scenario in {list(scenarios)} declares a parameter named {name!r}"
+    )
+
+
+def _parse_single_overrides(
+    scenario: str, assignments: Sequence[str]
+) -> Dict[str, Any]:
+    """Parse ``--set name=value`` entries against one scenario's spec."""
+    overrides: Dict[str, Any] = {}
+    for assignment in assignments:
+        if "=" not in assignment:
+            raise CliError(f"--set expects name=value, got {assignment!r}")
+        name, _, text = assignment.partition("=")
+        name = name.strip()
+        spec = get_scenario(scenario).param(name)
+        if spec is None:
+            raise CliError(
+                f"scenario {scenario!r} has no parameter {name!r}; "
+                f"declared: {[p.name for p in get_scenario(scenario).params]}"
+            )
+        overrides[name] = spec.parse(text)
+    return overrides
+
+
+def _parse_grid_overrides(
+    scenarios: Sequence[str], assignments: Sequence[str]
+) -> Dict[str, List[Any]]:
+    """Parse ``--set name=v1,v2,...`` entries into a parameter grid."""
+    grid: Dict[str, List[Any]] = {}
+    for assignment in assignments:
+        if "=" not in assignment:
+            raise CliError(f"--set expects name=v1[,v2...], got {assignment!r}")
+        name, _, text = assignment.partition("=")
+        name = name.strip()
+        spec = _find_param_spec(scenarios, name)
+        values = [spec.parse(part) for part in _csv(text)]
+        if not values:
+            raise CliError(f"--set {name!r} needs at least one value")
+        grid[name] = values
+    return grid
+
+
+def _validated_analyses(names: Optional[Sequence[str]]) -> Tuple[str, ...]:
+    chosen = tuple(names) if names else DEFAULT_ANALYSES
+    for name in chosen:
+        get_analysis(name)  # raises AnalysisError on unknown names
+    return chosen
+
+
+# ---------------------------------------------------------------------------
+# Subcommands.
+# ---------------------------------------------------------------------------
+
+
+def _cmd_list(args: argparse.Namespace, out) -> int:
+    registry = scenario_registry()
+    print(f"scenarios ({len(registry)}):", file=out)
+    for name in sorted(registry):
+        spec = registry[name]
+        tags = f" [{','.join(spec.tags)}]" if spec.tags else ""
+        print(f"  {name}{tags}: {spec.description}", file=out)
+        for param in spec.params:
+            print(f"      {param.describe()}  # {param.description}", file=out)
+    print(f"\nanalyses ({len(list_analyses())}):", file=out)
+    for name in list_analyses():
+        entry = get_analysis(name)
+        default = " (default)" if name in DEFAULT_ANALYSES else ""
+        print(f"  {name} v{entry.version}{default}: {entry.description}", file=out)
+    print(f"\nadversaries: {', '.join(ADVERSARIES)}", file=out)
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace, out) -> int:
+    overrides = _parse_single_overrides(args.scenario, args.set or ())
+    cell = make_cell(
+        args.scenario,
+        overrides=overrides,
+        adversary=args.adversary,
+        seed=args.seed,
+        analyses=_validated_analyses(args.analysis),
+        horizon=args.horizon,
+    )
+    record, run = execute_cell(cell)
+    if args.store is not None:
+        ResultStore(args.store).put(record)
+    if args.json:
+        print(json.dumps(record, indent=2, sort_keys=True), file=out)
+    else:
+        print(f"cell: {cell.describe()}", file=out)
+        print(f"key:  {record['key']}", file=out)
+        for name, result in record["analyses"].items():
+            print(f"\n[{name}]", file=out)
+            for key, value in result.items():
+                print(f"  {key}: {value}", file=out)
+    if args.viz:
+        print("\n" + spacetime_diagram(run), file=out)
+        print("\n" + action_table(run), file=out)
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace, out) -> int:
+    scenarios = _csv(args.scenario) if args.scenario else list(DEFAULT_SWEEP_SCENARIOS)
+    adversaries = _csv(args.adversary) if args.adversary else list(ADVERSARIES)
+    if args.seed_list:
+        try:
+            seeds = [int(part) for part in _csv(args.seed_list)]
+        except ValueError:
+            raise CliError(f"--seed-list expects integers, got {args.seed_list!r}")
+    else:
+        seeds = list(range(args.seeds))
+    grid = _parse_grid_overrides(scenarios, args.set or ())
+    cells = expand_grid(
+        scenarios,
+        adversaries=adversaries,
+        seeds=seeds,
+        param_grid=grid,
+        analyses=_validated_analyses(args.analysis),
+        horizon=args.horizon,
+    )
+    print(
+        f"sweep: {len(scenarios)} scenario(s) x {len(adversaries)} adversar"
+        f"{'y' if len(adversaries) == 1 else 'ies'} x {len(seeds)} seed(s)"
+        f" -> {len(cells)} cells",
+        file=out,
+    )
+    if args.dry_run:
+        for cell in cells:
+            print(f"  {cell.key()[:12]}  {cell.describe()}", file=out)
+        print("dry run: nothing executed", file=out)
+        return 0
+    store = ResultStore(args.store)
+    progress = (lambda message: print(f"  {message}", file=out)) if args.verbose else None
+    outcome = run_sweep(
+        cells,
+        store=store,
+        workers=args.workers,
+        force=args.force,
+        progress=progress,
+    )
+    print(outcome.describe(), file=out)
+    print(f"store: {store.path} ({len(store)} records)", file=out)
+    return 1 if outcome.errors else 0
+
+
+def _flatten_numeric(prefix: str, value: Any, into: Dict[str, float]) -> None:
+    if isinstance(value, bool):
+        into[prefix] = 1.0 if value else 0.0
+    elif isinstance(value, (int, float)):
+        into[prefix] = float(value)
+    elif isinstance(value, Mapping):
+        for key, inner in value.items():
+            _flatten_numeric(f"{prefix}.{key}" if prefix else str(key), inner, into)
+
+
+def _cmd_report(args: argparse.Namespace, out) -> int:
+    store = ResultStore(args.store)
+    records = [r for r in store.records() if r.get("status") == "ok"]
+    if args.viz:
+        record = store.get(args.viz)
+        if record is None:
+            matches = [r for r in records if r["key"].startswith(args.viz)]
+            if len(matches) != 1:
+                raise CliError(
+                    f"key {args.viz!r} matches {len(matches)} records in {store.path}"
+                )
+            record = matches[0]
+        cell = make_cell(
+            record["scenario"],
+            overrides=record["params"],
+            adversary=record["adversary"],
+            seed=record["seed"],
+            horizon=record.get("horizon"),
+        )
+        run = build_cell_scenario(cell).run()
+        print(f"cell: {cell.describe()}", file=out)
+        print("\n" + spacetime_diagram(run), file=out)
+        print("\n" + action_table(run), file=out)
+        return 0
+
+    if not records:
+        print(f"no records in {store.path}", file=out)
+        return 0
+
+    group_fields = _csv(args.group_by)
+    metrics = list(args.metric) if args.metric else list(DEFAULT_REPORT_METRICS)
+
+    groups: Dict[Tuple[str, ...], List[Dict[str, float]]] = {}
+    for record in records:
+        group = tuple(str(record.get(field, "?")) for field in group_fields)
+        flat: Dict[str, float] = {}
+        _flatten_numeric("", record.get("analyses", {}), flat)
+        groups.setdefault(group, []).append(flat)
+
+    if args.json:
+        payload = []
+        for group, rows in sorted(groups.items()):
+            entry: Dict[str, Any] = dict(zip(group_fields, group))
+            entry["cells"] = len(rows)
+            for metric in metrics:
+                values = [row[metric] for row in rows if metric in row]
+                if values:
+                    entry[metric] = {
+                        "mean": sum(values) / len(values),
+                        "min": min(values),
+                        "max": max(values),
+                        "n": len(values),
+                    }
+            payload.append(entry)
+        print(json.dumps(payload, indent=2, sort_keys=True), file=out)
+        return 0
+
+    header = group_fields + ["cells"] + [f"{m} (mean/min/max)" for m in metrics]
+    rows_out: List[List[str]] = []
+    for group, rows in sorted(groups.items()):
+        row = list(group) + [str(len(rows))]
+        for metric in metrics:
+            values = [r[metric] for r in rows if metric in r]
+            if values:
+                mean = sum(values) / len(values)
+                row.append(f"{mean:.2f}/{min(values):g}/{max(values):g}")
+            else:
+                row.append("-")
+        rows_out.append(row)
+    widths = [
+        max(len(header[i]), *(len(row[i]) for row in rows_out)) if rows_out else len(header[i])
+        for i in range(len(header))
+    ]
+    print("  ".join(h.ljust(widths[i]) for i, h in enumerate(header)), file=out)
+    print("  ".join("-" * width for width in widths), file=out)
+    for row in rows_out:
+        print("  ".join(cellval.ljust(widths[i]) for i, cellval in enumerate(row)), file=out)
+    print(f"\n{len(records)} records in {store.path}", file=out)
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# Parser wiring.
+# ---------------------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Seeded experiment sweeps for the zigzag-causality reproduction.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list registered scenarios, analyses and adversaries")
+
+    run_parser = sub.add_parser("run", help="run one scenario cell")
+    run_parser.add_argument("scenario", help="registered scenario name")
+    run_parser.add_argument(
+        "--set", action="append", metavar="NAME=VALUE", help="override one parameter"
+    )
+    run_parser.add_argument("--adversary", default="earliest", choices=ADVERSARIES)
+    run_parser.add_argument("--seed", type=int, default=0)
+    run_parser.add_argument("--horizon", type=int, default=None)
+    run_parser.add_argument(
+        "--analysis", action="append", metavar="NAME", help="analysis pass to apply"
+    )
+    run_parser.add_argument("--viz", action="store_true", help="print a space-time diagram")
+    run_parser.add_argument("--json", action="store_true", help="emit the raw record")
+    run_parser.add_argument(
+        "--store", default=None, metavar="PATH", help="also persist the record here"
+    )
+
+    sweep_parser = sub.add_parser("sweep", help="run a cached parameter-grid sweep")
+    sweep_parser.add_argument(
+        "--scenario",
+        default=None,
+        metavar="CSV",
+        help=f"comma-separated scenario names (default: {','.join(DEFAULT_SWEEP_SCENARIOS)})",
+    )
+    sweep_parser.add_argument(
+        "--adversary",
+        default=None,
+        metavar="CSV",
+        help=f"comma-separated adversaries (default: {','.join(ADVERSARIES)})",
+    )
+    sweep_parser.add_argument(
+        "--seeds",
+        type=int,
+        default=DEFAULT_SWEEP_SEEDS,
+        help="sweep seeds 0..N-1 (default: %(default)s)",
+    )
+    sweep_parser.add_argument(
+        "--seed-list", default=None, metavar="CSV", help="explicit seed values"
+    )
+    sweep_parser.add_argument(
+        "--set",
+        action="append",
+        metavar="NAME=V1[,V2...]",
+        help="sweep a parameter over explicit values",
+    )
+    sweep_parser.add_argument(
+        "--workers", type=int, default=DEFAULT_SWEEP_WORKERS, help="process-pool size"
+    )
+    sweep_parser.add_argument("--horizon", type=int, default=None)
+    sweep_parser.add_argument("--analysis", action="append", metavar="NAME")
+    sweep_parser.add_argument("--store", default=DEFAULT_STORE_PATH, metavar="PATH")
+    sweep_parser.add_argument(
+        "--dry-run", action="store_true", help="print the cells, execute nothing"
+    )
+    sweep_parser.add_argument(
+        "--force", action="store_true", help="re-run cells even when cached"
+    )
+    sweep_parser.add_argument("--verbose", action="store_true", help="per-cell progress")
+
+    report_parser = sub.add_parser("report", help="aggregate stored sweep results")
+    report_parser.add_argument("--store", default=DEFAULT_STORE_PATH, metavar="PATH")
+    report_parser.add_argument(
+        "--group-by",
+        default="scenario,adversary",
+        metavar="CSV",
+        help="record fields forming a group (default: %(default)s)",
+    )
+    report_parser.add_argument(
+        "--metric",
+        action="append",
+        metavar="DOTTED.PATH",
+        help=f"analysis metric(s) to aggregate (default: {', '.join(DEFAULT_REPORT_METRICS)})",
+    )
+    report_parser.add_argument(
+        "--viz",
+        default=None,
+        metavar="KEY",
+        help="re-derive and draw the run of one stored cell (key or unique prefix)",
+    )
+    report_parser.add_argument("--json", action="store_true", help="emit JSON")
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    commands = {
+        "list": _cmd_list,
+        "run": _cmd_run,
+        "sweep": _cmd_sweep,
+        "report": _cmd_report,
+    }
+    try:
+        return commands[args.command](args, sys.stdout)
+    except (CliError, RegistryError, SweepError, AnalysisError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except BrokenPipeError:
+        # Downstream (e.g. `repro list | head`) closed the pipe: exit quietly,
+        # pointing stdout at devnull so interpreter shutdown does not re-raise.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via python -m repro
+    sys.exit(main())

@@ -1,0 +1,343 @@
+"""The parallel sweep runner: grid expansion, execution, caching.
+
+A *sweep* is a grid of cells ``scenario x adversary x seed x params``; each
+cell builds a registered scenario, overrides its delivery adversary, runs the
+simulation, applies the requested analysis passes, and yields one JSON
+record.  Execution is embarrassingly parallel, so cells run on a
+:class:`concurrent.futures.ProcessPoolExecutor` when more than one worker is
+requested; every cell derives its own deterministic seed from its identity,
+so results are independent of worker count and execution order.
+
+Cells are content-addressed (see :mod:`repro.experiments.store`): cells whose
+key is already present in the result store are cache hits and are never
+re-simulated, which makes repeated sweeps incremental.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from ..scenarios.base import Scenario, get_scenario
+from ..simulation.delivery import (
+    DeliveryStrategy,
+    EarliestDelivery,
+    LatestDelivery,
+    SeededRandomDelivery,
+)
+from .analyses import DEFAULT_ANALYSES, analysis_versions, run_analyses
+from .store import ResultStore, canonical_json, cell_key
+
+#: The delivery adversaries a sweep can pit scenarios against.
+ADVERSARIES: Tuple[str, ...] = ("earliest", "latest", "random")
+
+
+class SweepError(ValueError):
+    """Raised on malformed sweep configurations."""
+
+
+def make_delivery(adversary: str, seed: int) -> DeliveryStrategy:
+    """Instantiate a delivery adversary by name (seeded where applicable)."""
+    if adversary == "earliest":
+        return EarliestDelivery()
+    if adversary == "latest":
+        return LatestDelivery()
+    if adversary == "random":
+        return SeededRandomDelivery(seed=seed)
+    raise SweepError(f"unknown adversary {adversary!r}; known: {list(ADVERSARIES)}")
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """One fully-resolved point of a sweep grid.
+
+    ``params`` is the *complete* parameter assignment (declared defaults plus
+    overrides plus the injected seed), sorted by name, so the cell's cache
+    key also covers default values: changing a scenario's default in code
+    invalidates exactly the affected cells.
+    """
+
+    scenario: str
+    params: Tuple[Tuple[str, Any], ...]
+    adversary: str
+    seed: int
+    analyses: Tuple[str, ...] = DEFAULT_ANALYSES
+    horizon: Optional[int] = None
+
+    def params_dict(self) -> Dict[str, Any]:
+        return dict(self.params)
+
+    def key(self) -> str:
+        return cell_key(
+            scenario=self.scenario,
+            params=self.params_dict(),
+            adversary=self.adversary,
+            seed=self.seed,
+            analysis_versions=analysis_versions(self.analyses),
+            horizon=self.horizon,
+        )
+
+    def derived_seed(self) -> int:
+        """A deterministic per-cell seed for the delivery adversary.
+
+        Mixing the whole cell identity (not just ``seed``) decorrelates the
+        random adversary across scenarios and parameter assignments that
+        share a seed axis value.
+        """
+        material = canonical_json(
+            [self.scenario, self.params_dict(), self.adversary, self.seed]
+        )
+        return int.from_bytes(
+            hashlib.sha256(material.encode("utf-8")).digest()[:4], "big"
+        )
+
+    def describe(self) -> str:
+        params = ",".join(f"{k}={v}" for k, v in self.params)
+        return f"{self.scenario}[{params}] x {self.adversary} x seed={self.seed}"
+
+
+def make_cell(
+    scenario: str,
+    overrides: Optional[Mapping[str, Any]] = None,
+    adversary: str = "earliest",
+    seed: int = 0,
+    analyses: Sequence[str] = DEFAULT_ANALYSES,
+    horizon: Optional[int] = None,
+) -> SweepCell:
+    """Resolve one cell: validate parameters and inject the seed axis.
+
+    If the scenario declares a ``seed`` parameter and the caller did not pin
+    it explicitly, the sweep's seed-axis value is injected so that the seed
+    axis varies the *instance* (network, schedule) and not just the delivery
+    adversary.
+    """
+    if adversary not in ADVERSARIES:
+        raise SweepError(f"unknown adversary {adversary!r}; known: {list(ADVERSARIES)}")
+    spec = get_scenario(scenario)
+    merged: Dict[str, Any] = dict(overrides or {})
+    if spec.has_param("seed") and "seed" not in merged:
+        merged["seed"] = seed
+    params = spec.resolve(merged)
+    return SweepCell(
+        scenario=scenario,
+        params=tuple(sorted(params.items())),
+        adversary=adversary,
+        seed=int(seed),
+        analyses=tuple(analyses),
+        horizon=horizon,
+    )
+
+
+def expand_grid(
+    scenarios: Sequence[str],
+    adversaries: Sequence[str] = ADVERSARIES,
+    seeds: Sequence[int] = (0,),
+    param_grid: Optional[Mapping[str, Sequence[Any]]] = None,
+    analyses: Sequence[str] = DEFAULT_ANALYSES,
+    horizon: Optional[int] = None,
+) -> List[SweepCell]:
+    """Expand a sweep grid into resolved cells (deduplicated, stable order).
+
+    ``param_grid`` maps parameter names to lists of values; for each scenario
+    only the parameters it declares apply (a value list for a parameter no
+    scenario declares is an error).  Cells that resolve to identical
+    parameter assignments collapse into one.
+    """
+    grid = {name: list(values) for name, values in (param_grid or {}).items()}
+    if grid:
+        declared = set()
+        for scenario in scenarios:
+            spec = get_scenario(scenario)
+            declared.update(name for name in grid if spec.has_param(name))
+        unknown = set(grid) - declared
+        if unknown:
+            raise SweepError(
+                f"no scenario in {list(scenarios)} declares swept parameter(s) "
+                f"{sorted(unknown)}"
+            )
+
+    cells: List[SweepCell] = []
+    seen = set()
+    for scenario in scenarios:
+        spec = get_scenario(scenario)
+        applicable = [name for name in grid if spec.has_param(name)]
+        assignments: List[Dict[str, Any]] = [{}]
+        for name in applicable:
+            assignments = [
+                {**assignment, name: value}
+                for assignment in assignments
+                for value in grid[name]
+            ]
+        for adversary in adversaries:
+            for seed in seeds:
+                for overrides in assignments:
+                    cell = make_cell(
+                        scenario,
+                        overrides=overrides,
+                        adversary=adversary,
+                        seed=seed,
+                        analyses=analyses,
+                        horizon=horizon,
+                    )
+                    identity = (cell.scenario, cell.params, cell.adversary, cell.seed)
+                    if identity in seen:
+                        continue
+                    seen.add(identity)
+                    cells.append(cell)
+    return cells
+
+
+def build_cell_scenario(cell: SweepCell) -> Scenario:
+    """Instantiate the scenario of a cell with its adversary applied."""
+    spec = get_scenario(cell.scenario)
+    scenario = spec.build(**cell.params_dict())
+    scenario = scenario.with_delivery(make_delivery(cell.adversary, cell.derived_seed()))
+    if cell.horizon is not None:
+        scenario = scenario.with_horizon(cell.horizon)
+    return scenario
+
+
+def execute_cell(cell: SweepCell):
+    """Execute one cell, returning both its result record and the run.
+
+    Callers that also want the run itself (e.g. the CLI's ``--viz``) use this
+    to avoid simulating twice.
+    """
+    started = time.perf_counter()
+    scenario = build_cell_scenario(cell)
+    run = scenario.run()
+    results = run_analyses(run, cell.analyses)
+    record = {
+        "key": cell.key(),
+        "scenario": cell.scenario,
+        "params": cell.params_dict(),
+        "adversary": cell.adversary,
+        "seed": cell.seed,
+        "horizon": cell.horizon,
+        "analyses": results,
+        "analysis_versions": analysis_versions(cell.analyses),
+        "status": "ok",
+        "duration_s": round(time.perf_counter() - started, 6),
+    }
+    return record, run
+
+
+def run_cell(cell: SweepCell) -> Dict[str, Any]:
+    """Execute one cell and return its result record (pure; pool-safe)."""
+    record, _ = execute_cell(cell)
+    return record
+
+
+@dataclass
+class SweepOutcome:
+    """What a sweep did: per-cell records plus cache accounting."""
+
+    total: int = 0
+    executed: int = 0
+    cached: int = 0
+    errors: int = 0
+    records: List[Dict[str, Any]] = field(default_factory=list)
+    duration_s: float = 0.0
+
+    @property
+    def cache_hit_rate(self) -> float:
+        return self.cached / self.total if self.total else 0.0
+
+    def describe(self) -> str:
+        return (
+            f"{self.total} cells: {self.executed} executed, {self.cached} cached, "
+            f"{self.errors} errors in {self.duration_s:.2f}s"
+        )
+
+
+def run_sweep(
+    cells: Sequence[SweepCell],
+    store: Optional[ResultStore] = None,
+    workers: int = 1,
+    force: bool = False,
+    progress: Optional[Callable[[str], None]] = None,
+) -> SweepOutcome:
+    """Run a sweep, serving cells from ``store`` where possible.
+
+    Cached cells (key present in the store) are returned without simulation
+    unless ``force``.  The rest execute serially (``workers <= 1``) or on a
+    process pool; freshly-computed records are persisted as they arrive, so
+    an interrupted sweep loses at most the in-flight cells.  A cell that
+    raises yields a ``status: "error"`` record that is *not* cached.
+    """
+    started = time.perf_counter()
+    outcome = SweepOutcome(total=len(cells))
+    notify = progress or (lambda message: None)
+
+    pending: List[Tuple[int, SweepCell]] = []
+    records: List[Optional[Dict[str, Any]]] = [None] * len(cells)
+    for index, cell in enumerate(cells):
+        cached = store.get(cell.key()) if (store is not None and not force) else None
+        if cached is not None:
+            records[index] = {**cached, "cached": True}
+            outcome.cached += 1
+            notify(f"cache hit: {cell.describe()}")
+        else:
+            pending.append((index, cell))
+
+    def finish(index: int, cell: SweepCell, record: Dict[str, Any]) -> None:
+        records[index] = record
+        if record.get("status") == "ok":
+            outcome.executed += 1
+            if store is not None:
+                store.put(record)
+            notify(f"done: {cell.describe()} ({record['duration_s']:.3f}s)")
+        else:
+            outcome.errors += 1
+            notify(f"ERROR: {cell.describe()}: {record.get('error')}")
+
+    def error_record(cell: SweepCell, exc: BaseException) -> Dict[str, Any]:
+        return {
+            "key": cell.key(),
+            "scenario": cell.scenario,
+            "params": cell.params_dict(),
+            "adversary": cell.adversary,
+            "seed": cell.seed,
+            "status": "error",
+            "error": f"{type(exc).__name__}: {exc}",
+        }
+
+    if workers <= 1 or len(pending) <= 1:
+        for index, cell in pending:
+            try:
+                record = run_cell(cell)
+            except Exception as exc:  # noqa: BLE001 - per-cell isolation
+                record = error_record(cell, exc)
+            finish(index, cell, record)
+    else:
+        with ProcessPoolExecutor(max_workers=workers) as executor:
+            futures = {
+                executor.submit(run_cell, cell): (index, cell)
+                for index, cell in pending
+            }
+            remaining = set(futures)
+            while remaining:
+                done, remaining = wait(remaining, return_when=FIRST_COMPLETED)
+                for future in done:
+                    index, cell = futures[future]
+                    try:
+                        record = future.result()
+                    except Exception as exc:  # noqa: BLE001 - per-cell isolation
+                        record = error_record(cell, exc)
+                    finish(index, cell, record)
+
+    outcome.records = [record for record in records if record is not None]
+    outcome.duration_s = time.perf_counter() - started
+    return outcome

@@ -1,0 +1,166 @@
+"""A persistent, content-addressed JSONL store for sweep results.
+
+Each record is one JSON object per line, keyed by a stable SHA-256 digest of
+the cell's identity: scenario name, full parameter assignment, delivery
+adversary, seed, horizon override, and the versions of every analysis pass
+applied.  Repeated sweeps therefore become incremental — a cell whose key is
+already present is a cache hit and is never re-simulated — while bumping an
+analysis version re-runs exactly the cells it affects.
+
+The store is append-only (crash-safe: a torn final line is ignored on load);
+:meth:`ResultStore.compact` rewrites the file keeping the newest record per
+key.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+#: Version stamp of the store's record layout; part of every cache key.
+STORE_FORMAT_VERSION = 1
+
+#: Default store location, relative to the current working directory.
+DEFAULT_STORE_PATH = os.path.join(".repro-store", "results.jsonl")
+
+
+def canonical_json(value: Any) -> str:
+    """Deterministic JSON: sorted keys, no whitespace, no NaN."""
+    return json.dumps(
+        value, sort_keys=True, separators=(",", ":"), allow_nan=False
+    )
+
+
+def cell_key(
+    scenario: str,
+    params: Mapping[str, Any],
+    adversary: str,
+    seed: int,
+    analysis_versions: Mapping[str, int],
+    horizon: Optional[int] = None,
+) -> str:
+    """The stable content address of one sweep cell."""
+    material = canonical_json(
+        {
+            "format": STORE_FORMAT_VERSION,
+            "scenario": scenario,
+            "params": dict(params),
+            "adversary": adversary,
+            "seed": seed,
+            "horizon": horizon,
+            "analyses": dict(analysis_versions),
+        }
+    )
+    return hashlib.sha256(material.encode("utf-8")).hexdigest()
+
+
+class StoreError(ValueError):
+    """Raised on malformed store records."""
+
+
+class ResultStore:
+    """An append-only JSONL result cache with an in-memory key index."""
+
+    def __init__(self, path: str = DEFAULT_STORE_PATH):
+        self.path = path
+        self._index: Dict[str, Dict[str, Any]] = {}
+        self._loaded = False
+
+    # -- loading -----------------------------------------------------------
+
+    def _ensure_loaded(self) -> None:
+        if self._loaded:
+            return
+        self._loaded = True
+        if not os.path.exists(self.path):
+            return
+        with open(self.path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    continue  # torn trailing line from an interrupted append
+                key = record.get("key")
+                if isinstance(key, str):
+                    self._index[key] = record
+
+    def reload(self) -> None:
+        """Drop the in-memory index and re-read the file on next access."""
+        self._index = {}
+        self._loaded = False
+
+    # -- queries -----------------------------------------------------------
+
+    def __len__(self) -> int:
+        self._ensure_loaded()
+        return len(self._index)
+
+    def __contains__(self, key: str) -> bool:
+        self._ensure_loaded()
+        return key in self._index
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        self._ensure_loaded()
+        return self._index.get(key)
+
+    def keys(self) -> Tuple[str, ...]:
+        self._ensure_loaded()
+        return tuple(self._index)
+
+    def records(self) -> List[Dict[str, Any]]:
+        """All current records (newest per key), in insertion order."""
+        self._ensure_loaded()
+        return list(self._index.values())
+
+    def __iter__(self) -> Iterator[Dict[str, Any]]:
+        return iter(self.records())
+
+    # -- writes ------------------------------------------------------------
+
+    def put(self, record: Mapping[str, Any]) -> None:
+        """Append one record; the newest record per key wins on lookup."""
+        key = record.get("key")
+        if not isinstance(key, str) or not key:
+            raise StoreError("store records must carry a non-empty string 'key'")
+        self._ensure_loaded()
+        payload = dict(record)
+        directory = os.path.dirname(self.path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        with open(self.path, "ab") as handle:
+            # If a previous append was interrupted mid-line, start fresh so the
+            # torn fragment cannot swallow this record too.
+            if handle.tell() > 0:
+                with open(self.path, "rb") as reader:
+                    reader.seek(-1, os.SEEK_END)
+                    last = reader.read(1)
+                if last != b"\n":
+                    handle.write(b"\n")
+            handle.write((canonical_json(payload) + "\n").encode("utf-8"))
+        self._index[key] = payload
+
+    def put_many(self, records: Sequence[Mapping[str, Any]]) -> None:
+        for record in records:
+            self.put(record)
+
+    def compact(self) -> int:
+        """Rewrite the file keeping one (newest) record per key.
+
+        Returns the number of lines dropped.
+        """
+        self._ensure_loaded()
+        if not os.path.exists(self.path):
+            return 0
+        with open(self.path, "r", encoding="utf-8") as handle:
+            total_lines = sum(1 for line in handle if line.strip())
+        tmp_path = self.path + ".tmp"
+        with open(tmp_path, "w", encoding="utf-8") as handle:
+            for record in self._index.values():
+                handle.write(canonical_json(record) + "\n")
+        os.replace(tmp_path, self.path)
+        return total_lines - len(self._index)

@@ -1,6 +1,22 @@
-"""Scenario builders: the paper's figures and randomised workloads."""
+"""Scenario builders: the paper's figures, randomised workloads, topologies.
 
-from .base import Scenario
+Importing this package populates the scenario registry: every figure,
+random-network and structured-topology scenario is registered by name via
+:func:`~repro.scenarios.base.register_scenario` and is addressable through
+:func:`get_scenario` / :func:`list_scenarios` (which is what the
+:mod:`repro.experiments` sweep runner and the ``repro`` CLI consume).
+"""
+
+from .base import (
+    ParamSpec,
+    RegistryError,
+    Scenario,
+    ScenarioSpec,
+    get_scenario,
+    list_scenarios,
+    register_scenario,
+    scenario_registry,
+)
 from .figures import (
     ZigzagChainLayout,
     figure1_guaranteed_margin,
@@ -21,16 +37,30 @@ from .figures import (
 from .random_nets import (
     RandomWorkload,
     flooding_scenario,
+    random_coordination_scenario,
     random_external_schedule,
     random_timed_network,
     random_workload,
     workload_scenario,
 )
+from .topologies import (
+    complete_flooding_scenario,
+    grid_flooding_scenario,
+    line_flooding_scenario,
+    ring_flooding_scenario,
+    star_flooding_scenario,
+    torus_flooding_scenario,
+    tree_flooding_scenario,
+)
 
 __all__ = [
+    "ParamSpec",
     "RandomWorkload",
+    "RegistryError",
     "Scenario",
+    "ScenarioSpec",
     "ZigzagChainLayout",
+    "complete_flooding_scenario",
     "figure1_guaranteed_margin",
     "figure1_scenario",
     "figure2a_scenario",
@@ -42,10 +72,21 @@ __all__ = [
     "figure6_scenario",
     "figure8_scenario",
     "flooding_scenario",
+    "get_scenario",
+    "grid_flooding_scenario",
+    "line_flooding_scenario",
+    "list_scenarios",
+    "random_coordination_scenario",
     "random_external_schedule",
     "random_timed_network",
     "random_workload",
+    "register_scenario",
+    "ring_flooding_scenario",
+    "scenario_registry",
     "spontaneous_tag",
+    "star_flooding_scenario",
+    "torus_flooding_scenario",
+    "tree_flooding_scenario",
     "workload_scenario",
     "zigzag_chain_equation_weight",
     "zigzag_chain_layout",

@@ -31,8 +31,9 @@ from ..simulation.protocols import (
     go_sender_protocol,
     go_seen_in_message_from,
     received_go_trigger,
+    relayed_actor_protocol,
 )
-from .base import Scenario
+from .base import ParamSpec, Scenario, register_scenario
 
 #: External trigger tags for the additional spontaneous senders (E, E2, ...).
 def spontaneous_tag(index: int) -> str:
@@ -58,6 +59,19 @@ def _flood_on_trigger(tag: str) -> RuleBasedProtocol:
 # ---------------------------------------------------------------------------
 
 
+@register_scenario(
+    "figure1",
+    params=[
+        ParamSpec("lower_cb", int, 8, "L on the C->B channel"),
+        ParamSpec("upper_cb", int, 10, "U on the C->B channel"),
+        ParamSpec("lower_ca", int, 1, "L on the C->A channel"),
+        ParamSpec("upper_ca", int, 4, "U on the C->A channel"),
+        ParamSpec("go_time", int, 2, "time at which C receives mu_go"),
+        ParamSpec("horizon", int, 30, "simulated horizon"),
+    ],
+    description="Figure 1: a single two-legged fork out of C",
+    tags=("figure", "coordination"),
+)
 def figure1_scenario(
     lower_cb: int = 8,
     upper_cb: int = 10,
@@ -137,6 +151,16 @@ def zigzag_chain_layout(num_forks: int) -> ZigzagChainLayout:
     return ZigzagChainLayout(sources=sources, pivots=pivots, actor="A", target="B")
 
 
+@register_scenario(
+    "zigzag-chain",
+    params=[
+        ParamSpec("num_forks", int, 2, "number of forks in the chain"),
+        ParamSpec("with_reports", bool, False, "add pivot->B report channels"),
+        ParamSpec("go_time", int, 2, "time at which C receives mu_go"),
+    ],
+    description="Parametric k-fork zigzag chain generalising Figure 2a",
+    tags=("figure", "zigzag", "coordination"),
+)
 def zigzag_chain_scenario(
     num_forks: int = 2,
     head_bounds: Tuple[int, int] = (6, 8),
@@ -231,6 +255,15 @@ def zigzag_chain_equation_weight(scenario: Scenario, num_forks: int) -> int:
     return weight
 
 
+@register_scenario(
+    "figure2a",
+    params=[
+        ParamSpec("num_forks", int, 2, "number of forks in the chain"),
+        ParamSpec("go_time", int, 2, "time at which C receives mu_go"),
+    ],
+    description="Figure 2a: the two-fork zigzag through pivot D",
+    tags=("figure", "zigzag", "coordination"),
+)
 def figure2a_scenario(**kwargs) -> Scenario:
     """Figure 2a: the two-fork zigzag through pivot D, without reports to B."""
     kwargs.setdefault("num_forks", 2)
@@ -240,6 +273,15 @@ def figure2a_scenario(**kwargs) -> Scenario:
     return scenario
 
 
+@register_scenario(
+    "figure2b",
+    params=[
+        ParamSpec("num_forks", int, 2, "number of forks in the chain"),
+        ParamSpec("go_time", int, 2, "time at which C receives mu_go"),
+    ],
+    description="Figure 2b: the visible zigzag; B runs the optimal protocol",
+    tags=("figure", "zigzag", "coordination"),
+)
 def figure2b_scenario(margin: Optional[int] = None, **kwargs) -> Scenario:
     """Figure 2b: the same zigzag made visible via D's report; B runs Protocol 2."""
     kwargs.setdefault("num_forks", 2)
@@ -255,6 +297,15 @@ def figure2b_scenario(margin: Optional[int] = None, **kwargs) -> Scenario:
     return scenario
 
 
+@register_scenario(
+    "figure4",
+    params=[
+        ParamSpec("num_forks", int, 3, "number of forks in the chain"),
+        ParamSpec("go_time", int, 2, "time at which C receives mu_go"),
+    ],
+    description="Figure 4: a sigma-visible zigzag made of three forks",
+    tags=("figure", "zigzag", "coordination"),
+)
 def figure4_scenario(margin: Optional[int] = None, **kwargs) -> Scenario:
     """Figure 4: a sigma-visible zigzag made of three forks."""
     kwargs.setdefault("num_forks", 3)
@@ -269,6 +320,14 @@ def figure4_scenario(margin: Optional[int] = None, **kwargs) -> Scenario:
     return scenario
 
 
+@register_scenario(
+    "figure5",
+    params=[
+        ParamSpec("go_time", int, 2, "time at which C receives mu_go"),
+    ],
+    description="Figure 5: the visible zigzag pattern for Late<a --x--> b>",
+    tags=("figure", "zigzag", "coordination"),
+)
 def figure5_scenario(margin: Optional[int] = None, **kwargs) -> Scenario:
     """Figure 5: the visible zigzag pattern for ``Late<a --x--> b>`` (two forks)."""
     scenario = figure2b_scenario(margin=margin, **kwargs)
@@ -281,6 +340,16 @@ def figure5_scenario(margin: Optional[int] = None, **kwargs) -> Scenario:
 # ---------------------------------------------------------------------------
 
 
+@register_scenario(
+    "figure3",
+    params=[
+        ParamSpec("head_hops", int, 2, "hops on the C->...->B head leg"),
+        ParamSpec("tail_hops", int, 2, "hops on the C->...->A tail leg"),
+        ParamSpec("go_time", int, 2, "time at which C receives mu_go"),
+    ],
+    description="Figure 3: a fork whose legs are multi-hop relay chains",
+    tags=("figure", "coordination"),
+)
 def figure3_scenario(
     head_hops: int = 2,
     tail_hops: int = 2,
@@ -338,27 +407,7 @@ def _act_on_relayed_go(action: str, origin: str, trigger: str = GO_TRIGGER) -> R
     direct channel (Figure 3): under an FFIP the relays embed C's receipt of
     ``mu_go`` in the forwarded history.
     """
-
-    def condition(ctx, origin=origin, trigger=trigger):
-        for receipt in ctx.tentative_history.receipts():
-            history = receipt.message.sender_history
-            if history.process == origin and history.has_external(trigger):
-                return True
-            if history.has_external(trigger) or _embedded_trigger(history, origin, trigger):
-                return True
-        return False
-
-    return RuleBasedProtocol([PerformOnceRule(action, condition)])
-
-
-def _embedded_trigger(history, origin: str, trigger: str) -> bool:
-    """Whether the history (recursively) embeds ``origin`` receiving the trigger."""
-    if history.process == origin and history.has_external(trigger):
-        return True
-    for receipt in history.receipts():
-        if _embedded_trigger(receipt.message.sender_history, origin, trigger):
-            return True
-    return False
+    return relayed_actor_protocol(action, origin, trigger)
 
 
 def figure3_fork_weight(scenario: Scenario, head_hops: int = 2, tail_hops: int = 2) -> int:
@@ -374,6 +423,17 @@ def figure3_fork_weight(scenario: Scenario, head_hops: int = 2, tail_hops: int =
 # ---------------------------------------------------------------------------
 
 
+@register_scenario(
+    "figure6",
+    params=[
+        ParamSpec("lower", int, 2, "L on the i->j channel"),
+        ParamSpec("upper", int, 5, "U on the i->j channel"),
+        ParamSpec("go_time", int, 1, "time at which i receives mu_go"),
+        ParamSpec("horizon", int, 12, "simulated horizon"),
+    ],
+    description="Figure 6: one message and the two bound edges it induces",
+    tags=("figure",),
+)
 def figure6_scenario(
     lower: int = 2,
     upper: int = 5,
@@ -401,6 +461,15 @@ def figure6_scenario(
 # ---------------------------------------------------------------------------
 
 
+@register_scenario(
+    "figure8",
+    params=[
+        ParamSpec("go_time", int, 2, "time at which i receives mu_go"),
+        ParamSpec("horizon", int, 14, "simulated horizon"),
+    ],
+    description="Figure 8: three flooding processes (extended bounds graph)",
+    tags=("figure",),
+)
 def figure8_scenario(
     bounds: Tuple[int, int] = (2, 4),
     go_time: int = 2,

@@ -19,8 +19,9 @@ from ..simulation.protocols import (
     ProtocolAssignment,
     actor_protocol,
     go_sender_protocol,
+    relayed_actor_protocol,
 )
-from .base import Scenario
+from .base import ParamSpec, Scenario, register_scenario
 
 
 def random_timed_network(
@@ -67,14 +68,20 @@ def random_external_schedule(
     seed: int = 0,
     num_inputs: int = 2,
     latest_time: int = 6,
+    tag_prefix: str = "mu_rand",
 ) -> List[ExternalInput]:
-    """A random schedule of distinct external triggers."""
+    """A random schedule of distinct external triggers.
+
+    The first trigger is always ``mu_go``; later ones are tagged
+    ``{tag_prefix}_{index}`` so callers (random nets, topology sweeps) can
+    keep their trigger families distinguishable.
+    """
     rng = random.Random(seed + 1)
     inputs: List[ExternalInput] = []
     for index in range(num_inputs):
         process = rng.choice(net.processes)
-        time = rng.randint(1, latest_time)
-        tag = GO_TRIGGER if index == 0 else f"mu_rand_{index}"
+        time = rng.randint(1, max(1, latest_time))
+        tag = GO_TRIGGER if index == 0 else f"{tag_prefix}_{index}"
         inputs.append(ExternalInput(time, process, tag))
     return inputs
 
@@ -149,6 +156,18 @@ def workload_scenario(
     )
 
 
+@register_scenario(
+    "flooding",
+    params=[
+        ParamSpec("num_processes", int, 4, "number of processes"),
+        ParamSpec("seed", int, 0, "seed for the network, schedule and delivery"),
+        ParamSpec("horizon", int, 15, "simulated horizon"),
+        ParamSpec("edge_probability", float, 0.5, "extra-channel probability"),
+        ParamSpec("num_inputs", int, 2, "number of external triggers"),
+    ],
+    description="Plain FFIP flooding on a seeded random network",
+    tags=("random", "flooding"),
+)
 def flooding_scenario(
     num_processes: int = 4,
     seed: int = 0,
@@ -172,3 +191,39 @@ def flooding_scenario(
         horizon=horizon,
         description="Plain FFIP flooding on a random network",
     )
+
+
+@register_scenario(
+    "random-workload",
+    params=[
+        ParamSpec("num_processes", int, 5, "number of processes"),
+        ParamSpec("seed", int, 0, "seed for the network, roles and delivery"),
+        ParamSpec("edge_probability", float, 0.5, "extra-channel probability"),
+        ParamSpec("go_time", int, 2, "time at which C receives mu_go"),
+        ParamSpec("horizon", int, 25, "simulated horizon"),
+    ],
+    description="Seeded random network with random A/B/C coordination roles",
+    tags=("random", "coordination"),
+)
+def random_coordination_scenario(
+    num_processes: int = 5,
+    seed: int = 0,
+    edge_probability: float = 0.5,
+    go_time: int = 2,
+    horizon: int = 25,
+) -> Scenario:
+    """A random coordination workload as a registry-addressable scenario.
+
+    Bundles :func:`random_workload` and :func:`workload_scenario` so sweeps
+    can draw randomized coordination instances by seed alone.  B runs the
+    naive "act on first message from the go sender" rule so that every
+    adversary produces observable (and comparable) ``a``/``b`` timings.
+    """
+    workload = random_workload(
+        num_processes=num_processes,
+        seed=seed,
+        edge_probability=edge_probability,
+        go_time=go_time,
+    )
+    b_protocol = relayed_actor_protocol("b", workload.go_sender)
+    return workload_scenario(workload, b_protocol=b_protocol, horizon=horizon)

@@ -360,3 +360,83 @@ def star(
     procs = [hub, *leaves]
     chans = [(hub, leaf) for leaf in leaves] + [(leaf, hub) for leaf in leaves]
     return TimedNetwork(Network(procs, chans), Bounds.uniform(chans, lower, upper))
+
+
+def grid(
+    rows: int,
+    cols: int,
+    lower: int = 1,
+    upper: int = 1,
+    wrap: bool = False,
+) -> TimedNetwork:
+    """A ``rows x cols`` mesh with bidirectional channels between neighbours.
+
+    Processes are named ``r{row}c{col}`` in row-major order.  With ``wrap``
+    the mesh closes on itself in both dimensions (a torus); wrap-around
+    channels that would duplicate an existing channel or form a self loop
+    (degenerate dimensions of size 1 or 2) are silently dropped.
+    """
+    if rows < 1 or cols < 1:
+        raise NetworkError("a grid needs at least one row and one column")
+    if rows * cols < 2:
+        raise NetworkError("a grid needs at least two processes")
+
+    def name(r: int, c: int) -> Process:
+        return f"r{r}c{c}"
+
+    procs = [name(r, c) for r in range(rows) for c in range(cols)]
+    chans: Dict[Channel, None] = {}
+
+    def connect(a: Process, b: Process) -> None:
+        if a != b:
+            chans[(a, b)] = None
+            chans[(b, a)] = None
+
+    for r in range(rows):
+        for c in range(cols):
+            if c + 1 < cols:
+                connect(name(r, c), name(r, c + 1))
+            elif wrap:
+                connect(name(r, c), name(r, 0))
+            if r + 1 < rows:
+                connect(name(r, c), name(r + 1, c))
+            elif wrap:
+                connect(name(r, c), name(0, c))
+    channel_list = list(chans)
+    return TimedNetwork(Network(procs, channel_list), Bounds.uniform(channel_list, lower, upper))
+
+
+def torus(rows: int, cols: int, lower: int = 1, upper: int = 1) -> TimedNetwork:
+    """A ``rows x cols`` grid with wrap-around channels in both dimensions."""
+    return grid(rows, cols, lower=lower, upper=upper, wrap=True)
+
+
+def tree(
+    branching: int = 2, depth: int = 2, lower: int = 1, upper: int = 1
+) -> TimedNetwork:
+    """A rooted tree with bidirectional parent/child channels.
+
+    The root is ``n0`` and nodes are numbered breadth-first, so level ``d``
+    holds ``branching ** d`` processes and the whole tree
+    ``(branching**(depth+1) - 1) / (branching - 1)`` of them.
+    """
+    if branching < 1:
+        raise NetworkError("a tree needs a branching factor of at least one")
+    if depth < 1:
+        raise NetworkError("a tree needs depth at least one")
+    procs: list[Process] = ["n0"]
+    chans: list[Channel] = []
+    frontier = ["n0"]
+    counter = 1
+    for _ in range(depth):
+        next_frontier: list[Process] = []
+        for parent in frontier:
+            for _ in range(branching):
+                child = f"n{counter}"
+                counter += 1
+                procs.append(child)
+                chans.append((parent, child))
+                chans.append((child, parent))
+                next_frontier.append(child)
+        frontier = next_frontier
+    return TimedNetwork(Network(procs, chans), Bounds.uniform(chans, lower, upper))

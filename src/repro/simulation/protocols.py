@@ -217,6 +217,39 @@ def go_seen_in_message_from(
     )
 
 
+def history_embeds_trigger(history: History, origin: Process, trigger: str = GO_TRIGGER) -> bool:
+    """Whether ``history`` (recursively) embeds ``origin`` receiving ``trigger``.
+
+    Under a full-information protocol every forwarded message embeds its
+    sender's history, so "did the go reach me through any relay chain" is a
+    recursive scan of the embedded histories.
+    """
+    if history.process == origin and history.has_external(trigger):
+        return True
+    for receipt in history.receipts():
+        if history_embeds_trigger(receipt.message.sender_history, origin, trigger):
+            return True
+    return False
+
+
+def relayed_actor_protocol(
+    action: str, origin: Process, trigger: str = GO_TRIGGER
+) -> RuleBasedProtocol:
+    """Perform ``action`` once any received history shows ``origin`` saw ``trigger``.
+
+    The multi-hop counterpart of :func:`actor_protocol`: the go may reach the
+    actor through arbitrary relay chains rather than a direct channel.
+    """
+
+    def condition(ctx: StepContext, origin=origin, trigger=trigger) -> bool:
+        return any(
+            history_embeds_trigger(receipt.message.sender_history, origin, trigger)
+            for receipt in ctx.tentative_history.receipts()
+        )
+
+    return RuleBasedProtocol([PerformOnceRule(action, condition)])
+
+
 def go_sender_protocol(trigger: str = GO_TRIGGER) -> RuleBasedProtocol:
     """Protocol for process C: flood; mark the 'send_go' action when the trigger arrives."""
     rule = PerformOnceRule("send_go", lambda ctx: received_go_trigger(ctx, trigger))

@@ -17,16 +17,30 @@ core package consumes.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 from ..core.nodes import BasicNode, GeneralNode
 from .context import Context, ExternalInput
-from .messages import History, LocalAction, Message, MessageReceipt
-from .network import Process, TimedNetwork
+from .messages import (
+    ExternalReceipt,
+    History,
+    LocalAction,
+    Message,
+    MessageReceipt,
+    Observation,
+)
+from .network import Process, TimedNetwork, timed_network
+
+#: Version stamp of the :meth:`Run.to_dict` wire format.
+RUN_FORMAT_VERSION = 1
 
 
 class RunError(ValueError):
     """Raised when a run is queried about nodes or chains it does not contain."""
+
+
+class RunFormatError(RunError):
+    """Raised by :meth:`Run.from_dict` on malformed or unsupported payloads."""
 
 
 class RunValidationError(RunError):
@@ -104,6 +118,152 @@ class ActionRecord:
     action: str
     node: BasicNode
     time: int
+
+
+class _RunEncoder:
+    """Encodes the history/message DAG of a run into flat, shared tables.
+
+    Histories embed messages which embed earlier histories; naive recursive
+    serialisation would duplicate every shared sub-history exponentially.
+    The encoder assigns each distinct :class:`History` and :class:`Message`
+    one integer id, so the emitted tables grow linearly with the run and the
+    deep structure is reconstructed by reference.  Entries are appended in
+    dependency order (children first), though the decoder resolves references
+    lazily and does not rely on it.
+    """
+
+    def __init__(self) -> None:
+        self.histories: List[Any] = []
+        self.messages: List[Any] = []
+        self._history_ids: Dict[History, int] = {}
+        self._message_ids: Dict[Message, int] = {}
+
+    def history_id(self, history: History) -> int:
+        existing = self._history_ids.get(history)
+        if existing is not None:
+            return existing
+        steps = [
+            [self._observation(observation) for observation in step]
+            for step in history.steps
+        ]
+        index = len(self.histories)
+        self.histories.append([history.process, steps])
+        self._history_ids[history] = index
+        return index
+
+    def message_id(self, message: Message) -> int:
+        existing = self._message_ids.get(message)
+        if existing is not None:
+            return existing
+        payload = [
+            message.sender,
+            list(message.recipients),
+            self.history_id(message.sender_history),
+            message.payload,
+        ]
+        index = len(self.messages)
+        self.messages.append(payload)
+        self._message_ids[message] = index
+        return index
+
+    def node_id(self, node: BasicNode) -> int:
+        """A basic node is ``(process, history)`` with the process implied."""
+        return self.history_id(node.history)
+
+    def send(self, record: SendRecord) -> List[Any]:
+        return [
+            self.message_id(record.message),
+            self.node_id(record.sender_node),
+            record.destination,
+            record.send_time,
+        ]
+
+    def _observation(self, observation: Observation) -> List[Any]:
+        if isinstance(observation, ExternalReceipt):
+            return ["ext", observation.tag]
+        if isinstance(observation, LocalAction):
+            return ["act", observation.name]
+        if isinstance(observation, MessageReceipt):
+            return ["recv", self.message_id(observation.message)]
+        raise RunError(f"cannot serialise observation {observation!r}")
+
+
+class _RunDecoder:
+    """Lazily rebuilds histories and messages from the encoder's tables."""
+
+    def __init__(self, histories: Sequence[Any], messages: Sequence[Any]) -> None:
+        self._histories = histories
+        self._messages = messages
+        self._history_cache: Dict[int, History] = {}
+        self._message_cache: Dict[int, Message] = {}
+
+    @staticmethod
+    def _entry(table: Sequence[Any], index: int, kind: str) -> Any:
+        """Table lookup that treats negative ids as corruption, not wraparound."""
+        if not isinstance(index, int) or isinstance(index, bool) or index < 0:
+            raise RunFormatError(f"bad {kind} reference {index!r}")
+        try:
+            return table[index]
+        except IndexError:
+            raise RunFormatError(f"dangling {kind} reference {index}") from None
+
+    def history(self, index: int) -> History:
+        cached = self._history_cache.get(index)
+        if cached is not None:
+            return cached
+        try:
+            process, steps = self._entry(self._histories, index, "history")
+        except (TypeError, ValueError) as exc:
+            raise RunFormatError(f"bad history entry at index {index}") from exc
+        value = History(
+            process,
+            tuple(tuple(self._observation(entry) for entry in step) for step in steps),
+        )
+        self._history_cache[index] = value
+        return value
+
+    def message(self, index: int) -> Message:
+        cached = self._message_cache.get(index)
+        if cached is not None:
+            return cached
+        try:
+            sender, recipients, history_id, payload = self._entry(
+                self._messages, index, "message"
+            )
+        except (TypeError, ValueError) as exc:
+            raise RunFormatError(f"bad message entry at index {index}") from exc
+        value = Message(sender, tuple(recipients), self.history(history_id), payload)
+        self._message_cache[index] = value
+        return value
+
+    def node(self, index: int) -> BasicNode:
+        history = self.history(index)
+        return BasicNode(history.process, history)
+
+    def send(self, entry: Sequence[Any]) -> SendRecord:
+        try:
+            message_id, node_id, destination, send_time = entry
+        except (TypeError, ValueError) as exc:
+            raise RunFormatError(f"bad send entry {entry!r}") from exc
+        return SendRecord(
+            message=self.message(message_id),
+            sender_node=self.node(node_id),
+            destination=destination,
+            send_time=int(send_time),
+        )
+
+    def _observation(self, entry: Sequence[Any]) -> Observation:
+        try:
+            kind, value = entry
+        except (TypeError, ValueError) as exc:
+            raise RunFormatError(f"bad observation entry {entry!r}") from exc
+        if kind == "ext":
+            return ExternalReceipt(value)
+        if kind == "act":
+            return LocalAction(value)
+        if kind == "recv":
+            return MessageReceipt(self.message(value))
+        raise RunFormatError(f"unknown observation kind {kind!r}")
 
 
 @dataclass
@@ -362,6 +522,148 @@ class Run:
                         f"process {process} took a step at time {time} without receiving "
                         "any message (processes are event-driven)"
                     )
+
+    # -- serialisation ------------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-serialisable, lossless snapshot of this run.
+
+        Histories and messages are emitted once each into shared tables (the
+        payload DAG is heavily shared between nodes), so the output size is
+        linear in the run.  :meth:`from_dict` inverts the encoding exactly:
+        timelines, send/delivery/external records, pending messages, horizon
+        and the timed network all round-trip.
+        """
+        encoder = _RunEncoder()
+
+        send_table: List[SendRecord] = []
+        send_indexes: Dict[SendRecord, int] = {}
+
+        def send_index(record: SendRecord) -> int:
+            index = send_indexes.get(record)
+            if index is None:
+                index = len(send_table)
+                send_table.append(record)
+                send_indexes[record] = index
+            return index
+
+        sends = [send_index(record) for record in self.sends]
+        deliveries = [
+            [
+                send_index(record.send),
+                encoder.node_id(record.receiver_node),
+                record.delivery_time,
+            ]
+            for record in self.deliveries
+        ]
+        pending = [send_index(record) for record in self.pending]
+        externals = [
+            [
+                record.external.time,
+                record.external.process,
+                record.external.tag,
+                encoder.node_id(record.receiver_node),
+            ]
+            for record in self.external_deliveries
+        ]
+        # Emit timelines in network process order so the encoding is canonical
+        # (independent of the timeline mapping's insertion order).
+        ordered = [p for p in self.processes if p in self.timelines]
+        ordered += [p for p in self.timelines if p not in set(ordered)]
+        timelines = {
+            process: [[time, encoder.node_id(node)] for time, node in self.timelines[process]]
+            for process in ordered
+        }
+        net = self.timed_network
+        return {
+            "format": RUN_FORMAT_VERSION,
+            "horizon": self.horizon,
+            "context": {
+                "description": self.context.description,
+                "processes": list(net.processes),
+                "channels": [
+                    [i, j, net.L(i, j), net.U(i, j)] for i, j in net.channels
+                ],
+            },
+            "histories": encoder.histories,
+            "messages": encoder.messages,
+            "send_table": [encoder.send(record) for record in send_table],
+            "timelines": timelines,
+            "sends": sends,
+            "deliveries": deliveries,
+            "external_deliveries": externals,
+            "pending": pending,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Run":
+        """Rebuild a :class:`Run` from :meth:`to_dict` output (or parsed JSON)."""
+        if not isinstance(data, Mapping):
+            raise RunFormatError(f"expected a mapping, got {type(data).__name__}")
+        version = data.get("format")
+        if version != RUN_FORMAT_VERSION:
+            raise RunFormatError(
+                f"unsupported run format {version!r}; expected {RUN_FORMAT_VERSION}"
+            )
+        try:
+            context_data = data["context"]
+            channels = {
+                (i, j): (lower, upper)
+                for i, j, lower, upper in context_data["channels"]
+            }
+            net = timed_network(channels, processes=context_data["processes"])
+            context = Context(net, description=context_data.get("description", ""))
+            decoder = _RunDecoder(data["histories"], data["messages"])
+            send_table = tuple(decoder.send(entry) for entry in data["send_table"])
+
+            def send_entry(index: Any) -> SendRecord:
+                return _RunDecoder._entry(send_table, index, "send")
+
+            sends = tuple(send_entry(index) for index in data["sends"])
+            deliveries = tuple(
+                DeliveryRecord(
+                    send=send_entry(send_id),
+                    receiver_node=decoder.node(node_id),
+                    delivery_time=int(delivery_time),
+                )
+                for send_id, node_id, delivery_time in data["deliveries"]
+            )
+            externals = tuple(
+                ExternalDeliveryRecord(
+                    external=ExternalInput(int(time), process, tag),
+                    receiver_node=decoder.node(node_id),
+                )
+                for time, process, tag, node_id in data["external_deliveries"]
+            )
+            raw_timelines = data["timelines"]
+            ordered = [p for p in net.processes if p in raw_timelines]
+            ordered += [p for p in raw_timelines if p not in set(ordered)]
+            timelines = {
+                process: tuple(
+                    (int(time), decoder.node(node_id))
+                    for time, node_id in raw_timelines[process]
+                )
+                for process in ordered
+            }
+            pending = tuple(send_entry(index) for index in data["pending"])
+            horizon = int(data["horizon"])
+        except RunFormatError:
+            raise
+        except (KeyError, IndexError, TypeError, ValueError) as exc:
+            raise RunFormatError(f"malformed run payload: {exc}") from exc
+        except RecursionError:
+            raise RunFormatError(
+                "malformed run payload: cyclic history/message references"
+            ) from None
+        return cls(
+            context=context,
+            horizon=horizon,
+            timelines=timelines,
+            sends=sends,
+            deliveries=deliveries,
+            external_deliveries=externals,
+            pending=pending,
+        )
 
     # -- convenience --------------------------------------------------------------
 

@@ -1,0 +1,119 @@
+"""Integration tests for the sweep pipeline (the PR's acceptance criterion).
+
+A >= 36-cell grid (3 scenarios x 3 delivery adversaries x 4 seeds) runs on a
+2-worker process pool, persists to the JSONL store, and a second invocation
+completes with 100% cache hits.  A subprocess test exercises the real
+``python -m repro`` entry point.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+import repro
+from repro.experiments import ADVERSARIES, ResultStore, expand_grid, run_sweep
+from repro.experiments.cli import DEFAULT_SWEEP_SCENARIOS, main as cli_main
+
+SRC_DIR = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+
+
+def _grid():
+    return expand_grid(
+        list(DEFAULT_SWEEP_SCENARIOS),
+        adversaries=list(ADVERSARIES),
+        seeds=[0, 1, 2, 3],
+    )
+
+
+class TestSweepAcceptance:
+    def test_parallel_sweep_then_full_cache_hit(self, tmp_path):
+        cells = _grid()
+        assert len(cells) >= 36  # 3 scenarios x 3 adversaries x 4 seeds
+
+        store = ResultStore(str(tmp_path / "results.jsonl"))
+        first = run_sweep(cells, store=store, workers=2)
+        assert first.total == len(cells)
+        assert first.executed == len(cells)
+        assert first.errors == 0
+        assert len(store) == len(cells)
+
+        # Second invocation: incremental, 100% cache hits, nothing executed.
+        second = run_sweep(cells, store=store, workers=2)
+        assert second.executed == 0
+        assert second.cached == len(cells)
+        assert second.cache_hit_rate == 1.0
+        assert all(record.get("cached") for record in second.records)
+
+        # Cached records are the persisted ones, byte-for-byte (minus the flag).
+        for record in second.records:
+            stored = store.get(record["key"])
+            assert stored is not None
+            assert {k: v for k, v in record.items() if k != "cached"} == stored
+
+    def test_parallel_matches_serial(self, tmp_path):
+        """Worker count must not change results (deterministic per-cell seeding)."""
+        cells = _grid()[:6]
+        serial_store = ResultStore(str(tmp_path / "serial.jsonl"))
+        parallel_store = ResultStore(str(tmp_path / "parallel.jsonl"))
+        run_sweep(cells, store=serial_store, workers=1)
+        run_sweep(cells, store=parallel_store, workers=2)
+
+        def strip(record):
+            return {k: v for k, v in record.items() if k != "duration_s"}
+
+        for cell in cells:
+            key = cell.key()
+            assert strip(serial_store.get(key)) == strip(parallel_store.get(key))
+
+    def test_cli_sweep_twice_via_main(self, tmp_path, capsys):
+        store_path = str(tmp_path / "results.jsonl")
+        args = ["sweep", "--workers", "2", "--store", store_path]
+        assert cli_main(args) == 0
+        out = capsys.readouterr().out
+        assert "-> 36 cells" in out
+        assert "36 executed, 0 cached" in out
+
+        assert cli_main(args) == 0
+        out = capsys.readouterr().out
+        assert "0 executed, 36 cached" in out
+
+        # The store holds analysable records for every cell.
+        records = ResultStore(store_path).records()
+        assert len(records) == 36
+        for record in records:
+            assert record["status"] == "ok"
+            assert "summary" in record["analyses"]
+            json.dumps(record)
+
+
+class TestCliSubprocess:
+    def _env(self):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = SRC_DIR + os.pathsep + env.get("PYTHONPATH", "")
+        return env
+
+    def test_python_m_repro_sweep_dry_run(self):
+        result = subprocess.run(
+            [sys.executable, "-m", "repro", "sweep", "--dry-run"],
+            capture_output=True,
+            text=True,
+            env=self._env(),
+            timeout=120,
+        )
+        assert result.returncode == 0, result.stderr
+        assert "-> 36 cells" in result.stdout
+        assert "dry run: nothing executed" in result.stdout
+
+    def test_python_m_repro_list(self):
+        result = subprocess.run(
+            [sys.executable, "-m", "repro", "list"],
+            capture_output=True,
+            text=True,
+            env=self._env(),
+            timeout=120,
+        )
+        assert result.returncode == 0, result.stderr
+        assert "torus-flood" in result.stdout

@@ -1,0 +1,78 @@
+"""Property-based tests: Run serialization is lossless for analysis purposes.
+
+A random scenario is simulated, serialised through real JSON text, and
+deserialised; the rebuilt run must be record-identical and must yield
+identical bounds-graph and knowledge results (the quantities every analysis
+pass consumes).
+"""
+
+import json
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import KnowledgeChecker, basic_bounds_graph
+from repro.scenarios import flooding_scenario, random_coordination_scenario
+from repro.simulation import Run
+
+SMALL = dict(max_examples=15, deadline=None)
+
+
+def round_trip(run: Run) -> Run:
+    return Run.from_dict(json.loads(json.dumps(run.to_dict())))
+
+
+@settings(**SMALL)
+@given(
+    num_processes=st.integers(min_value=2, max_value=5),
+    seed=st.integers(min_value=0, max_value=1_000),
+    horizon=st.integers(min_value=4, max_value=12),
+)
+def test_random_runs_round_trip_identically(num_processes, seed, horizon):
+    run = flooding_scenario(num_processes=num_processes, seed=seed, horizon=horizon).run()
+    rebuilt = round_trip(run)
+    assert rebuilt.horizon == run.horizon
+    assert rebuilt.context == run.context
+    assert dict(rebuilt.timelines) == dict(run.timelines)
+    assert rebuilt.sends == run.sends
+    assert rebuilt.deliveries == run.deliveries
+    assert rebuilt.external_deliveries == run.external_deliveries
+    assert rebuilt.pending == run.pending
+    # The encoding itself is canonical: re-serialising gives the same bytes.
+    assert json.dumps(rebuilt.to_dict(), sort_keys=True) == json.dumps(
+        run.to_dict(), sort_keys=True
+    )
+    rebuilt.validate()
+
+
+@settings(**SMALL)
+@given(
+    seed=st.integers(min_value=0, max_value=500),
+    horizon=st.integers(min_value=5, max_value=10),
+)
+def test_round_trip_preserves_bounds_graph(seed, horizon):
+    run = flooding_scenario(num_processes=4, seed=seed, horizon=horizon).run()
+    rebuilt = round_trip(run)
+    original = basic_bounds_graph(run)
+    recovered = basic_bounds_graph(rebuilt)
+    assert set(original.nodes) == set(recovered.nodes)
+    assert set(original.edges) == set(recovered.edges)
+
+
+@settings(**SMALL)
+@given(seed=st.integers(min_value=0, max_value=300))
+def test_round_trip_preserves_knowledge_results(seed):
+    """max_known_gap computed from a deserialised run matches the original."""
+    run = random_coordination_scenario(num_processes=4, seed=seed, horizon=12).run()
+    rebuilt = round_trip(run)
+    for source in (run, rebuilt):
+        assert source.appears(source.final_node(source.processes[0]))
+    for process in run.processes:
+        sigma_original = run.final_node(process)
+        sigma_rebuilt = rebuilt.final_node(process)
+        assert sigma_original == sigma_rebuilt
+        checker_a = KnowledgeChecker(sigma_original, run.timed_network)
+        checker_b = KnowledgeChecker(sigma_rebuilt, rebuilt.timed_network)
+        initial = run.initial_node(process)
+        assert checker_a.max_known_gap(initial, sigma_original) == checker_b.max_known_gap(
+            initial, sigma_rebuilt
+        )

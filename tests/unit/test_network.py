@@ -8,9 +8,12 @@ from repro.simulation.network import (
     compose_paths,
     concatenate_paths,
     fully_connected,
+    grid,
     line,
     ring,
     star,
+    torus,
+    tree,
 )
 
 
@@ -155,3 +158,72 @@ class TestTimedNetwork:
     def test_ring_needs_two(self):
         with pytest.raises(NetworkError):
             ring(["solo"])
+
+
+class TestStructuredTopologies:
+    def test_grid_shape(self):
+        net = grid(2, 3)
+        assert len(net.processes) == 6
+        # 2 rows x 3 cols: 2*2 horizontal + 3*1 vertical undirected edges, doubled.
+        assert len(net.channels) == 2 * (2 * 2 + 3 * 1)
+        assert net.is_path(("r0c0", "r0c1", "r1c1"))
+        assert not net.is_path(("r0c0", "r1c1"))  # no diagonals
+
+    def test_grid_channels_are_bidirectional(self):
+        net = grid(2, 2, lower=2, upper=5)
+        for i, j in net.channels:
+            assert (j, i) in net.channels
+            assert net.L(i, j) == 2 and net.U(i, j) == 5
+
+    def test_torus_wraps_both_dimensions(self):
+        net = torus(3, 3)
+        assert ("r0c2", "r0c0") in net.channels
+        assert ("r2c0", "r0c0") in net.channels
+        # Every process has degree 4 in a 3x3 torus.
+        for process in net.processes:
+            assert len(net.out_neighbors(process)) == 4
+
+    def test_torus_degenerate_dimensions_have_no_duplicates(self):
+        # Wrap-around on a dimension of size 2 would duplicate the mesh channel.
+        net = torus(2, 2)
+        assert len(net.channels) == len(set(net.channels))
+        for process in net.processes:
+            assert process not in net.out_neighbors(process)  # no self loops
+
+    def test_grid_rejects_degenerate(self):
+        with pytest.raises(NetworkError):
+            grid(1, 1)
+        with pytest.raises(NetworkError):
+            grid(0, 3)
+
+    def test_tree_shape(self):
+        net = tree(branching=2, depth=2)
+        assert len(net.processes) == 7  # 1 + 2 + 4
+        assert len(net.channels) == 2 * 6  # 6 undirected tree edges
+        assert net.is_path(("n0", "n1"))
+        assert net.is_path(("n3", "n1", "n0", "n2"))
+
+    def test_tree_single_branch_is_a_line(self):
+        net = tree(branching=1, depth=3)
+        assert len(net.processes) == 4
+        assert net.is_path(("n0", "n1", "n2", "n3"))
+
+    def test_tree_rejects_degenerate(self):
+        with pytest.raises(NetworkError):
+            tree(branching=0, depth=2)
+        with pytest.raises(NetworkError):
+            tree(branching=2, depth=0)
+
+    def test_structured_networks_flood_everywhere(self):
+        from repro.simulation import Context, ProtocolAssignment, go_at, simulate
+
+        for net in (grid(2, 3), torus(3, 3), tree(2, 2)):
+            run = simulate(
+                Context(net),
+                ProtocolAssignment(),
+                external_inputs=go_at(1, net.processes[0]),
+                horizon=10,
+            )
+            run.validate()
+            touched = {p for p in run.processes if len(run.timelines[p]) > 1}
+            assert touched == set(net.processes)

@@ -1,0 +1,118 @@
+"""Round-trip tests for ``Run.to_dict`` / ``Run.from_dict``."""
+
+import json
+
+import pytest
+
+from repro.core import basic_bounds_graph
+from repro.scenarios import figure1_scenario, figure2b_scenario, flooding_scenario
+from repro.simulation import Run
+from repro.simulation.runs import RUN_FORMAT_VERSION, RunFormatError
+
+
+def round_trip(run: Run) -> Run:
+    """Serialise through actual JSON text, as the result store would."""
+    return Run.from_dict(json.loads(json.dumps(run.to_dict())))
+
+
+def assert_runs_equal(original: Run, rebuilt: Run) -> None:
+    assert rebuilt.horizon == original.horizon
+    assert rebuilt.context == original.context
+    assert dict(rebuilt.timelines) == dict(original.timelines)
+    assert rebuilt.sends == original.sends
+    assert rebuilt.deliveries == original.deliveries
+    assert rebuilt.external_deliveries == original.external_deliveries
+    assert rebuilt.pending == original.pending
+
+
+class TestRoundTrip:
+    def test_figure1(self, figure1_run):
+        rebuilt = round_trip(figure1_run)
+        assert_runs_equal(figure1_run, rebuilt)
+        rebuilt.validate()
+
+    def test_figure2b_with_optimal_protocol(self):
+        run = figure2b_scenario().run()
+        rebuilt = round_trip(run)
+        assert_runs_equal(run, rebuilt)
+
+    def test_flooding_with_pending_messages(self):
+        # A short horizon leaves messages in flight, exercising `pending`.
+        run = flooding_scenario(num_processes=4, seed=3, horizon=6).run()
+        rebuilt = round_trip(run)
+        assert_runs_equal(run, rebuilt)
+
+    def test_to_dict_is_canonical(self, figure1_run):
+        """Encoding is deterministic and stable across a round trip."""
+        once = figure1_run.to_dict()
+        again = figure1_run.to_dict()
+        assert once == again
+        rebuilt = round_trip(figure1_run)
+        assert rebuilt.to_dict() == once
+
+    def test_tables_are_shared_not_duplicated(self):
+        """The history table stays linear in the run (payload DAG is shared)."""
+        run = flooding_scenario(num_processes=4, seed=1, horizon=10).run()
+        data = run.to_dict()
+        total_timeline_nodes = sum(len(tl) for tl in data["timelines"].values())
+        assert len(data["histories"]) == total_timeline_nodes
+
+    def test_derived_queries_survive(self, figure1_run):
+        rebuilt = round_trip(figure1_run)
+        assert [n.describe() for n in rebuilt.nodes()] == [
+            n.describe() for n in figure1_run.nodes()
+        ]
+        original_actions = figure1_run.actions()
+        rebuilt_actions = rebuilt.actions()
+        assert rebuilt_actions == original_actions
+        graph_a = basic_bounds_graph(figure1_run)
+        graph_b = basic_bounds_graph(rebuilt)
+        assert set(graph_a.nodes) == set(graph_b.nodes)
+        assert set(graph_a.edges) == set(graph_b.edges)
+
+
+class TestFormatErrors:
+    def test_rejects_wrong_version(self, figure1_run):
+        data = figure1_run.to_dict()
+        data["format"] = RUN_FORMAT_VERSION + 1
+        with pytest.raises(RunFormatError):
+            Run.from_dict(data)
+
+    def test_rejects_non_mapping(self):
+        with pytest.raises(RunFormatError):
+            Run.from_dict([1, 2, 3])
+
+    def test_rejects_missing_section(self, figure1_run):
+        data = figure1_run.to_dict()
+        del data["send_table"]
+        with pytest.raises(RunFormatError):
+            Run.from_dict(data)
+
+    def test_rejects_dangling_reference(self, figure1_run):
+        data = json.loads(json.dumps(figure1_run.to_dict()))
+        data["sends"] = [10_000 for _ in data["sends"]]
+        with pytest.raises(RunFormatError):
+            Run.from_dict(data)
+
+    def test_rejects_negative_reference(self, figure1_run):
+        """Negative ids are corruption, not Python wraparound indexing."""
+        data = json.loads(json.dumps(figure1_run.to_dict()))
+        data["sends"] = [-1 for _ in data["sends"]]
+        with pytest.raises(RunFormatError):
+            Run.from_dict(data)
+
+    def test_rejects_cyclic_references(self, figure1_run):
+        data = json.loads(json.dumps(figure1_run.to_dict()))
+        # Make some message point at a history that (transitively) embeds it.
+        receiving = [
+            (i, entry) for i, entry in enumerate(data["histories"]) if entry[1]
+        ]
+        hist_id, entry = receiving[-1]
+        for step in entry[1]:
+            for obs in step:
+                if obs[0] == "recv":
+                    data["messages"][obs[1]][2] = hist_id  # cycle
+                    with pytest.raises(RunFormatError):
+                        Run.from_dict(data)
+                    return
+        pytest.skip("run has no message receipts")
