@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Regenerate (or verify) the golden scenario corpus under tests/data/golden/.
+
+Usage:
+    python scripts/regenerate_golden.py             # rewrite stale files
+    python scripts/regenerate_golden.py --check     # verify only, exit 1 on drift
+    python scripts/regenerate_golden.py --only figure1 --only torus-flood
+
+Each golden file records one registered scenario's default-parameter run
+(``Run.to_dict``) together with the KnowledgeChecker answers for all boundary
+node pairs at every process's final node.  The regression test
+(tests/integration/test_golden_corpus.py) requires the stored bytes to match
+what the current code produces, so rerun this script -- and review the diff --
+whenever an intentional behavioural change moves the corpus.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.experiments.golden import check_corpus, write_corpus  # noqa: E402
+from repro.scenarios import list_scenarios  # noqa: E402
+
+GOLDEN_DIR = REPO_ROOT / "tests" / "data" / "golden"
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="verify the stored corpus without writing; exit 1 on any drift",
+    )
+    parser.add_argument(
+        "--only",
+        action="append",
+        metavar="SCENARIO",
+        help="restrict to one scenario (repeatable); default: all registered",
+    )
+    args = parser.parse_args(argv)
+
+    names = args.only if args.only else list(list_scenarios())
+    unknown = sorted(set(names) - set(list_scenarios()))
+    if unknown:
+        print(f"error: unknown scenario(s): {', '.join(unknown)}", file=sys.stderr)
+        return 2
+
+    if args.check:
+        problems = check_corpus(GOLDEN_DIR, names)
+        for name, problem in problems:
+            print(f"[drift] {name}: {problem}")
+        if problems:
+            print(f"{len(problems)} stale/missing golden file(s)", file=sys.stderr)
+            return 1
+        print(f"golden corpus OK ({len(names)} scenario(s))")
+        return 0
+
+    results = write_corpus(GOLDEN_DIR, names)
+    for name, path, changed in results:
+        status = "rewrote" if changed else "unchanged"
+        print(f"[{status}] {name} -> {path.relative_to(REPO_ROOT)}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

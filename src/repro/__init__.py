@@ -27,6 +27,7 @@ from .core import (
     BasicNode,
     GeneralNode,
     KnowledgeChecker,
+    LongestPathEngine,
     TimedPrecedence,
     TwoLeggedFork,
     ZigzagPattern,
@@ -35,6 +36,7 @@ from .core import (
     check_theorem2,
     check_theorem3,
     check_theorem4,
+    check_theorem4_batch,
     general,
     knows_precedence,
     max_known_gap,
@@ -65,6 +67,7 @@ __all__ = [
     "ExternalInput",
     "GeneralNode",
     "KnowledgeChecker",
+    "LongestPathEngine",
     "LatestDelivery",
     "Network",
     "Run",
@@ -80,6 +83,7 @@ __all__ = [
     "check_theorem2",
     "check_theorem3",
     "check_theorem4",
+    "check_theorem4_batch",
     "general",
     "knows_precedence",
     "max_known_gap",

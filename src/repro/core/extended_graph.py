@@ -31,17 +31,17 @@ API.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Hashable, Optional, Tuple, Union
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple, Union
 
 from ..simulation.network import Process, TimedNetwork
 from .causality import (
     boundary_nodes,
-    is_recognized,
     local_delivery_map,
     past_nodes,
 )
 from .bounds_graph import LOWER_EDGE, SUCCESSOR_EDGE, UPPER_EDGE, local_bounds_graph
 from .graph import WeightedGraph
+from .longest_paths import LongestPathEngine
 from .nodes import BasicNode, GeneralNode
 
 #: Edge labels specific to the extended graph.
@@ -176,7 +176,10 @@ class ExtendedBoundsGraph:
         and anchored after the auxiliary node of its process (the delivery
         necessarily happens beyond the view of ``sigma``).
         """
-        if not is_recognized(theta, self.sigma):
+        # Equivalent to ``is_recognized(theta, self.sigma)`` but answered from
+        # the past set cached at construction instead of re-walking the
+        # causal past on every query.
+        if theta.base not in self.past:
             raise ExtendedGraphError(
                 f"{theta.describe()} is not recognized at {self.sigma.describe()}"
             )
@@ -228,7 +231,22 @@ class ExtendedBoundsGraph:
             previous_process = hop_process
         return previous_key
 
+    def add_general_nodes(self, thetas: Sequence[GeneralNode]) -> List[GraphKey]:
+        """Materialise many general nodes up front and return their vertices.
+
+        Batching the mutations before any longest-path query lets the engine
+        settle on one graph snapshot, so memoized rows are computed once and
+        shared across every query instead of being extended after each
+        interleaved insertion.
+        """
+        return [self.add_general_node(theta) for theta in thetas]
+
     # -- queries ---------------------------------------------------------------------------
+
+    @property
+    def engine(self) -> LongestPathEngine:
+        """The batched longest-path engine over the current graph snapshot."""
+        return self.graph.engine
 
     def longest_weight(self, source: GraphKey, target: GraphKey) -> Optional[int]:
         """The longest-path weight between two vertices, or ``None`` if unreachable."""
@@ -241,6 +259,32 @@ class ExtendedBoundsGraph:
         key1 = self.add_general_node(theta1)
         key2 = self.add_general_node(theta2)
         return self.longest_weight(key1, key2)
+
+    def batch_weights(
+        self, pairs: Sequence[Tuple[GeneralNode, GeneralNode]]
+    ) -> List[Optional[int]]:
+        """Longest constraint-path weights for many general-node pairs at once.
+
+        All general nodes are added to the graph first (the only mutating
+        step), then every weight is answered off the engine's memoized rows.
+        Equivalent to calling :meth:`longest_weight_between` per pair, but the
+        relaxation cost is paid per distinct *source*, not per query.
+        """
+        flat = self.add_general_nodes([theta for pair in pairs for theta in pair])
+        engine = self.graph.engine
+        return [
+            engine.weight(flat[index], flat[index + 1])
+            for index in range(0, len(flat), 2)
+        ]
+
+    def all_pairs(self) -> int:
+        """Materialise every longest-path row of the current graph at once.
+
+        Returns the number of rows actually computed; afterwards any number
+        of :meth:`longest_weight` queries on the same sigma are O(1) lookups
+        until the graph grows again.
+        """
+        return self.graph.engine.all_pairs()
 
     def constraint_path(
         self, theta1: GeneralNode, theta2: GeneralNode

@@ -7,8 +7,15 @@ constraints and positive cycles are impossible in any graph describing a real
 execution (a positive cycle would force a node to occur strictly after
 itself).
 
-The graphs are small (hundreds of nodes), so a plain Bellman–Ford style
-relaxation is used; it doubles as the positive-cycle detector.
+Two query paths coexist:
+
+* the plain Bellman–Ford relaxation of the original implementation, kept
+  verbatim behind ``reference=True`` as the executable specification that the
+  test-suite cross-validates against; and
+* the batched :class:`~repro.core.longest_paths.LongestPathEngine` (the
+  default), which interns nodes into dense indices, runs a topologically
+  ordered DP over the SCC condensation, memoizes per-source rows, and extends
+  them incrementally as the graph grows.
 """
 
 from __future__ import annotations
@@ -47,11 +54,15 @@ class WeightedGraph(Generic[NodeT]):
     def __init__(self) -> None:
         self._adjacency: Dict[NodeT, List[Edge[NodeT]]] = {}
         self._edges: List[Edge[NodeT]] = []
+        self._version = 0
+        self._engine = None
 
     # -- construction -------------------------------------------------------------
 
     def add_node(self, node: NodeT) -> None:
-        self._adjacency.setdefault(node, [])
+        if node not in self._adjacency:
+            self._adjacency[node] = []
+            self._version += 1
 
     def add_edge(self, source: NodeT, target: NodeT, weight: int, label: str = "") -> Edge[NodeT]:
         edge = Edge(source, target, int(weight), label)
@@ -59,6 +70,7 @@ class WeightedGraph(Generic[NodeT]):
         self.add_node(target)
         self._adjacency[source].append(edge)
         self._edges.append(edge)
+        self._version += 1
         return edge
 
     # -- queries -----------------------------------------------------------------------
@@ -90,14 +102,33 @@ class WeightedGraph(Generic[NodeT]):
     def edge_count(self) -> int:
         return len(self._edges)
 
+    @property
+    def version(self) -> int:
+        """Monotone counter bumped on every node/edge insertion (cache key)."""
+        return self._version
+
     # -- longest paths -------------------------------------------------------------------
 
-    def longest_path_weights(self, source: NodeT) -> Dict[NodeT, float]:
+    @property
+    def engine(self):
+        """The batched :class:`LongestPathEngine` bound to this graph (lazy)."""
+        if self._engine is None:
+            from .longest_paths import LongestPathEngine
+
+            self._engine = LongestPathEngine(self)
+        return self._engine
+
+    def longest_path_weights(self, source: NodeT, reference: bool = False) -> Dict[NodeT, float]:
         """Longest-path weight from ``source`` to every node (``-inf`` if unreachable).
 
         Raises :class:`PositiveCycleError` if a positive-weight cycle is
-        reachable from ``source``.
+        reachable from ``source``.  With ``reference=True`` the original
+        Bellman-Ford relaxation runs from scratch (the executable
+        specification used by tests); the default delegates to the memoized
+        batched engine.
         """
+        if not reference:
+            return self.engine.row(source)
         if source not in self._adjacency:
             raise KeyError(f"source {source!r} is not a node of the graph")
         distance: Dict[NodeT, float] = {node: NEG_INF for node in self._adjacency}
@@ -124,14 +155,18 @@ class WeightedGraph(Generic[NodeT]):
                 )
         return distance
 
-    def longest_path_weight(self, source: NodeT, target: NodeT) -> Optional[int]:
+    def longest_path_weight(
+        self, source: NodeT, target: NodeT, reference: bool = False
+    ) -> Optional[int]:
         """The weight of the longest path from ``source`` to ``target``.
 
         Returns ``None`` when the target is unreachable.
         """
+        if not reference:
+            return self.engine.weight(source, target)
         if target not in self._adjacency:
             raise KeyError(f"target {target!r} is not a node of the graph")
-        weight = self.longest_path_weights(source).get(target, NEG_INF)
+        weight = self.longest_path_weights(source, reference=True).get(target, NEG_INF)
         if weight == NEG_INF:
             return None
         return int(weight)
@@ -140,7 +175,9 @@ class WeightedGraph(Generic[NodeT]):
         """The longest path from ``source`` to ``target`` as ``(weight, edges)``.
 
         Returns ``None`` when the target is unreachable.  Ties are broken
-        arbitrarily but deterministically.
+        arbitrarily but deterministically.  Path *reconstruction* stays on the
+        naive relaxation (parent tracking is per-query by nature); weight-only
+        queries should use :meth:`longest_path_weight`, which is batched.
         """
         if source not in self._adjacency:
             raise KeyError(f"source {source!r} is not a node of the graph")
@@ -183,8 +220,10 @@ class WeightedGraph(Generic[NodeT]):
         edges.reverse()
         return int(distance[target]), tuple(edges)
 
-    def has_positive_cycle(self) -> bool:
+    def has_positive_cycle(self, reference: bool = False) -> bool:
         """Whether any positive-weight cycle exists anywhere in the graph."""
+        if not reference:
+            return self.engine.has_positive_cycle()
         distance: Dict[NodeT, float] = {node: 0 for node in self._adjacency}
         node_count = len(self._adjacency)
         for _ in range(max(node_count - 1, 0)):

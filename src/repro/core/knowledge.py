@@ -18,7 +18,13 @@ characterisation as an API:
   known (``None`` when no lower bound at all is known);
 * :func:`knows_precedence` -- the Boolean query;
 * :class:`KnowledgeChecker` -- a per-``sigma`` cache used by protocols that
-  issue many queries against the same local state.
+  issue many queries against the same local state.  Longest paths are served
+  by the batched :class:`~repro.core.longest_paths.LongestPathEngine`
+  (memoized rows, all-pairs precomputation, incremental growth), so the
+  per-query cost after the first query on a source is a lookup; the
+  :meth:`KnowledgeChecker.max_known_gaps` /
+  :meth:`KnowledgeChecker.knows_statements` batch entry points answer whole
+  query sets against one graph snapshot.
 
 The test-suite cross-validates the characterisation against brute-force
 enumeration of indistinguishable runs on small networks.
@@ -26,15 +32,14 @@ enumeration of indistinguishable runs on small networks.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional, Tuple
+from typing import Iterable, List, Optional, Sequence, Tuple, TYPE_CHECKING
 
 from ..simulation.network import TimedNetwork
-from .causality import is_recognized
 from .extended_graph import ExtendedBoundsGraph, ExtendedGraphError
 from .nodes import BasicNode, GeneralNode, general
 from .precedence import TimedPrecedence
 
-if False:  # pragma: no cover - typing only
+if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..simulation.runs import Run
 
 
@@ -70,6 +75,16 @@ class KnowledgeChecker:
     def _as_general(self, node: BasicNode | GeneralNode) -> GeneralNode:
         return node if isinstance(node, GeneralNode) else general(node)
 
+    def _require_recognized(self, theta: GeneralNode) -> None:
+        # Membership in the extended graph's cached past set is equivalent to
+        # ``is_recognized(theta, self.sigma)`` and avoids re-deriving the
+        # causal past per query.
+        if theta.base not in self._graph.past:
+            raise ExtendedGraphError(
+                f"{theta.describe()} is not recognized at {self.sigma.describe()}; "
+                "knowledge of its timing is undefined"
+            )
+
     def max_known_gap(
         self, earlier: BasicNode | GeneralNode, later: BasicNode | GeneralNode
     ) -> Optional[int]:
@@ -81,13 +96,39 @@ class KnowledgeChecker:
         """
         theta1 = self._as_general(earlier)
         theta2 = self._as_general(later)
-        for theta in (theta1, theta2):
-            if not is_recognized(theta, self.sigma):
-                raise ExtendedGraphError(
-                    f"{theta.describe()} is not recognized at {self.sigma.describe()}; "
-                    "knowledge of its timing is undefined"
-                )
+        self._require_recognized(theta1)
+        self._require_recognized(theta2)
         return self._graph.longest_weight_between(theta1, theta2)
+
+    def max_known_gaps(
+        self,
+        pairs: Sequence[Tuple[BasicNode | GeneralNode, BasicNode | GeneralNode]],
+    ) -> List[Optional[int]]:
+        """Batched :meth:`max_known_gap` over many ``(earlier, later)`` pairs.
+
+        All general nodes are materialised in the extended graph first, then
+        every answer comes off the engine's memoized longest-path rows: the
+        relaxation cost is paid once per distinct earlier-node, no matter how
+        many pairs are queried.  Equivalent, pair for pair, to calling
+        :meth:`max_known_gap` in a loop.
+        """
+        general_pairs = []
+        for earlier, later in pairs:
+            theta1 = self._as_general(earlier)
+            theta2 = self._as_general(later)
+            self._require_recognized(theta1)
+            self._require_recognized(theta2)
+            general_pairs.append((theta1, theta2))
+        return self._graph.batch_weights(general_pairs)
+
+    def precompute_all_pairs(self) -> int:
+        """Materialise every longest-path row of the extended graph at once.
+
+        Useful before issuing a large, source-diverse batch of queries (an
+        all-pairs analysis pass, a benchmark sweep); returns the number of
+        rows computed.
+        """
+        return self._graph.all_pairs()
 
     def knows(
         self,
@@ -102,6 +143,16 @@ class KnowledgeChecker:
     def knows_statement(self, statement: TimedPrecedence) -> bool:
         return self.knows(statement.earlier, statement.later, statement.margin)
 
+    def knows_statements(self, statements: Sequence[TimedPrecedence]) -> List[bool]:
+        """Batched :meth:`knows_statement` sharing one graph snapshot."""
+        gaps = self.max_known_gaps(
+            [(statement.earlier, statement.later) for statement in statements]
+        )
+        return [
+            gap is not None and gap >= statement.margin
+            for statement, gap in zip(statements, gaps)
+        ]
+
     def known_window(
         self, earlier: BasicNode | GeneralNode, later: BasicNode | GeneralNode
     ) -> Tuple[Optional[int], Optional[int]]:
@@ -111,8 +162,7 @@ class KnowledgeChecker:
         maximal known gap in the opposite direction.  Either end may be
         ``None`` (unbounded).
         """
-        lower = self.max_known_gap(earlier, later)
-        reverse = self.max_known_gap(later, earlier)
+        lower, reverse = self.max_known_gaps([(earlier, later), (later, earlier)])
         upper = None if reverse is None else -reverse
         return lower, upper
 

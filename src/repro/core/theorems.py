@@ -21,7 +21,7 @@ verdict and the quantities involved (weights, gaps, witnesses).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Optional, Tuple, TYPE_CHECKING
+from typing import Iterable, Optional, Sequence, Tuple, TYPE_CHECKING
 
 from ..simulation.network import TimedNetwork
 from .knowledge import KnowledgeChecker, empirical_min_gap
@@ -245,6 +245,7 @@ def check_theorem4(
     theta2: BasicNode | GeneralNode,
     timed_network: TimedNetwork,
     indistinguishable_runs: Iterable["Run"],
+    checker: Optional[KnowledgeChecker] = None,
 ) -> Theorem4Report:
     """Compare ``max_known_gap`` with the minimum gap over indistinguishable runs.
 
@@ -253,8 +254,48 @@ def check_theorem4(
     :func:`repro.simulation.enumerate.enumerate_runs` over all relevant
     external schedules); soundness then requires ``known <= empirical`` and
     completeness (the hard direction of Theorem 4) requires equality.
+
+    Passing a ``checker`` built for the same ``sigma`` reuses its extended
+    graph and memoized longest-path rows across calls; many-pair workloads
+    should prefer :func:`check_theorem4_batch`.
     """
-    checker = KnowledgeChecker(sigma, timed_network)
+    if checker is None:
+        checker = KnowledgeChecker(sigma, timed_network)
+    elif checker.sigma != sigma:
+        raise ValueError(
+            f"checker observes {checker.sigma.describe()}, not {sigma.describe()}"
+        )
+    elif checker.timed_network != timed_network:
+        raise ValueError(
+            "checker was built for a different timed network; its known gaps "
+            "would not be comparable to the supplied runs"
+        )
     known = checker.max_known_gap(theta1, theta2)
     empirical = empirical_min_gap(indistinguishable_runs, sigma, theta1, theta2)
     return Theorem4Report(known_gap=known, empirical_gap=empirical)
+
+
+def check_theorem4_batch(
+    sigma: BasicNode,
+    pairs: Sequence[Tuple[BasicNode | GeneralNode, BasicNode | GeneralNode]],
+    timed_network: TimedNetwork,
+    indistinguishable_runs: Iterable["Run"],
+) -> Tuple[Theorem4Report, ...]:
+    """Theorem 4 for many ``(theta1, theta2)`` pairs against one ``sigma``.
+
+    One :class:`KnowledgeChecker` serves the whole batch: every general node
+    is materialised in the extended bounds graph first and all known gaps are
+    answered off the engine's memoized rows, so the graph relaxation cost is
+    paid per distinct source rather than per pair.  The run collection is
+    iterated once and reused for every empirical comparison.
+    """
+    checker = KnowledgeChecker(sigma, timed_network)
+    runs = list(indistinguishable_runs)
+    known_gaps = checker.max_known_gaps(pairs)
+    return tuple(
+        Theorem4Report(
+            known_gap=known,
+            empirical_gap=empirical_min_gap(runs, sigma, theta1, theta2),
+        )
+        for (theta1, theta2), known in zip(pairs, known_gaps)
+    )

@@ -23,6 +23,13 @@ from .analyses import (
     run_analyses,
 )
 from .cli import main
+from .golden import (
+    GOLDEN_FORMAT_VERSION,
+    check_corpus,
+    golden_payload,
+    knowledge_answers,
+    write_corpus,
+)
 from .runner import (
     ADVERSARIES,
     SweepCell,
@@ -51,6 +58,7 @@ __all__ = [
     "AnalysisPass",
     "DEFAULT_ANALYSES",
     "DEFAULT_STORE_PATH",
+    "GOLDEN_FORMAT_VERSION",
     "ResultStore",
     "STORE_FORMAT_VERSION",
     "StoreError",
@@ -61,10 +69,13 @@ __all__ = [
     "build_cell_scenario",
     "canonical_json",
     "cell_key",
+    "check_corpus",
     "execute_cell",
     "expand_grid",
     "get_analysis",
+    "golden_payload",
     "infer_roles",
+    "knowledge_answers",
     "list_analyses",
     "main",
     "make_cell",
@@ -73,4 +84,5 @@ __all__ = [
     "run_analyses",
     "run_cell",
     "run_sweep",
+    "write_corpus",
 ]

@@ -92,7 +92,12 @@ def run_analyses(run: "Run", names: Sequence[str]) -> Dict[str, Dict[str, Any]]:
 
 
 #: Passes every sweep applies unless told otherwise.
-DEFAULT_ANALYSES: Tuple[str, ...] = ("summary", "bounds_graph", "coordination")
+DEFAULT_ANALYSES: Tuple[str, ...] = (
+    "summary",
+    "bounds_graph",
+    "bounds_stats",
+    "coordination",
+)
 
 
 # ---------------------------------------------------------------------------
@@ -164,6 +169,52 @@ def bounds_graph_pass(run: "Run") -> Dict[str, Any]:
     }
 
 
+@register_analysis("bounds_stats", version=1)
+def bounds_stats_pass(run: "Run") -> Dict[str, Any]:
+    """All-pairs longest-path statistics of ``GB(r)`` over final nodes.
+
+    Every ordered pair of per-process final nodes is queried through the
+    batched longest-path engine, so the relaxation cost is paid once per
+    source row rather than once per pair; ``rows_computed`` records exactly
+    how many relaxations the whole cell needed.
+    """
+    graph = basic_bounds_graph(run)
+    engine = graph.engine
+    finals = sorted(
+        (run.final_node(process) for process in run.processes),
+        key=lambda node: node.process,
+    )
+    queried = 0
+    reachable = 0
+    max_gap: Optional[int] = None
+    min_gap: Optional[int] = None
+    for source in finals:
+        row = engine.row(source)
+        for target in finals:
+            if target is source:
+                continue
+            queried += 1
+            value = row[target]
+            if value == float("-inf"):
+                continue
+            reachable += 1
+            gap = int(value)
+            if max_gap is None or gap > max_gap:
+                max_gap = gap
+            if min_gap is None or gap < min_gap:
+                min_gap = gap
+    return {
+        "nodes": len(graph),
+        "edges": graph.edge_count(),
+        "queried_pairs": queried,
+        "reachable_pairs": reachable,
+        "max_pair_gap": max_gap,
+        "min_pair_gap": min_gap,
+        "has_positive_cycle": engine.has_positive_cycle(),
+        "rows_computed": engine.stats.rows_computed,
+    }
+
+
 @register_analysis("coordination", version=1)
 def coordination_pass(run: "Run") -> Dict[str, Any]:
     """Outcome of the run against a ``Late<a --0--> b>`` task with inferred roles."""
@@ -189,14 +240,17 @@ def coordination_pass(run: "Run") -> Dict[str, Any]:
     }
 
 
-@register_analysis("knowledge", version=1)
+@register_analysis("knowledge", version=2)
 def knowledge_pass(run: "Run") -> Dict[str, Any]:
     """``max_known_gap`` at B's action node between A's action and B's action.
 
     Builds the extended bounds graph at the node where ``b`` was performed
     and asks for the largest ``x`` with ``K_sigma(theta_a --x--> sigma_b)``
-    (Theorem 4 machinery).  Marked inapplicable when the run has no ``b``
-    action, no go, or the required nodes are not recognized at ``sigma_b``.
+    (Theorem 4 machinery).  Both directions of the pair are answered in one
+    :meth:`KnowledgeChecker.max_known_gaps` batch against a single graph
+    snapshot, which also yields the full known window.  Marked inapplicable
+    when the run has no ``b`` action, no go, or the required nodes are not
+    recognized at ``sigma_b``.
     """
     roles = infer_roles(run)
     if roles["go_sender"] is None or roles["actor_a"] is None or roles["actor_b"] is None:
@@ -215,7 +269,9 @@ def knowledge_pass(run: "Run") -> Dict[str, Any]:
     theta_a = general(go_node, (roles["go_sender"], roles["actor_a"]))
     checker = KnowledgeChecker(sigma_b, run.timed_network)
     try:
-        known_gap = checker.max_known_gap(theta_a, sigma_b)
+        known_gap, reverse_gap = checker.max_known_gaps(
+            [(theta_a, sigma_b), (sigma_b, theta_a)]
+        )
     except ExtendedGraphError:
         return {"applicable": False, **roles, "reason": "not recognized at sigma_b"}
     return {
@@ -223,5 +279,9 @@ def knowledge_pass(run: "Run") -> Dict[str, Any]:
         **roles,
         "b_time": b_record.time,
         "known_gap": known_gap,
+        "known_window": [
+            known_gap,
+            None if reverse_gap is None else -reverse_gap,
+        ],
         "knows_precedence": known_gap is not None and known_gap >= 0,
     }

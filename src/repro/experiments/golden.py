@@ -1,0 +1,131 @@
+"""Golden-corpus serialization of registered scenarios.
+
+A golden corpus pins two independent layers of the system at once:
+
+* the **runs** every registered scenario produces under its default
+  parameters (via the lossless :meth:`Run.to_dict` wire format), and
+* the **knowledge answers** a :class:`KnowledgeChecker` derives from those
+  runs -- for every observing process's final node, the max known gap between
+  every ordered pair of boundary nodes of its past.
+
+The corpus lives under ``tests/data/golden/`` (one JSON file per scenario)
+and is regenerated with ``python scripts/regenerate_golden.py``.  The
+regression test re-executes every scenario and requires the canonical JSON
+to be bit-identical to the stored file, so *any* behavioural drift -- in the
+simulator, the serialization format, the extended bounds graph, or the
+longest-path engine -- shows up as a corpus diff that must be either fixed
+or consciously re-recorded.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Tuple, TYPE_CHECKING
+
+from ..core.causality import boundary_nodes
+from ..core.knowledge import KnowledgeChecker
+
+# Import via the package (not ``.base``) so every scenario module runs its
+# ``@register_scenario`` decorators before the registry is consulted.
+from ..scenarios import get_scenario, list_scenarios
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..simulation.runs import Run
+
+#: Version stamp of the golden-file layout (not of the Run wire format).
+GOLDEN_FORMAT_VERSION = 1
+
+
+def knowledge_answers(run: "Run") -> List[Dict[str, Any]]:
+    """The recorded knowledge queries for one run.
+
+    For each process's final node ``sigma`` (sorted by process name), every
+    ordered pair of boundary nodes of ``past(sigma)`` is queried in one
+    batch.  Nodes are identified by ``[process, step_count]``, which is
+    unambiguous within a single run.
+    """
+    answers: List[Dict[str, Any]] = []
+    for process in sorted(run.processes):
+        sigma = run.final_node(process)
+        checker = KnowledgeChecker(sigma, run.timed_network)
+        queried = sorted(
+            boundary_nodes(sigma).values(), key=lambda node: node.process
+        )
+        pairs = [(earlier, later) for earlier in queried for later in queried]
+        gaps = checker.max_known_gaps(pairs)
+        for (earlier, later), gap in zip(pairs, gaps):
+            answers.append(
+                {
+                    "sigma": [sigma.process, sigma.step_count],
+                    "earlier": [earlier.process, earlier.step_count],
+                    "later": [later.process, later.step_count],
+                    "gap": gap,
+                }
+            )
+    return answers
+
+
+def golden_payload(name: str) -> Dict[str, Any]:
+    """Build the full golden payload for one registered scenario."""
+    spec = get_scenario(name)
+    run = spec.build().run()
+    return {
+        "format": GOLDEN_FORMAT_VERSION,
+        "scenario": name,
+        "params": spec.defaults(),
+        "run": run.to_dict(),
+        "knowledge": knowledge_answers(run),
+    }
+
+
+def golden_json(payload: Dict[str, Any]) -> str:
+    """The byte-exact serialization the corpus stores and tests compare."""
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+def corpus_path(directory: Path, name: str) -> Path:
+    return Path(directory) / f"{name}.json"
+
+
+def load_payload(path: Path) -> Dict[str, Any]:
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def write_corpus(
+    directory: Path, names: Optional[Iterable[str]] = None
+) -> List[Tuple[str, Path, bool]]:
+    """(Re)write golden files; returns ``(name, path, changed)`` per scenario."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    results: List[Tuple[str, Path, bool]] = []
+    for name in names if names is not None else list_scenarios():
+        path = corpus_path(directory, name)
+        text = golden_json(golden_payload(name))
+        previous = path.read_text(encoding="utf-8") if path.exists() else None
+        changed = previous != text
+        if changed:
+            path.write_text(text, encoding="utf-8")
+        results.append((name, path, changed))
+    return results
+
+
+def check_corpus(
+    directory: Path, names: Optional[Iterable[str]] = None
+) -> List[Tuple[str, str]]:
+    """Verify stored files against freshly computed payloads without writing.
+
+    Returns a list of ``(name, problem)`` entries; empty means the corpus is
+    bit-identical to what the current code produces.
+    """
+    directory = Path(directory)
+    problems: List[Tuple[str, str]] = []
+    for name in names if names is not None else list_scenarios():
+        path = corpus_path(directory, name)
+        if not path.exists():
+            problems.append((name, f"missing golden file {path}"))
+            continue
+        if path.read_text(encoding="utf-8") != golden_json(golden_payload(name)):
+            problems.append((name, f"golden file {path} is stale"))
+    return problems

@@ -1,0 +1,73 @@
+"""Golden-corpus regression: runs and knowledge answers are bit-identical.
+
+Every registered scenario has a recorded default-parameter run and the
+KnowledgeChecker answers derived from it under ``tests/data/golden/``
+(written by ``scripts/regenerate_golden.py``).  These tests re-execute each
+scenario with the current code and require the canonical JSON -- simulator
+output, ``Run.to_dict`` wire format, and every recorded knowledge gap -- to
+match the stored bytes exactly.  A failure means observable behaviour moved:
+either fix the regression or deliberately regenerate the corpus and review
+the diff.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.golden import (
+    GOLDEN_FORMAT_VERSION,
+    golden_json,
+    corpus_path,
+    golden_payload,
+    knowledge_answers,
+    load_payload,
+)
+from repro.scenarios import get_scenario, list_scenarios
+from repro.simulation import Run
+
+GOLDEN_DIR = Path(__file__).resolve().parent.parent / "data" / "golden"
+
+ALL_SCENARIOS = list_scenarios()
+
+
+def test_corpus_covers_every_registered_scenario():
+    recorded = {path.stem for path in GOLDEN_DIR.glob("*.json")}
+    assert recorded == set(ALL_SCENARIOS), (
+        "golden corpus out of sync with the scenario registry; "
+        "run scripts/regenerate_golden.py"
+    )
+
+
+@pytest.mark.parametrize("name", ALL_SCENARIOS)
+def test_golden_file_is_bit_identical(name):
+    """Re-executing the scenario reproduces the stored bytes exactly."""
+    stored = corpus_path(GOLDEN_DIR, name).read_text(encoding="utf-8")
+    fresh = golden_json(golden_payload(name))
+    assert stored == fresh, (
+        f"golden corpus drift for scenario {name!r}; "
+        "run scripts/regenerate_golden.py and review the diff"
+    )
+
+
+@pytest.mark.parametrize("name", ALL_SCENARIOS)
+def test_knowledge_answers_reproduce_from_deserialized_run(name):
+    """KnowledgeChecker answers match the corpus even off a deserialized run.
+
+    This decouples the knowledge machinery from the simulator: the run is
+    reconstructed from the stored wire format alone, so agreement here means
+    serialization is lossless *and* the batched longest-path engine answers
+    the recorded queries identically.
+    """
+    payload = load_payload(corpus_path(GOLDEN_DIR, name))
+    assert payload["format"] == GOLDEN_FORMAT_VERSION
+    run = Run.from_dict(payload["run"])
+    assert knowledge_answers(run) == payload["knowledge"]
+
+
+def test_recorded_params_match_current_defaults():
+    """Parameter defaults are part of the recorded contract."""
+    for name in ALL_SCENARIOS:
+        payload = load_payload(corpus_path(GOLDEN_DIR, name))
+        stored = json.loads(json.dumps(get_scenario(name).defaults()))
+        assert payload["params"] == stored, name

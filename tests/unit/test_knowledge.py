@@ -41,6 +41,59 @@ class TestKnowledgeChecker:
         gap = checker.max_known_gap(go_node, sigma)
         assert checker.knows_statement(precedes(go_node, sigma, gap))
 
+    def test_max_known_gaps_matches_per_pair_queries(self, triangle_run):
+        sigma = triangle_run.final_node("B")
+        go_node = triangle_run.external_deliveries[0].receiver_node
+        theta_a = general(go_node, ("C", "A"))
+        pairs = [
+            (go_node, sigma),
+            (sigma, go_node),
+            (theta_a, sigma),
+            (sigma, sigma),
+        ]
+        checker = KnowledgeChecker(sigma, triangle_run.timed_network)
+        batched = checker.max_known_gaps(pairs)
+        assert batched == [
+            checker.max_known_gap(earlier, later) for earlier, later in pairs
+        ]
+
+    def test_max_known_gaps_rejects_unrecognized_nodes(self, triangle_run):
+        sigma = triangle_run.final_node("B")
+        late_c = triangle_run.final_node("C")
+        checker = KnowledgeChecker(sigma, triangle_run.timed_network)
+        with pytest.raises(ExtendedGraphError):
+            checker.max_known_gaps([(sigma, sigma), (late_c, sigma)])
+
+    def test_knows_statements_matches_singleton_queries(self, triangle_run):
+        from repro.core import precedes
+
+        sigma = triangle_run.final_node("B")
+        go_node = triangle_run.external_deliveries[0].receiver_node
+        checker = KnowledgeChecker(sigma, triangle_run.timed_network)
+        gap = checker.max_known_gap(go_node, sigma)
+        statements = [
+            precedes(go_node, sigma, gap),
+            precedes(go_node, sigma, gap + 1),
+            precedes(sigma, sigma, 0),
+        ]
+        assert checker.knows_statements(statements) == [
+            checker.knows_statement(statement) for statement in statements
+        ]
+        assert checker.knows_statements(statements) == [True, False, True]
+
+    def test_precompute_all_pairs_is_idempotent(self, triangle_run):
+        sigma = triangle_run.final_node("B")
+        go_node = triangle_run.external_deliveries[0].receiver_node
+        checker = KnowledgeChecker(sigma, triangle_run.timed_network)
+        assert checker.precompute_all_pairs() > 0
+        # Everything is now memoized: a second precompute has nothing to do
+        # and answers still match a cold checker.
+        assert checker.precompute_all_pairs() == 0
+        cold = KnowledgeChecker(sigma, triangle_run.timed_network)
+        assert checker.max_known_gap(go_node, sigma) == cold.max_known_gap(
+            go_node, sigma
+        )
+
     def test_known_window_brackets_truth(self, triangle_run):
         sigma = triangle_run.final_node("B")
         go_node = triangle_run.external_deliveries[0].receiver_node

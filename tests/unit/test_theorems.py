@@ -3,12 +3,14 @@
 import pytest
 
 from repro.core import (
+    KnowledgeChecker,
     TwoLeggedFork,
     ZigzagPattern,
     check_theorem1,
     check_theorem2,
     check_theorem3,
     check_theorem4,
+    check_theorem4_batch,
     general,
     supported_margin,
 )
@@ -137,6 +139,53 @@ class TestTheorem4Checker:
         assert report.sound
         assert report.known_gap is not None
         assert report.known_gap <= report.empirical_gap
+
+    def test_reused_checker_matches_fresh_checker(self, triangle_run):
+        sigma = triangle_run.final_node("B")
+        go_node = triangle_run.external_deliveries[0].receiver_node
+        theta_a = general(go_node, ("C", "A"))
+        net = triangle_run.timed_network
+        checker = KnowledgeChecker(sigma, net)
+        fresh = check_theorem4(sigma, theta_a, general(sigma), net, [triangle_run])
+        reused = check_theorem4(
+            sigma, theta_a, general(sigma), net, [triangle_run], checker=checker
+        )
+        assert reused == fresh
+
+    def test_mismatched_checker_is_rejected(self, triangle_run):
+        from repro.simulation import fully_connected
+
+        sigma = triangle_run.final_node("B")
+        go_node = triangle_run.external_deliveries[0].receiver_node
+        net = triangle_run.timed_network
+        wrong_sigma = KnowledgeChecker(triangle_run.final_node("A"), net)
+        with pytest.raises(ValueError):
+            check_theorem4(
+                sigma, go_node, sigma, net, [triangle_run], checker=wrong_sigma
+            )
+        other_net = fully_connected(["A", "B", "C"], 1, 4)
+        wrong_net = KnowledgeChecker(sigma, other_net)
+        with pytest.raises(ValueError):
+            check_theorem4(
+                sigma, go_node, sigma, net, [triangle_run], checker=wrong_net
+            )
+
+    def test_batch_matches_per_pair_reports(self, triangle_run):
+        sigma = triangle_run.final_node("B")
+        go_node = triangle_run.external_deliveries[0].receiver_node
+        theta_a = general(go_node, ("C", "A"))
+        net = triangle_run.timed_network
+        pairs = [
+            (theta_a, general(sigma)),
+            (general(sigma), theta_a),
+            (general(go_node), general(sigma)),
+        ]
+        batch = check_theorem4_batch(sigma, pairs, net, [triangle_run])
+        assert batch == tuple(
+            check_theorem4(sigma, theta1, theta2, net, [triangle_run])
+            for theta1, theta2 in pairs
+        )
+        assert all(report.sound for report in batch)
 
     def test_report_properties_with_missing_data(self):
         from repro.core.theorems import Theorem4Report
