@@ -1,0 +1,124 @@
+#!/usr/bin/env python
+"""Diff a freshly measured BENCH_runs.json against the committed baseline.
+
+Usage:
+    python scripts/check_bench_regression.py \
+        [--current benchmarks/BENCH_runs.json] \
+        [--baseline benchmarks/BENCH_runs.baseline.json] \
+        [--tolerance 2.0] [--strict-times]
+
+Ratio metrics (``*_speedup``) are hardware-robust, so they are gated hard:
+``current >= min(baseline / tolerance, speedup-cap)``.  The cap (default 25x,
+five times the bench's own 5x acceptance gate) keeps extreme baselines from
+becoming flaky requirements -- a 900x baseline measured against a
+sub-millisecond denominator must not hard-fail CI because one GC pause turned
+it into 400x.  Absolute timings (``*_s``) vary with the runner, so by default
+they only warn when ``current > baseline * tolerance``; ``--strict-times``
+turns those warnings into failures.  A workload present in the baseline but
+missing from the current artifact is always a failure (the bench silently
+lost coverage).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def load(path: Path) -> dict:
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--current", type=Path, default=REPO_ROOT / "benchmarks" / "BENCH_runs.json"
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=REPO_ROOT / "benchmarks" / "BENCH_runs.baseline.json",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=2.0,
+        help="allowed regression factor (default: 2.0)",
+    )
+    parser.add_argument(
+        "--strict-times",
+        action="store_true",
+        help="fail (instead of warn) on absolute-time regressions",
+    )
+    parser.add_argument(
+        "--speedup-cap",
+        type=float,
+        default=25.0,
+        help="ceiling on the speedup floor derived from the baseline (default: 25x)",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        current = load(args.current)
+    except FileNotFoundError:
+        print(f"error: missing current artifact {args.current}", file=sys.stderr)
+        print("run: PYTHONPATH=src python -m pytest benchmarks/test_bench_runs.py -q")
+        return 2
+    baseline = load(args.baseline)
+
+    failures = []
+    warnings = []
+    for workload, base_numbers in sorted(baseline.get("workloads", {}).items()):
+        cur_numbers = current.get("workloads", {}).get(workload)
+        if cur_numbers is None:
+            failures.append(f"{workload}: missing from current artifact")
+            continue
+        for metric, base_value in sorted(base_numbers.items()):
+            cur_value = cur_numbers.get(metric)
+            if cur_value is None:
+                failures.append(f"{workload}.{metric}: missing from current artifact")
+                continue
+            if metric.endswith("_speedup"):
+                floor = min(base_value / args.tolerance, args.speedup_cap)
+                status = "ok" if cur_value >= floor else "FAIL"
+                print(
+                    f"[{status}] {workload}.{metric}: {cur_value:.1f}x "
+                    f"(baseline {base_value:.1f}x, floor {floor:.1f}x)"
+                )
+                if cur_value < floor:
+                    failures.append(
+                        f"{workload}.{metric}: {cur_value:.1f}x < floor {floor:.1f}x"
+                    )
+            elif metric.endswith("_s"):
+                ceiling = base_value * args.tolerance
+                regressed = cur_value > ceiling
+                status = "warn" if (regressed and not args.strict_times) else (
+                    "FAIL" if regressed else "ok"
+                )
+                print(
+                    f"[{status}] {workload}.{metric}: {cur_value:.6f}s "
+                    f"(baseline {base_value:.6f}s, ceiling {ceiling:.6f}s)"
+                )
+                if regressed:
+                    message = (
+                        f"{workload}.{metric}: {cur_value:.6f}s > ceiling {ceiling:.6f}s"
+                    )
+                    (failures if args.strict_times else warnings).append(message)
+
+    for message in warnings:
+        print(f"warning: {message}")
+    if failures:
+        for message in failures:
+            print(f"regression: {message}", file=sys.stderr)
+        return 1
+    print("bench trajectory OK vs baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -108,6 +108,9 @@ class ExtendedBoundsGraph:
         self.sigma = sigma
         self.timed_network = timed_network
         self.include_auxiliary = include_auxiliary
+        # These all come from the intern pool's identity-keyed causal caches
+        # (bitset pasts), so building several graphs / checkers over the same
+        # sigma re-walks nothing.
         self.past = past_nodes(sigma)
         self.boundary = boundary_nodes(sigma)
         self.delivered = local_delivery_map(sigma)

@@ -76,9 +76,10 @@ class KnowledgeChecker:
         return node if isinstance(node, GeneralNode) else general(node)
 
     def _require_recognized(self, theta: GeneralNode) -> None:
-        # Membership in the extended graph's cached past set is equivalent to
-        # ``is_recognized(theta, self.sigma)`` and avoids re-deriving the
-        # causal past per query.
+        # Membership in the extended graph's past set is equivalent to
+        # ``is_recognized(theta, self.sigma)``.  The set is the intern pool's
+        # cached frozenset of sigma's bitset past, and its members are
+        # hash-consed nodes, so this is one O(1) identity-hash probe.
         if theta.base not in self._graph.past:
             raise ExtendedGraphError(
                 f"{theta.describe()} is not recognized at {self.sigma.describe()}; "

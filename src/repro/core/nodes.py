@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from typing import Optional, Sequence, Tuple
 
+from ..simulation import interning as _interning
 from ..simulation.messages import History
 from ..simulation.network import Path, Process, as_path
 
@@ -27,21 +28,45 @@ class NodeError(ValueError):
 
 
 class BasicNode:
-    """A basic node ``(i, l)``: a process together with one of its local states."""
+    """A basic node ``(i, l)``: a process together with one of its local states.
 
-    __slots__ = ("process", "history", "_hash")
+    Basic nodes are hash-consed: because the history already names its
+    process, the interned history *is* the identity of the node, and the
+    constructor returns the unique node of the current pool.  Each interned
+    node also carries a dense per-pool ``uid``, which is what lets causal
+    pasts be represented as bitsets (see :mod:`repro.core.causality`).
+    """
 
-    def __init__(self, process: Process, history: History):
+    __slots__ = ("process", "history", "uid", "_hash")
+
+    def __new__(cls, process: Process, history: History) -> "BasicNode":
+        process = str(process)
         if history.process != process:
             raise NodeError(
                 f"history belongs to process {history.process!r}, not {process!r}"
             )
-        object.__setattr__(self, "process", str(process))
+        intern = cls is BasicNode
+        pool = _interning._POOL
+        if intern:
+            cached = pool.nodes.get(history)
+            if cached is not None:
+                return cached
+        self = object.__new__(cls)
+        object.__setattr__(self, "process", process)
         object.__setattr__(self, "history", history)
         object.__setattr__(self, "_hash", hash(("basic", process, history)))
+        if intern:
+            object.__setattr__(self, "uid", pool.register_node(self))
+            pool.nodes[history] = self
+        else:
+            object.__setattr__(self, "uid", -1)
+        return self
 
     def __setattr__(self, name: str, value: object) -> None:
         raise AttributeError("BasicNode is immutable")
+
+    def __reduce__(self):
+        return (BasicNode, (self.process, self.history))
 
     def __eq__(self, other: object) -> bool:
         if self is other:
@@ -81,7 +106,7 @@ class BasicNode:
 
     def predecessor(self) -> Optional["BasicNode"]:
         """The node one step earlier on the same timeline (``None`` if initial)."""
-        previous = self.history.predecessor()
+        previous = self.history.parent
         if previous is None:
             return None
         return BasicNode(self.process, previous)

@@ -22,7 +22,7 @@ from __future__ import annotations
 from typing import Iterable, List, Optional, Sequence, Tuple, TYPE_CHECKING
 
 from ..simulation.network import Process, TimedNetwork
-from .causality import happens_before
+from .causality import in_past
 from .forks import TwoLeggedFork
 from .nodes import BasicNode, GeneralNode
 from .zigzag import ZigzagPattern
@@ -32,16 +32,21 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 
 def is_visible_zigzag(pattern: ZigzagPattern, sigma: BasicNode, run: "Run") -> bool:
-    """Whether ``pattern`` is a sigma-visible zigzag pattern of ``run``."""
+    """Whether ``pattern`` is a sigma-visible zigzag pattern of ``run``.
+
+    Recognition checks are single bit probes against sigma's cached past
+    bitset (pasts include the full local timeline prefix, so ``in_past`` is
+    exactly happens-before here).
+    """
     if not pattern.is_valid_in(run):
         return False
     forks = pattern.forks
     for fork in forks[:-1]:
         head = run.resolve(fork.head)
-        if head is None or not happens_before(head, sigma):
+        if head is None or not in_past(head, sigma):
             return False
     last_base = forks[-1].base.base
-    return happens_before(last_base, sigma)
+    return in_past(last_base, sigma)
 
 
 def visible_weight(pattern: ZigzagPattern, sigma: BasicNode, run: "Run") -> Optional[int]:

@@ -31,6 +31,7 @@ from typing import (
 )
 
 from ..scenarios.base import Scenario, get_scenario
+from ..simulation.interning import intern_pool
 from ..simulation.delivery import (
     DeliveryStrategy,
     EarliestDelivery,
@@ -216,9 +217,13 @@ def execute_cell(cell: SweepCell):
     to avoid simulating twice.
     """
     started = time.perf_counter()
-    scenario = build_cell_scenario(cell)
-    run = scenario.run()
-    results = run_analyses(run, cell.analyses)
+    # One intern pool per cell: every run/analysis of the cell shares the
+    # hash-consed substrate (identity equality, cached causal pasts), and
+    # dropping the pool afterwards bounds worker memory across a long sweep.
+    with intern_pool():
+        scenario = build_cell_scenario(cell)
+        run = scenario.run()
+        results = run_analyses(run, cell.analyses)
     record = {
         "key": cell.key(),
         "scenario": cell.scenario,

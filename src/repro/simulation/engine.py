@@ -15,6 +15,12 @@ The engine advances global time in unit steps.  At every step it
 Processes are event-driven: they take a step only when at least one message is
 delivered to them, and they never act spontaneously at time 0, exactly as in
 the paper's model.
+
+Run construction rides on the hash-consed substrate of
+:mod:`repro.simulation.interning`: ``History.extend`` appends to a persistent
+parent-pointer chain (O(step), no prefix copy), and the messages/nodes built
+here are interned so every later equality, serialisation table lookup, or
+causal-past walk over the run works by identity.
 """
 
 from __future__ import annotations

@@ -18,15 +18,20 @@ sending.  We therefore model
   detectable).
 
 Histories form a DAG: a receipt observation embeds the sender's history, which
-in turn embeds earlier histories.  All objects are immutable and hashable,
-with hashes cached at construction time so that comparing deep histories stays
-cheap (shared sub-histories are compared by identity first).
+in turn embeds earlier histories.  All objects are immutable and **hash-consed**
+through :mod:`repro.simulation.interning`: constructing a structurally equal
+value returns the *same object*, so ``__eq__`` degrades to ``is`` (a guarded
+structural fallback remains for values interned in different pools).  A
+history is a persistent parent-pointer chain (``parent`` + ``last_step``);
+``extend`` is O(step) and never copies the prefix, while the ``steps`` tuple
+of the old representation is materialised on demand for compatibility.
 """
 
 from __future__ import annotations
 
-from typing import Iterator, Optional, Tuple
+from typing import Iterator, List, Optional, Tuple
 
+from . import interning as _interning
 from .network import Process
 
 #: Sentinel tag for the spontaneous external message that triggers C's "go".
@@ -56,12 +61,25 @@ class ExternalReceipt(Observation):
 
     __slots__ = ("tag",)
 
-    def __init__(self, tag: str):
-        object.__setattr__(self, "tag", str(tag))
-        object.__setattr__(self, "_hash", hash(("ext", self.tag)))
+    def __new__(cls, tag: str) -> "ExternalReceipt":
+        tag = str(tag)
+        intern = cls is ExternalReceipt
+        if intern:
+            cached = _interning._POOL.externals.get(tag)
+            if cached is not None:
+                return cached
+        self = object.__new__(cls)
+        object.__setattr__(self, "tag", tag)
+        object.__setattr__(self, "_hash", hash(("ext", tag)))
+        if intern:
+            _interning._POOL.externals[tag] = self
+        return self
 
     def __setattr__(self, name: str, value: object) -> None:
         raise AttributeError("ExternalReceipt is immutable")
+
+    def __reduce__(self):
+        return (ExternalReceipt, (self.tag,))
 
     def __eq__(self, other: object) -> bool:
         if self is other:
@@ -80,12 +98,25 @@ class LocalAction(Observation):
 
     __slots__ = ("name",)
 
-    def __init__(self, name: str):
-        object.__setattr__(self, "name", str(name))
-        object.__setattr__(self, "_hash", hash(("act", self.name)))
+    def __new__(cls, name: str) -> "LocalAction":
+        name = str(name)
+        intern = cls is LocalAction
+        if intern:
+            cached = _interning._POOL.actions.get(name)
+            if cached is not None:
+                return cached
+        self = object.__new__(cls)
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "_hash", hash(("act", name)))
+        if intern:
+            _interning._POOL.actions[name] = self
+        return self
 
     def __setattr__(self, name: str, value: object) -> None:
         raise AttributeError("LocalAction is immutable")
+
+    def __reduce__(self):
+        return (LocalAction, (self.name,))
 
     def __eq__(self, other: object) -> bool:
         if self is other:
@@ -120,25 +151,40 @@ class Message:
 
     __slots__ = ("sender", "recipients", "sender_history", "payload", "_hash")
 
-    def __init__(
-        self,
+    def __new__(
+        cls,
         sender: Process,
         recipients: Tuple[Process, ...],
         sender_history: "History",
         payload: Optional[str] = None,
-    ):
-        object.__setattr__(self, "sender", str(sender))
-        object.__setattr__(self, "recipients", tuple(recipients))
+    ) -> "Message":
+        sender = str(sender)
+        recipients = tuple(recipients)
+        intern = cls is Message
+        if intern:
+            key = (sender, recipients, sender_history, payload)
+            cached = _interning._POOL.messages.get(key)
+            if cached is not None:
+                return cached
+        self = object.__new__(cls)
+        object.__setattr__(self, "sender", sender)
+        object.__setattr__(self, "recipients", recipients)
         object.__setattr__(self, "sender_history", sender_history)
         object.__setattr__(self, "payload", payload)
         object.__setattr__(
             self,
             "_hash",
-            hash(("msg", self.sender, self.recipients, self.sender_history, self.payload)),
+            hash(("msg", sender, recipients, sender_history, payload)),
         )
+        if intern:
+            _interning._POOL.messages[key] = self
+        return self
 
     def __setattr__(self, name: str, value: object) -> None:
         raise AttributeError("Message is immutable")
+
+    def __reduce__(self):
+        return (Message, (self.sender, self.recipients, self.sender_history, self.payload))
 
     def __eq__(self, other: object) -> bool:
         if self is other:
@@ -169,12 +215,24 @@ class MessageReceipt(Observation):
 
     __slots__ = ("message",)
 
-    def __init__(self, message: Message):
+    def __new__(cls, message: Message) -> "MessageReceipt":
+        intern = cls is MessageReceipt
+        if intern:
+            cached = _interning._POOL.receipts.get(message)
+            if cached is not None:
+                return cached
+        self = object.__new__(cls)
         object.__setattr__(self, "message", message)
         object.__setattr__(self, "_hash", hash(("recv", message)))
+        if intern:
+            _interning._POOL.receipts[message] = self
+        return self
 
     def __setattr__(self, name: str, value: object) -> None:
         raise AttributeError("MessageReceipt is immutable")
+
+    def __reduce__(self):
+        return (MessageReceipt, (self.message,))
 
     def __eq__(self, other: object) -> bool:
         if self is other:
@@ -197,36 +255,73 @@ class MessageReceipt(Observation):
 class History:
     """An immutable local state: the sequence of steps taken by one process.
 
-    The empty history (``steps == ()``) is the process's initial state.  Each
+    The empty history (``len(h) == 0``) is the process's initial state.  Each
     step is the non-empty tuple of observations (message receipts, external
     receipts, and local actions) the process observed at one scheduling
     instant.  Histories are extended with :meth:`extend`; prefixes (earlier
     local states of the same process) are produced by :meth:`prefixes`.
+
+    Internally a history is a persistent parent-pointer chain: ``parent`` is
+    the one-step-earlier state (``None`` for the initial state) and
+    ``last_step`` the step that extended it.  Chains are hash-consed, so the
+    prefixes of a history *are* its ancestors and extending never copies.
+    The legacy ``steps`` tuple is materialised on demand.
     """
 
-    __slots__ = ("process", "steps", "_hash")
+    __slots__ = ("process", "parent", "_last_step", "_len", "_hash")
 
-    def __init__(self, process: Process, steps: Tuple[Step, ...] = ()):
-        normalised = tuple(tuple(step) for step in steps)
-        if any(not step for step in normalised):
-            raise ValueError("history steps must be non-empty")
-        object.__setattr__(self, "process", str(process))
-        object.__setattr__(self, "steps", normalised)
-        object.__setattr__(self, "_hash", hash(("hist", self.process, normalised)))
+    def __new__(cls, process: Process, steps: Tuple[Step, ...] = ()) -> "History":
+        # Structural constructor kept for compatibility (decoders, tests):
+        # fold the steps through the intern pool so the resulting chain is
+        # the canonical interned one, prefix by prefix.
+        history = cls._initial_interned(str(process))
+        for step in steps:
+            history = history.extend(step)
+        return history
+
+    @classmethod
+    def _initial_interned(cls, process: str) -> "History":
+        pool = _interning._POOL
+        cached = pool.history_initials.get(process)
+        if cached is not None:
+            return cached
+        self = object.__new__(History)
+        object.__setattr__(self, "process", process)
+        object.__setattr__(self, "parent", None)
+        object.__setattr__(self, "_last_step", None)
+        object.__setattr__(self, "_len", 0)
+        object.__setattr__(self, "_hash", hash(("hist", process)))
+        pool.history_initials[process] = self
+        return self
 
     def __setattr__(self, name: str, value: object) -> None:
         raise AttributeError("History is immutable")
+
+    def __reduce__(self):
+        # Unpickling re-interns (shared sub-structure is preserved by the
+        # pickle memo).  Pickle's own traversal is recursive, so histories
+        # whose message relay-nesting approaches the interpreter recursion
+        # limit cannot be pickled directly -- ship whole runs across process
+        # boundaries as ``Run.to_dict()`` payloads instead (flat tables).
+        return (History, (self.process, self.steps))
 
     def __eq__(self, other: object) -> bool:
         if self is other:
             return True
         if not isinstance(other, History):
             return NotImplemented
-        return (
-            self._hash == other._hash
-            and self.process == other.process
-            and self.steps == other.steps
-        )
+        if (
+            self._hash != other._hash
+            or self._len != other._len
+            or self.process != other.process
+        ):
+            return False
+        # Guarded fallback: within one intern pool structurally equal
+        # histories are identical, so this only runs for values that crossed
+        # pools (pool swap, unpickling into another process).  Both sides are
+        # canonicalised into the current pool (id-memoized, linear in the
+        # DAG) so even repeated deep comparisons never re-walk the structure.
+        return canonicalize_history(self) is canonicalize_history(other)
 
     def __hash__(self) -> int:
         return self._hash
@@ -236,48 +331,86 @@ class History:
     @classmethod
     def initial(cls, process: Process) -> "History":
         """The initial local state of ``process``."""
-        return cls(process, ())
+        return cls._initial_interned(str(process))
 
     def extend(self, observations: Tuple[Observation, ...]) -> "History":
-        """The local state obtained by observing ``observations`` in one step."""
+        """The local state obtained by observing ``observations`` in one step.
+
+        O(len(step)): the parent chain is shared, never copied, and the
+        extension is interned so re-playing the same step yields the same
+        object.
+        """
         step = tuple(observations)
         if not step:
             raise ValueError("cannot extend a history with an empty step")
-        return History(self.process, self.steps + (step,))
+        pool = _interning._POOL
+        key = (self, step)
+        cached = pool.history_children.get(key)
+        if cached is not None:
+            return cached
+        child = object.__new__(History)
+        object.__setattr__(child, "process", self.process)
+        object.__setattr__(child, "parent", self)
+        object.__setattr__(child, "_last_step", step)
+        object.__setattr__(child, "_len", self._len + 1)
+        object.__setattr__(
+            child, "_hash", hash(("hist", self.process, self._hash, step))
+        )
+        pool.history_children[key] = child
+        return child
 
     # -- queries -----------------------------------------------------------
 
     @property
+    def steps(self) -> Tuple[Step, ...]:
+        """All steps, oldest first (materialised from the chain on demand)."""
+        collected: List[Step] = []
+        node: Optional[History] = self
+        while node is not None and node._last_step is not None:
+            collected.append(node._last_step)
+            node = node.parent
+        collected.reverse()
+        return tuple(collected)
+
+    @property
     def is_initial(self) -> bool:
-        return not self.steps
+        return self.parent is None
 
     def __len__(self) -> int:
         """The number of steps taken so far."""
-        return len(self.steps)
+        return self._len
 
     @property
     def last_step(self) -> Step:
-        if not self.steps:
+        if self._last_step is None:
             raise ValueError("the initial history has no last step")
-        return self.steps[-1]
+        return self._last_step
 
     def predecessor(self) -> Optional["History"]:
         """The local state one step earlier, or ``None`` for the initial state."""
-        if not self.steps:
-            return None
-        return History(self.process, self.steps[:-1])
+        return self.parent
 
     def prefixes(self, include_self: bool = True) -> Iterator["History"]:
-        """All earlier local states of this process (shortest first)."""
-        end = len(self.steps) + 1 if include_self else len(self.steps)
-        for k in range(end):
-            yield History(self.process, self.steps[:k])
+        """All earlier local states of this process (shortest first).
+
+        The prefixes of an interned history are exactly its ancestor chain;
+        nothing is re-built.
+        """
+        chain: List[History] = []
+        node: Optional[History] = self if include_self else self.parent
+        while node is not None:
+            chain.append(node)
+            node = node.parent
+        return iter(reversed(chain))
 
     def is_prefix_of(self, other: "History") -> bool:
         """Whether this local state occurs (weakly) before ``other`` on the same timeline."""
-        if self.process != other.process or len(self.steps) > len(other.steps):
+        if self.process != other.process or self._len > other._len:
             return False
-        return other.steps[: len(self.steps)] == self.steps
+        node = other
+        for _ in range(other._len - self._len):
+            node = node.parent
+        return node == self
 
     def observations(self) -> Iterator[Observation]:
         """All observations, flattened across steps, oldest first."""
@@ -313,3 +446,103 @@ class History:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"History({self.describe()})"
+
+
+# ---------------------------------------------------------------------------
+# Cross-pool canonicalisation
+# ---------------------------------------------------------------------------
+#
+# Values carry no pool marker, so a value interned elsewhere (a pool swap, an
+# unpickle into another process) is indistinguishable from a native one until
+# an identity check misses.  The structural comparison of such values must not
+# re-walk the shared history/message DAG pairwise -- that is exponential on
+# full-information payloads, the very pathology interning removes.  Instead,
+# equality fallbacks re-intern the foreign value bottom-up into the current
+# pool ("canonicalisation"), memoized by id() in the pool, and compare the
+# canonical representatives by identity.  Canonicalising a value that is
+# already native folds through cache hits and returns the value itself.
+
+
+def _canonical_step(memo, step: Step) -> Step:
+    """Canonicalise one step, resolving embedded messages from the memo."""
+    return tuple(
+        MessageReceipt(memo[id(observation.message)])
+        if isinstance(observation, MessageReceipt)
+        else canonicalize_observation(observation)
+        for observation in step
+    )
+
+
+def _canonicalize(value):
+    """Iterative post-order canonicalisation of a history/message DAG.
+
+    An explicit work stack (histories and messages interleaved) keeps the
+    traversal depth independent of both the chain length and the message
+    relay-nesting depth, so arbitrarily deep cross-pool values canonicalise
+    without hitting the interpreter recursion limit.
+    """
+    pool = _interning._POOL
+    memo = pool.canonical_memo
+    cached = memo.get(id(value))
+    if cached is not None:
+        return cached
+    pins = pool.canonical_pins
+    stack = [value]
+    while stack:
+        item = stack[-1]
+        if id(item) in memo:
+            stack.pop()
+            continue
+        if isinstance(item, History):
+            pending = []
+            if item.parent is not None and id(item.parent) not in memo:
+                pending.append(item.parent)
+            if item._last_step is not None:
+                pending.extend(
+                    observation.message
+                    for observation in item._last_step
+                    if isinstance(observation, MessageReceipt)
+                    and id(observation.message) not in memo
+                )
+            if pending:
+                stack.extend(pending)
+                continue
+            if item.parent is None:
+                canonical = History._initial_interned(item.process)
+            else:
+                canonical = memo[id(item.parent)].extend(
+                    _canonical_step(memo, item._last_step)
+                )
+        else:  # Message
+            embedded = item.sender_history
+            if id(embedded) not in memo:
+                stack.append(embedded)
+                continue
+            canonical = Message(
+                item.sender, item.recipients, memo[id(embedded)], item.payload
+            )
+        memo[id(item)] = canonical
+        pins.append(item)
+        stack.pop()
+    return memo[id(value)]
+
+
+def canonicalize_history(history: "History") -> "History":
+    """The canonical (current-pool) twin of ``history``; linear, id-memoized."""
+    return _canonicalize(history)
+
+
+def canonicalize_message(message: "Message") -> "Message":
+    """The canonical (current-pool) twin of ``message``."""
+    return _canonicalize(message)
+
+
+def canonicalize_observation(observation: "Observation") -> "Observation":
+    """The canonical (current-pool) twin of any observation."""
+    if isinstance(observation, MessageReceipt):
+        return MessageReceipt(_canonicalize(observation.message))
+    if isinstance(observation, ExternalReceipt):
+        return ExternalReceipt(observation.tag)
+    if isinstance(observation, LocalAction):
+        return LocalAction(observation.name)
+    return observation

@@ -130,6 +130,14 @@ class _RunEncoder:
     deep structure is reconstructed by reference.  Entries are appended in
     dependency order (children first), though the decoder resolves references
     lazily and does not rely on it.
+
+    The id tables are keyed by the values themselves, which are hash-consed
+    (:mod:`repro.simulation.interning`): their hashes are cached at
+    construction and ``__eq__`` degrades to ``is`` within a pool, so each
+    table lookup is an O(1) intern-id probe that never touches the deep
+    structure.  Keying by equality (not raw ``id()``) keeps the emitted
+    tables canonical even for runs that mix structurally equal values from
+    different pools.
     """
 
     def __init__(self) -> None:
@@ -266,7 +274,7 @@ class _RunDecoder:
         raise RunFormatError(f"unknown observation kind {kind!r}")
 
 
-@dataclass
+@dataclass(eq=False)
 class Run:
     """A finite execution prefix of a protocol in a bounded context."""
 
@@ -286,6 +294,35 @@ class Run:
     _send_index: Optional[Dict[Tuple[BasicNode, Process], SendRecord]] = field(
         default=None, repr=False
     )
+
+    # Runs are mutable containers (lazy indexes), so they stay unhashable.
+    __hash__ = None
+
+    def __eq__(self, other: object) -> bool:
+        """Semantic equality over the recorded execution.
+
+        Compares the execution itself (context, horizon, timelines, and the
+        send/delivery/external/pending records) and ignores the lazily built
+        derived indexes -- the generated dataclass ``__eq__`` compared those
+        too, so two equal runs could compare unequal depending on which
+        queries had been issued, on top of re-walking the deep history DAG.
+        All leaf values are hash-consed, so the record comparisons degrade to
+        pointer checks and whole-run equality is linear in the number of
+        records (well under a second even on the large flooding scenarios).
+        """
+        if self is other:
+            return True
+        if not isinstance(other, Run):
+            return NotImplemented
+        return (
+            self.horizon == other.horizon
+            and self.context == other.context
+            and self.timelines == other.timelines
+            and self.sends == other.sends
+            and self.deliveries == other.deliveries
+            and self.external_deliveries == other.external_deliveries
+            and self.pending == other.pending
+        )
 
     # -- derived indexes -----------------------------------------------------
 

@@ -1,0 +1,107 @@
+"""Property tests for the hash-consing layer.
+
+Two families of guarantees:
+
+* **Semantic transparency** -- interning is an optimisation, not a semantics
+  change: building the same cell under any pool (the default one, a fresh
+  scoped one, a ProcessPool worker's) produces semantically identical runs,
+  byte-identical wire payloads, and canonical (identity-shared) values.
+* **Pool isolation** -- sweep workers intern into their own per-process
+  pools; nothing a worker does mutates the parent's pool.
+"""
+
+import json
+import os
+from concurrent.futures import ProcessPoolExecutor
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.nodes import BasicNode
+from repro.experiments.runner import build_cell_scenario, make_cell
+from repro.simulation import History, Run, current_pool, intern_pool
+
+
+def build_run(seed: int, horizon: int, adversary: str = "random"):
+    """One small grid-flood run under a seeded random delivery adversary."""
+    cell = make_cell(
+        "grid-flood",
+        overrides={"rows": 2, "cols": 2, "horizon": horizon},
+        adversary=adversary,
+        seed=seed,
+    )
+    return build_cell_scenario(cell).run()
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**20), horizon=st.integers(4, 12))
+def test_interned_construction_is_semantically_transparent(seed, horizon):
+    """The same delivery schedule yields equal runs under different pools."""
+    run_default = build_run(seed, horizon)
+    payload_default = json.dumps(run_default.to_dict(), sort_keys=True)
+    with intern_pool():
+        run_scoped = build_run(seed, horizon)
+        payload_scoped = json.dumps(run_scoped.to_dict(), sort_keys=True)
+        # Cross-pool equality exercises the guarded structural fallback.
+        assert run_scoped == run_default
+    assert payload_scoped == payload_default
+    # The wire format round-trips through the interned constructors too.
+    rebuilt = Run.from_dict(json.loads(payload_default))
+    assert rebuilt == run_default
+    assert json.dumps(rebuilt.to_dict(), sort_keys=True) == payload_default
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**20), horizon=st.integers(4, 10))
+def test_structural_constructors_canonicalise_run_values(seed, horizon):
+    """Rebuilding any run value structurally returns the interned original."""
+    with intern_pool():
+        run = build_run(seed, horizon)
+        for process in run.processes:
+            node = run.final_node(process)
+            assert History(process, node.history.steps) is node.history
+            assert BasicNode(process, node.history) is node
+            for prefix in node.history.prefixes():
+                assert History(process, prefix.steps) is prefix
+        for record in run.deliveries[:20]:
+            message = None
+            for observation in record.receiver_node.history.last_step:
+                if getattr(observation, "message", None) is record.send.message:
+                    message = observation.message
+            assert message is record.send.message
+
+
+def _worker_build(seed: int):
+    """Build one run in a pool worker, inside a fresh scoped intern pool.
+
+    (A forked worker inherits a copy of the parent's pool, so the build is
+    scoped to a fresh pool to observe the interning activity itself.)
+    """
+    with intern_pool() as pool:
+        run = build_run(seed, horizon=8)
+        payload = json.dumps(run.to_dict(), sort_keys=True)
+        grown = pool.stats()["history_children"]
+    return os.getpid(), payload, grown
+
+
+def test_intern_pools_are_isolated_across_sweep_workers():
+    """ProcessPool workers intern into their own pools, bit-identically.
+
+    Each worker process has its own current pool (module global), so worker
+    interning can neither corrupt nor bloat the parent's pool, while every
+    worker still produces the exact payload the parent produces locally.
+    """
+    parent_before = current_pool().stats()
+    local_payload = json.dumps(build_run(3, horizon=8).to_dict(), sort_keys=True)
+    parent_mid = current_pool().stats()
+
+    with ProcessPoolExecutor(max_workers=2) as executor:
+        results = list(executor.map(_worker_build, [3, 3, 3]))
+
+    pids = {pid for pid, _, _ in results}
+    assert os.getpid() not in pids
+    for _, payload, grown in results:
+        assert payload == local_payload
+        assert grown > 0, "worker should have interned its run into its own pool"
+    # Worker activity left the parent's pool exactly as it was.
+    assert current_pool().stats() == parent_mid
+    assert parent_mid != parent_before  # the local build did intern here

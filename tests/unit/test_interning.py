@@ -1,0 +1,214 @@
+"""Unit tests for the hash-consing layer (repro.simulation.interning)."""
+
+import time
+
+import pytest
+
+from repro.core.causality import (
+    boundary_nodes,
+    happens_before,
+    in_past,
+    local_delivery_map,
+    past_nodes,
+)
+from repro.core.nodes import BasicNode
+from repro.scenarios import get_scenario
+from repro.simulation import (
+    ExternalReceipt,
+    History,
+    InternPool,
+    LocalAction,
+    Message,
+    MessageReceipt,
+    current_pool,
+    intern_pool,
+)
+
+
+class TestValueInterning:
+    def test_observations_are_interned(self):
+        assert ExternalReceipt("go") is ExternalReceipt("go")
+        assert LocalAction("a") is LocalAction("a")
+        assert ExternalReceipt("go") is not ExternalReceipt("stop")
+
+    def test_histories_are_interned_chains(self):
+        h0 = History.initial("A")
+        h1 = h0.extend((ExternalReceipt("go"),))
+        h2 = h1.extend((LocalAction("a"),))
+        assert History.initial("A") is h0
+        assert h0.extend((ExternalReceipt("go"),)) is h1
+        assert h2.parent is h1 and h1.parent is h0
+        assert h2.predecessor() is h1
+
+    def test_structural_constructor_canonicalises(self):
+        h2 = History.initial("A").extend((ExternalReceipt("go"),)).extend(
+            (LocalAction("a"),)
+        )
+        assert History("A", h2.steps) is h2
+        assert list(h2.prefixes()) == [h2.parent.parent, h2.parent, h2]
+
+    def test_messages_nodes_receipts_are_interned(self):
+        history = History.initial("A").extend((ExternalReceipt("go"),))
+        message = Message("A", ("B",), history)
+        assert Message("A", ("B",), history) is message
+        assert MessageReceipt(message) is MessageReceipt(message)
+        node = BasicNode("A", history)
+        assert BasicNode.from_history(history) is node
+        assert node.uid >= 0
+        assert current_pool().node_by_uid[node.uid] is node
+
+    def test_equal_interned_values_share_hash(self):
+        h1 = History.initial("A").extend((ExternalReceipt("go"),))
+        h2 = History("A", h1.steps)
+        assert h1 == h2 and hash(h1) == hash(h2) and h1 is h2
+
+
+class TestPoolScoping:
+    def test_intern_pool_swaps_and_restores(self):
+        outer = current_pool()
+        with intern_pool() as scoped:
+            assert current_pool() is scoped
+            assert current_pool() is not outer
+        assert current_pool() is outer
+
+    def test_cross_pool_values_compare_structurally(self):
+        outer_history = History.initial("A").extend((ExternalReceipt("go"),))
+        outer_message = Message("A", ("B",), outer_history)
+        outer_node = BasicNode("A", outer_history)
+        with intern_pool():
+            inner_history = History.initial("A").extend((ExternalReceipt("go"),))
+            inner_message = Message("A", ("B",), inner_history)
+            inner_node = BasicNode("A", inner_history)
+            assert inner_history is not outer_history
+            # The guarded structural fallback keeps equality (and hashing)
+            # exact across pools.
+            assert inner_history == outer_history
+            assert hash(inner_history) == hash(outer_history)
+            assert inner_message == outer_message
+            assert inner_node == outer_node
+            assert outer_history.is_prefix_of(inner_history)
+
+    def test_cross_pool_equality_survives_deep_relay_nesting(self):
+        """Canonicalisation is iterative: deep relay chains must not blow the
+        interpreter recursion limit (each hop embeds the previous history)."""
+
+        def relay(depth):
+            history = History.initial("p0").extend((ExternalReceipt("go"),))
+            for k in range(1, depth):
+                message = Message(f"p{k-1}", (f"p{k}",), history)
+                history = History.initial(f"p{k}").extend((MessageReceipt(message),))
+            return history
+
+        with intern_pool():
+            deep_a = relay(400)
+        deep_b = relay(400)
+        assert deep_a == deep_b
+        with intern_pool():
+            deeper = relay(401)
+        assert deeper != deep_b
+
+    def test_pool_clear_keeps_existing_values_valid(self):
+        pool = InternPool()
+        with intern_pool(pool):
+            before = History.initial("A").extend((ExternalReceipt("go"),))
+            pool.clear()
+            after = History.initial("A").extend((ExternalReceipt("go"),))
+            assert before is not after
+            assert before == after
+
+    def test_stats_count_interned_values(self):
+        with intern_pool() as pool:
+            History.initial("A").extend((ExternalReceipt("go"),))
+            stats = pool.stats()
+            assert stats["history_initials"] == 1
+            assert stats["history_children"] == 1
+            assert stats["externals"] == 1
+
+
+class TestCausalityCaches:
+    def _run(self):
+        return get_scenario("torus-flood").build(horizon=10).run()
+
+    def test_past_nodes_memoized(self):
+        with intern_pool():
+            run = self._run()
+            sigma = run.final_node(run.processes[0])
+            first = past_nodes(sigma)
+            assert past_nodes(sigma) is first
+            assert sigma in first
+
+    def test_in_past_matches_membership(self):
+        with intern_pool():
+            run = self._run()
+            sigma = run.final_node(run.processes[0])
+            past = past_nodes(sigma)
+            for node in list(run.nodes())[:50]:
+                assert in_past(node, sigma) == (node in past)
+                assert happens_before(node, sigma) == (node in past)
+
+    def test_boundary_and_delivery_copies_are_safe(self):
+        with intern_pool():
+            run = self._run()
+            sigma = run.final_node(run.processes[0])
+            boundary = boundary_nodes(sigma)
+            boundary.clear()  # mutating the returned copy ...
+            assert boundary_nodes(sigma)  # ... must not poison the cache
+            delivered = local_delivery_map(sigma)
+            delivered.clear()
+            assert local_delivery_map(sigma)
+
+    def test_cross_pool_past_queries(self):
+        with intern_pool():
+            run = self._run()
+            sigma = run.final_node(run.processes[0])
+            inner_past = past_nodes(sigma)
+        # sigma was interned in the (now dropped) inner pool; querying from
+        # the outer pool re-canonicalises and stays exact.
+        outer_past = past_nodes(sigma)
+        assert outer_past == inner_past
+
+
+class TestRunEquality:
+    def test_run_equality_is_semantic(self):
+        scenario = get_scenario("grid-flood")
+        run_a = scenario.build(rows=2, cols=2, horizon=8).run()
+        run_b = scenario.build(rows=2, cols=2, horizon=8).run()
+        # Materialise a lazy index on one side only: the old dataclass
+        # equality compared those caches too and would report a difference.
+        run_a.time_of(run_a.final_node(run_a.processes[0]))
+        assert run_a == run_b
+        run_c = scenario.build(rows=2, cols=2, horizon=9).run()
+        assert run_a != run_c
+        assert run_a != "not a run"
+
+    def test_runs_stay_unhashable(self):
+        run = get_scenario("tree-flood").build(horizon=6).run()
+        with pytest.raises(TypeError):
+            hash(run)
+
+    def test_torus_flood_equality_well_under_a_second(self):
+        """Regression: deep-structural Run == used to take seconds."""
+        scenario = get_scenario("torus-flood")
+        run_a = scenario.build().run()
+        run_b = scenario.build().run()
+        started = time.perf_counter()
+        assert run_a == run_b
+        elapsed = time.perf_counter() - started
+        assert elapsed < 0.5, f"torus-flood Run == took {elapsed:.3f}s"
+
+    def test_cross_pool_equality_well_under_a_second(self):
+        """Regression: cross-pool Run == canonicalises instead of re-walking.
+
+        The guarded structural fallback must not degenerate into the
+        exponential pairwise DAG walk -- runs returned by ``execute_cell``
+        live past their scoped pool and still get compared.
+        """
+        scenario = get_scenario("torus-flood")
+        with intern_pool():
+            run_a = scenario.build(horizon=14).run()
+        run_b = scenario.build(horizon=14).run()
+        started = time.perf_counter()
+        assert run_a == run_b
+        assert run_a == run_b  # repeat hits the canonicalisation memo
+        elapsed = time.perf_counter() - started
+        assert elapsed < 0.5, f"cross-pool Run == took {elapsed:.3f}s"
