@@ -7,7 +7,38 @@ Every benchmark both *times* the relevant pipeline (via pytest-benchmark) and
 
 from __future__ import annotations
 
+import json
+from pathlib import Path
+from typing import Dict, Optional
+
 
 def report(experiment: str, paper_claim: str, measured: str) -> None:
     """Print one paper-vs-measured row (visible with ``pytest -s`` or in captured logs)."""
     print(f"\n[{experiment}] paper: {paper_claim} | measured: {measured}")
+
+
+def record(
+    artifact: Path,
+    workload: str,
+    numbers: Dict[str, object],
+    top_level: Optional[Dict[str, object]] = None,
+) -> None:
+    """Merge one workload's numbers into a ``BENCH_*.json`` trajectory artifact.
+
+    The artifacts are gitignored; CI regenerates them by running the bench
+    files and then diffs them against the committed ``*.baseline.json``
+    siblings via ``scripts/check_bench_regression.py``.  ``top_level``
+    entries (e.g. a shared horizon) sit next to ``format``/``workloads``.
+    """
+    data: Dict[str, object] = {"format": 1, "workloads": {}}
+    if artifact.exists():
+        try:
+            data = json.loads(artifact.read_text(encoding="utf-8"))
+        except json.JSONDecodeError:
+            pass
+    if top_level:
+        data.update(top_level)
+    data.setdefault("workloads", {})[workload] = numbers
+    artifact.write_text(
+        json.dumps(data, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )

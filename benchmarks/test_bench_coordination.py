@@ -1,0 +1,189 @@
+"""Benchmarks for incremental knowledge sessions on coordination timelines.
+
+Protocol 2 re-evaluates its knowledge guard at every scheduling step of B's
+timeline.  Before the session substrate each evaluation rebuilt everything
+from scratch: a full-past scan for the go node, a fresh local bounds graph,
+a fresh auxiliary layer, a fresh longest-path engine -- O(past) work per step
+although ``past(sigma_{t+1})`` extends ``past(sigma_t)`` by a handful of
+nodes.  A :class:`~repro.core.knowledge_session.KnowledgeSession` advances
+along the timeline instead, appending only the causal-past delta and
+re-anchoring the (frontier-sized) auxiliary overlay.
+
+These benchmarks replay B's guard over whole grid/torus coordination runs
+through both pipelines -- the pre-session per-step rebuild is kept here as a
+faithful replica -- assert they produce identical decisions at every node,
+and gate a >= 5x end-to-end speedup.  Every workload's numbers are appended
+to ``BENCH_coordination.json``, which CI diffs against the committed
+``BENCH_coordination.baseline.json`` via ``scripts/check_bench_regression.py``.
+"""
+
+import time
+from pathlib import Path
+
+import pytest
+
+from _bench_utils import record, report
+
+from repro.coordination.optimal import find_go_node
+from repro.core.causality import past_nodes
+from repro.core.knowledge import KnowledgeChecker
+from repro.core.knowledge_session import KnowledgeSession
+from repro.core.nodes import general
+from repro.simulation import (
+    Context,
+    EarliestDelivery,
+    ProtocolAssignment,
+    go_at,
+    go_sender_protocol,
+    simulate,
+)
+from repro.simulation.interning import intern_pool
+from repro.simulation.network import grid, torus
+from repro.simulation.protocols import relayed_actor_protocol
+
+#: Where the measured trajectory is written (diffed against the committed
+#: ``BENCH_coordination.baseline.json`` by ``scripts/check_bench_regression.py``).
+ARTIFACT = Path(__file__).resolve().parent / "BENCH_coordination.json"
+
+#: The acceptance criterion: session-based guard evaluation >= 5x faster
+#: than the per-step from-scratch rebuild, on grid and torus coordination.
+REQUIRED_SPEEDUP = 5.0
+
+#: ``(name, network factory, go sender, actor A, actor B, horizon)``.  The
+#: horizons are deep enough for the O(past)-per-step rebuild cost to clearly
+#: dominate while the whole file stays a few seconds on slow CI hardware.
+WORKLOADS = [
+    ("grid-coordination", lambda: grid(3, 3, 1, 2), "r0c0", "r0c1", "r2c2", 36),
+    ("torus-coordination", lambda: torus(3, 3, 1, 2), "r0c0", "r0c1", "r2c2", 30),
+]
+
+
+def coordination_run(net, go_sender, actor_a, horizon):
+    """A flooding run in which C triggers A's action and B only observes.
+
+    B stays a plain FFIP relay so its whole timeline is available for guard
+    replay -- the shape :class:`EagerKnowledgeProbe` analyses.
+    """
+    protocols = ProtocolAssignment()
+    protocols.assign(go_sender, go_sender_protocol())
+    protocols.assign(actor_a, relayed_actor_protocol("a", go_sender))
+    return simulate(
+        Context(net),
+        protocols,
+        delivery=EarliestDelivery(),
+        external_inputs=go_at(1, go_sender),
+        horizon=horizon,
+    )
+
+
+def rebuild_guard_replay(run, net, go_sender, actor_a, actor_b):
+    """The pre-session pipeline, replicated faithfully: per step, a full-past
+    go-node scan plus a fresh ``KnowledgeChecker`` (fresh extended bounds
+    graph, fresh engine).  This is exactly what
+    ``OptimalCoordinationProtocol.should_act`` did before sessions."""
+    gaps = []
+    for _, node in run.timelines[actor_b]:
+        if node.is_initial:
+            continue
+        go_node = find_go_node(node, go_sender)
+        if go_node is None:
+            gaps.append(None)
+            continue
+        theta_a = general(go_node, (go_sender, actor_a))
+        checker = KnowledgeChecker(node, net)
+        gaps.append(checker.max_known_gap(theta_a, node))
+    return gaps
+
+
+def session_guard_replay(run, net, go_sender, actor_a, actor_b):
+    """The session pipeline: one session advanced along B's timeline."""
+    session = KnowledgeSession(net)
+    gaps = []
+    for _, node in run.timelines[actor_b]:
+        if node.is_initial:
+            continue
+        session.advance(node)
+        go_node = session.find_go_node(go_sender)
+        if go_node is None:
+            gaps.append(None)
+            continue
+        theta_a = general(go_node, (go_sender, actor_a))
+        gaps.append(session.max_known_gap(theta_a, node))
+    return gaps
+
+
+# ---------------------------------------------------------------------------
+# The gated benchmark
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "name,net_factory,go_sender,actor_a,actor_b,horizon",
+    WORKLOADS,
+    ids=[w[0] for w in WORKLOADS],
+)
+def test_bench_session_vs_rebuild(name, net_factory, go_sender, actor_a, actor_b, horizon):
+    """Session-based guard replay >= 5x faster than per-step rebuild."""
+    with intern_pool():
+        net = net_factory()
+        run = coordination_run(net, go_sender, actor_a, horizon)
+        steps = len(run.timelines[actor_b]) - 1
+        past_size = len(past_nodes(run.final_node(actor_b)))
+
+        # One untimed pass warms the pool's causal caches (bitset pasts,
+        # delivery maps) that *both* pipelines ride on since PR 3.
+        expected = rebuild_guard_replay(run, net, go_sender, actor_a, actor_b)
+
+        rebuild_s = float("inf")
+        for _ in range(2):
+            started = time.perf_counter()
+            rebuilt = rebuild_guard_replay(run, net, go_sender, actor_a, actor_b)
+            rebuild_s = min(rebuild_s, time.perf_counter() - started)
+        session_s = float("inf")
+        for _ in range(3):
+            started = time.perf_counter()
+            sessioned = session_guard_replay(run, net, go_sender, actor_a, actor_b)
+            session_s = min(session_s, time.perf_counter() - started)
+
+    assert rebuilt == expected
+    assert sessioned == expected, "session disagrees with per-step rebuild"
+
+    speedup = rebuild_s / session_s if session_s > 0 else float("inf")
+    report(
+        f"incremental sessions ({name})",
+        "advancing GE(r, sigma) by the causal delta beats per-step rebuilds",
+        f"{steps} steps, past {past_size}: rebuild {rebuild_s * 1e3:.1f}ms, "
+        f"session {session_s * 1e3:.1f}ms, speedup {speedup:.1f}x",
+    )
+    record(
+        ARTIFACT,
+        name,
+        {
+            "horizon": horizon,
+            "steps": steps,
+            "past_size": past_size,
+            "rebuild_s": round(rebuild_s, 6),
+            "session_s": round(session_s, 6),
+            "session_speedup": round(speedup, 1),
+        },
+    )
+
+    assert speedup >= REQUIRED_SPEEDUP, (
+        f"{name}: session replay only {speedup:.1f}x faster "
+        f"({rebuild_s * 1e3:.1f}ms vs {session_s * 1e3:.1f}ms)"
+    )
+
+
+def test_bench_session_advance_throughput(benchmark):
+    """pytest-benchmark timing of a full session replay (torus coordination)."""
+    name, net_factory, go_sender, actor_a, actor_b, horizon = WORKLOADS[1]
+    with intern_pool():
+        net = net_factory()
+        run = coordination_run(net, go_sender, actor_a, horizon)
+        expected = rebuild_guard_replay(run, net, go_sender, actor_a, actor_b)
+
+        def replay():
+            return session_guard_replay(run, net, go_sender, actor_a, actor_b)
+
+        gaps = benchmark(replay)
+    assert gaps == expected

@@ -9,18 +9,27 @@ instead and answers everything else from memoized rows.
 These benchmarks measure both pipelines on identical query sets (>= 50
 ordered boundary-node pairs against one sigma) over ring/grid/torus flooding
 scenarios, assert they agree pair-for-pair, and assert the batched engine is
-at least 5x faster on the grid and torus workloads.
+at least 5x faster on the grid and torus workloads.  Every workload's numbers
+are appended to ``BENCH_knowledge.json``, which CI diffs against the
+committed ``BENCH_knowledge.baseline.json`` via
+``scripts/check_bench_regression.py`` -- so the bench trajectory covers the
+knowledge substrate, not just the run substrate.
 """
 
 import time
+from pathlib import Path
 
 import pytest
 
-from _bench_utils import report
+from _bench_utils import record, report
 
 from repro.core import KnowledgeChecker, general
 from repro.core.causality import boundary_nodes
 from repro.scenarios import get_scenario
+
+#: Where the measured trajectory is written (diffed against the committed
+#: ``BENCH_knowledge.baseline.json`` by ``scripts/check_bench_regression.py``).
+ARTIFACT = Path(__file__).resolve().parent / "BENCH_knowledge.json"
 
 
 def knowledge_workload(name, **params):
@@ -108,6 +117,16 @@ def test_bench_batched_vs_per_query(name, params):
         "all-pairs longest paths amortize per-query relaxations (Theorem 4 hot path)",
         f"{len(pairs)} queries vs one sigma: per-query {naive_time * 1e3:.1f}ms, "
         f"batched {batched_time * 1e3:.1f}ms, speedup {speedup:.1f}x",
+    )
+    record(
+        ARTIFACT,
+        name,
+        {
+            "queries": len(pairs),
+            "per_query_s": round(naive_time, 6),
+            "batched_s": round(batched_time, 6),
+            "batched_speedup": round(speedup, 1),
+        },
     )
     if name in SPEEDUP_GATED:
         assert speedup >= 5, (

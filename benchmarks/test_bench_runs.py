@@ -18,13 +18,12 @@ cost.  Every workload's numbers are also appended to ``BENCH_runs.json`` so
 CI can diff the trajectory against the committed baseline.
 """
 
-import json
 import time
 from pathlib import Path
 
 import pytest
 
-from _bench_utils import report
+from _bench_utils import record, report
 
 from repro.core.causality import boundary_nodes, past_nodes
 from repro.scenarios import get_scenario
@@ -166,23 +165,6 @@ def _replicate_histories(run):
 
 
 # ---------------------------------------------------------------------------
-# Trajectory artifact
-# ---------------------------------------------------------------------------
-
-
-def _record(workload: str, numbers: dict) -> None:
-    """Merge one workload's numbers into the BENCH_runs.json trajectory."""
-    data = {"format": 1, "horizon": HORIZON, "workloads": {}}
-    if ARTIFACT.exists():
-        try:
-            data = json.loads(ARTIFACT.read_text(encoding="utf-8"))
-        except json.JSONDecodeError:
-            pass
-    data.setdefault("workloads", {})[workload] = numbers
-    ARTIFACT.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n", encoding="utf-8")
-
-
-# ---------------------------------------------------------------------------
 # The gated benchmark
 # ---------------------------------------------------------------------------
 
@@ -262,7 +244,8 @@ def test_bench_substrate_speedup(name, params):
         f"{interned_s * 1e3:.1f}ms ({speedup:.0f}x); run build {construction_s * 1e3:.1f}ms; "
         f"past cold {past_cold_s * 1e3:.2f}ms warm {past_warm_s * 1e6:.1f}us",
     )
-    _record(
+    record(
+        ARTIFACT,
         name,
         {
             "construction_s": round(construction_s, 6),
@@ -274,6 +257,7 @@ def test_bench_substrate_speedup(name, params):
             "past_cold_s": round(past_cold_s, 6),
             "past_warm_s": round(past_warm_s, 9),
         },
+        top_level={"horizon": HORIZON},
     )
 
     assert speedup >= REQUIRED_SPEEDUP, (

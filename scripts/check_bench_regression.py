@@ -1,22 +1,29 @@
 #!/usr/bin/env python
-"""Diff a freshly measured BENCH_runs.json against the committed baseline.
+"""Diff freshly measured BENCH_*.json artifacts against committed baselines.
 
 Usage:
     python scripts/check_bench_regression.py \
-        [--current benchmarks/BENCH_runs.json] \
-        [--baseline benchmarks/BENCH_runs.baseline.json] \
+        [--current benchmarks/BENCH_runs.json --baseline benchmarks/BENCH_runs.baseline.json] \
         [--tolerance 2.0] [--strict-times]
+
+With no ``--current``/``--baseline`` pair, every committed
+``benchmarks/BENCH_<name>.baseline.json`` is checked against its
+``benchmarks/BENCH_<name>.json`` sibling, so the whole bench trajectory
+(runs, knowledge, coordination, ...) is gated by one invocation; adding a
+new benchmark family to CI is just committing its baseline.
 
 Ratio metrics (``*_speedup``) are hardware-robust, so they are gated hard:
 ``current >= min(baseline / tolerance, speedup-cap)``.  The cap (default 25x,
-five times the bench's own 5x acceptance gate) keeps extreme baselines from
+five times the benches' own 5x acceptance gates) keeps extreme baselines from
 becoming flaky requirements -- a 900x baseline measured against a
 sub-millisecond denominator must not hard-fail CI because one GC pause turned
 it into 400x.  Absolute timings (``*_s``) vary with the runner, so by default
 they only warn when ``current > baseline * tolerance``; ``--strict-times``
-turns those warnings into failures.  A workload present in the baseline but
-missing from the current artifact is always a failure (the bench silently
-lost coverage).
+turns those warnings into failures.  Counter metrics (anything else, e.g.
+``steps``/``queries``) must match the baseline exactly -- they drift only
+when the workload itself changed, which should be a conscious re-record.  A
+workload present in the baseline but missing from the current artifact is
+always a failure (the bench silently lost coverage).
 """
 
 from __future__ import annotations
@@ -25,8 +32,11 @@ import argparse
 import json
 import sys
 from pathlib import Path
+from typing import List, Tuple
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCH_DIR = REPO_ROOT / "benchmarks"
+BASELINE_SUFFIX = ".baseline.json"
 
 
 def load(path: Path) -> dict:
@@ -34,15 +44,91 @@ def load(path: Path) -> dict:
         return json.load(handle)
 
 
+def artifact_pairs() -> List[Tuple[Path, Path]]:
+    """Every committed baseline with its current-artifact sibling."""
+    pairs = []
+    for baseline in sorted(BENCH_DIR.glob(f"BENCH_*{BASELINE_SUFFIX}")):
+        current = baseline.with_name(
+            baseline.name[: -len(BASELINE_SUFFIX)] + ".json"
+        )
+        pairs.append((current, baseline))
+    return pairs
+
+
+def check_pair(
+    current_path: Path,
+    baseline_path: Path,
+    tolerance: float,
+    speedup_cap: float,
+    strict_times: bool,
+    failures: List[str],
+    warnings: List[str],
+) -> bool:
+    """Diff one artifact pair; returns False when the current file is missing."""
+    label = current_path.name
+    try:
+        current = load(current_path)
+    except FileNotFoundError:
+        failures.append(f"{label}: missing current artifact {current_path}")
+        return False
+    baseline = load(baseline_path)
+
+    for workload, base_numbers in sorted(baseline.get("workloads", {}).items()):
+        cur_numbers = current.get("workloads", {}).get(workload)
+        if cur_numbers is None:
+            failures.append(f"{label}:{workload}: missing from current artifact")
+            continue
+        for metric, base_value in sorted(base_numbers.items()):
+            cur_value = cur_numbers.get(metric)
+            where = f"{label}:{workload}.{metric}"
+            if cur_value is None:
+                failures.append(f"{where}: missing from current artifact")
+                continue
+            if metric.endswith("_speedup"):
+                floor = min(base_value / tolerance, speedup_cap)
+                status = "ok" if cur_value >= floor else "FAIL"
+                print(
+                    f"[{status}] {where}: {cur_value:.1f}x "
+                    f"(baseline {base_value:.1f}x, floor {floor:.1f}x)"
+                )
+                if cur_value < floor:
+                    failures.append(f"{where}: {cur_value:.1f}x < floor {floor:.1f}x")
+            elif metric.endswith("_s"):
+                ceiling = base_value * tolerance
+                regressed = cur_value > ceiling
+                status = "warn" if (regressed and not strict_times) else (
+                    "FAIL" if regressed else "ok"
+                )
+                print(
+                    f"[{status}] {where}: {cur_value:.6f}s "
+                    f"(baseline {base_value:.6f}s, ceiling {ceiling:.6f}s)"
+                )
+                if regressed:
+                    message = f"{where}: {cur_value:.6f}s > ceiling {ceiling:.6f}s"
+                    (failures if strict_times else warnings).append(message)
+            else:
+                status = "ok" if cur_value == base_value else "FAIL"
+                print(f"[{status}] {where}: {cur_value} (baseline {base_value})")
+                if cur_value != base_value:
+                    failures.append(
+                        f"{where}: workload drifted ({cur_value} != {base_value})"
+                    )
+    return True
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
-        "--current", type=Path, default=REPO_ROOT / "benchmarks" / "BENCH_runs.json"
+        "--current",
+        type=Path,
+        default=None,
+        help="check a single artifact (requires --baseline or infers the sibling)",
     )
     parser.add_argument(
         "--baseline",
         type=Path,
-        default=REPO_ROOT / "benchmarks" / "BENCH_runs.baseline.json",
+        default=None,
+        help="baseline for --current (default: every benchmarks/BENCH_*.baseline.json)",
     )
     parser.add_argument(
         "--tolerance",
@@ -63,60 +149,48 @@ def main(argv=None) -> int:
     )
     args = parser.parse_args(argv)
 
-    try:
-        current = load(args.current)
-    except FileNotFoundError:
-        print(f"error: missing current artifact {args.current}", file=sys.stderr)
-        print("run: PYTHONPATH=src python -m pytest benchmarks/test_bench_runs.py -q")
+    if args.current is not None or args.baseline is not None:
+        current = args.current
+        baseline = args.baseline
+        if baseline is None:
+            baseline = current.with_name(current.stem + BASELINE_SUFFIX)
+        if current is None:
+            current = baseline.with_name(
+                baseline.name[: -len(BASELINE_SUFFIX)] + ".json"
+            )
+        pairs = [(current, baseline)]
+    else:
+        pairs = artifact_pairs()
+    if not pairs:
+        print("error: no benchmarks/BENCH_*.baseline.json found", file=sys.stderr)
         return 2
-    baseline = load(args.baseline)
 
-    failures = []
-    warnings = []
-    for workload, base_numbers in sorted(baseline.get("workloads", {}).items()):
-        cur_numbers = current.get("workloads", {}).get(workload)
-        if cur_numbers is None:
-            failures.append(f"{workload}: missing from current artifact")
-            continue
-        for metric, base_value in sorted(base_numbers.items()):
-            cur_value = cur_numbers.get(metric)
-            if cur_value is None:
-                failures.append(f"{workload}.{metric}: missing from current artifact")
-                continue
-            if metric.endswith("_speedup"):
-                floor = min(base_value / args.tolerance, args.speedup_cap)
-                status = "ok" if cur_value >= floor else "FAIL"
-                print(
-                    f"[{status}] {workload}.{metric}: {cur_value:.1f}x "
-                    f"(baseline {base_value:.1f}x, floor {floor:.1f}x)"
-                )
-                if cur_value < floor:
-                    failures.append(
-                        f"{workload}.{metric}: {cur_value:.1f}x < floor {floor:.1f}x"
-                    )
-            elif metric.endswith("_s"):
-                ceiling = base_value * args.tolerance
-                regressed = cur_value > ceiling
-                status = "warn" if (regressed and not args.strict_times) else (
-                    "FAIL" if regressed else "ok"
-                )
-                print(
-                    f"[{status}] {workload}.{metric}: {cur_value:.6f}s "
-                    f"(baseline {base_value:.6f}s, ceiling {ceiling:.6f}s)"
-                )
-                if regressed:
-                    message = (
-                        f"{workload}.{metric}: {cur_value:.6f}s > ceiling {ceiling:.6f}s"
-                    )
-                    (failures if args.strict_times else warnings).append(message)
+    failures: List[str] = []
+    warnings: List[str] = []
+    missing_current = False
+    for current, baseline in pairs:
+        if not check_pair(
+            current,
+            baseline,
+            args.tolerance,
+            args.speedup_cap,
+            args.strict_times,
+            failures,
+            warnings,
+        ):
+            missing_current = True
 
     for message in warnings:
         print(f"warning: {message}")
+    if missing_current:
+        print(
+            "run: PYTHONPATH=src python -m pytest benchmarks/ -q  (to refresh artifacts)"
+        )
     if failures:
         for message in failures:
             print(f"regression: {message}", file=sys.stderr)
-        return 1
-    print("bench trajectory OK vs baseline")
+        return 2 if missing_current else 1
+    print(f"bench trajectory OK vs baseline ({len(pairs)} artifact pair(s))")
     return 0
 
 

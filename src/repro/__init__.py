@@ -27,6 +27,7 @@ from .core import (
     BasicNode,
     GeneralNode,
     KnowledgeChecker,
+    KnowledgeSession,
     LongestPathEngine,
     TimedPrecedence,
     TwoLeggedFork,
@@ -67,6 +68,7 @@ __all__ = [
     "ExternalInput",
     "GeneralNode",
     "KnowledgeChecker",
+    "KnowledgeSession",
     "LongestPathEngine",
     "LatestDelivery",
     "Network",

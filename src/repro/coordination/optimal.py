@@ -8,6 +8,15 @@ path in the extended bounds graph.  The protocol below therefore acts exactly
 when the knowledge condition first holds, which the paper shows is optimal:
 no correct protocol can ever act earlier, and acting at that point is safe.
 
+Because the guard is re-evaluated at every scheduling step and B's causal
+past only ever grows along its timeline, both the protocol and the offline
+probe carry one :class:`~repro.core.knowledge_session.KnowledgeSession`
+across steps: each step pays for the causal-past *delta* (plus a cheap
+re-anchoring of the auxiliary layer) instead of rebuilding the extended
+bounds graph from scratch, and the go node is memoized rather than re-scanned
+from the full past.  Sessions self-reset on a new run, a different observer,
+or an intern-pool swap, so protocol instances stay freely reusable.
+
 The same class, with ``include_auxiliary=False``, yields the *local-graph*
 ablation used in benchmarks: it reasons only from messages already seen to
 arrive, foregoing the paper's "over the horizon" auxiliary-node inferences,
@@ -18,10 +27,10 @@ from __future__ import annotations
 
 from typing import Optional, Tuple
 
-from ..core.causality import happens_before
-from ..core.knowledge import KnowledgeChecker
+from ..core.knowledge_session import KnowledgeSession
 from ..core.nodes import BasicNode, general
 from ..simulation.messages import ExternalReceipt, GO_TRIGGER
+from ..simulation.network import TimedNetwork
 from ..simulation.protocols import Protocol, StepContext, StepDecision
 from .tasks import CoordinationTask
 
@@ -33,6 +42,11 @@ def find_go_node(
 
     Under an FFIP, B learns of C's go through flooding; the go node is the
     C-node whose last step contains the external receipt of the trigger.
+    This is the from-scratch reference (one full scan of ``past(sigma)``);
+    the protocol and probe below use the memoized
+    :meth:`KnowledgeSession.find_go_node`, which scans each past node at
+    most once across a whole timeline and degrades to a single ``in_past``
+    bit probe once the go node is found.
     """
     from ..core.causality import past_nodes
 
@@ -47,7 +61,43 @@ def find_go_node(
     return None
 
 
-class OptimalCoordinationProtocol(Protocol):
+class _SessionHolder:
+    """Shared session management for the protocol and the offline probe."""
+
+    def __init__(self, task: CoordinationTask, include_auxiliary: bool = True):
+        self.task = task
+        self.include_auxiliary = include_auxiliary
+        self._session: Optional[KnowledgeSession] = None
+
+    def _session_at(
+        self, sigma: BasicNode, timed_network: TimedNetwork
+    ) -> KnowledgeSession:
+        """The session advanced to ``sigma``, recreated on a network change.
+
+        Run/observer/pool changes are handled inside
+        :meth:`KnowledgeSession.advance` (it resets itself); only a different
+        timed network requires a new session object.
+        """
+        session = self._session
+        if session is None or session.timed_network is not timed_network:
+            session = KnowledgeSession(
+                timed_network, include_auxiliary=self.include_auxiliary
+            )
+            self._session = session
+        return session.advance(sigma)
+
+    def _guard_holds(self, session: KnowledgeSession, sigma: BasicNode) -> bool:
+        """Protocol 2's knowledge condition at the session's current node."""
+        go_node = session.find_go_node(self.task.go_sender, self.task.go_trigger)
+        if go_node is None:
+            return False
+        theta_a = general(go_node, (self.task.go_sender, self.task.actor_a))
+        if self.task.is_late:
+            return session.knows(theta_a, sigma, self.task.margin)
+        return session.knows(sigma, theta_a, self.task.margin)
+
+
+class OptimalCoordinationProtocol(_SessionHolder, Protocol):
     """B's optimal protocol for an ``Early`` or ``Late`` coordination task.
 
     On every step B floods (FFIP communication) and performs ``b`` as soon as
@@ -63,24 +113,12 @@ class OptimalCoordinationProtocol(Protocol):
     paper's "act at sigma" formulation.
     """
 
-    def __init__(self, task: CoordinationTask, include_auxiliary: bool = True):
-        self.task = task
-        self.include_auxiliary = include_auxiliary
-
     # -- the decision rule -------------------------------------------------------
 
     def should_act(self, sigma: BasicNode, ctx: StepContext) -> bool:
         """Protocol 2's guard, evaluated at the (tentative) node ``sigma``."""
-        go_node = find_go_node(sigma, self.task.go_sender, self.task.go_trigger)
-        if go_node is None:
-            return False
-        theta_a = general(go_node, (self.task.go_sender, self.task.actor_a))
-        checker = KnowledgeChecker(
-            sigma, ctx.timed_network, include_auxiliary=self.include_auxiliary
-        )
-        if self.task.is_late:
-            return checker.knows(theta_a, sigma, self.task.margin)
-        return checker.knows(sigma, theta_a, self.task.margin)
+        session = self._session_at(sigma, ctx.timed_network)
+        return self._guard_holds(session, sigma)
 
     def on_step(self, ctx: StepContext) -> StepDecision:
         history = ctx.tentative_history
@@ -92,17 +130,15 @@ class OptimalCoordinationProtocol(Protocol):
         return StepDecision.flood()
 
 
-class EagerKnowledgeProbe:
+class EagerKnowledgeProbe(_SessionHolder):
     """Offline analysis helper: when along a run would B first have been able to act?
 
     Useful for benchmarks: given a finished run (e.g. produced with a plain
     FFIP everywhere), replay B's timeline and report the first node at which
-    Protocol 2's guard holds, without re-simulating.
+    Protocol 2's guard holds, without re-simulating.  The replay advances one
+    knowledge session along the timeline, so the whole probe costs O(run)
+    graph work rather than O(run * past).
     """
-
-    def __init__(self, task: CoordinationTask, include_auxiliary: bool = True):
-        self.task = task
-        self.include_auxiliary = include_auxiliary
 
     def first_actionable_node(self, run) -> Optional[Tuple[BasicNode, int]]:
         """The first B-node (and its time) at which the knowledge condition holds."""
@@ -113,16 +149,14 @@ class EagerKnowledgeProbe:
         for time, node in run.timelines[self.task.actor_b]:
             if node.is_initial:
                 continue
-            go_node = find_go_node(node, self.task.go_sender, self.task.go_trigger)
+            session = self._session_at(node, net)
+            go_node = session.find_go_node(self.task.go_sender, self.task.go_trigger)
             if go_node is None:
                 continue
-            checker = KnowledgeChecker(
-                node, net, include_auxiliary=self.include_auxiliary
-            )
             if self.task.is_late:
-                knows = checker.knows(theta_a, node, self.task.margin)
+                knows = session.knows(theta_a, node, self.task.margin)
             else:
-                knows = checker.knows(node, theta_a, self.task.margin)
+                knows = session.knows(node, theta_a, self.task.margin)
             if knows:
                 return node, time
         return None

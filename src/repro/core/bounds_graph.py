@@ -23,10 +23,11 @@ The *local* bounds graph ``GB(r, sigma)`` is the subgraph induced by
 
 from __future__ import annotations
 
-from typing import Dict, Tuple, TYPE_CHECKING
+from typing import List, Sequence, Tuple, TYPE_CHECKING
 
+from ..simulation.messages import MessageReceipt
 from ..simulation.network import Process, TimedNetwork
-from .causality import local_delivery_map, past_nodes
+from .causality import past_nodes
 from .graph import WeightedGraph
 from .nodes import BasicNode
 
@@ -37,6 +38,9 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 SUCCESSOR_EDGE = "succ"
 LOWER_EDGE = "lower"
 UPPER_EDGE = "upper"
+
+#: A delivery visible in a local past: ``(sender_node, destination, receiver_node)``.
+VisibleDelivery = Tuple[BasicNode, Process, BasicNode]
 
 
 def basic_bounds_graph(run: "Run") -> WeightedGraph[BasicNode]:
@@ -57,6 +61,61 @@ def basic_bounds_graph(run: "Run") -> WeightedGraph[BasicNode]:
     return graph
 
 
+def append_past_nodes(
+    graph: WeightedGraph[BasicNode],
+    nodes: Sequence[BasicNode],
+    timed_network: TimedNetwork,
+) -> List[VisibleDelivery]:
+    """Append past nodes (plus their edges) to a growing local bounds graph.
+
+    ``nodes`` is a batch of basic nodes being added to the past the graph
+    describes.  The batch must be *past-delta shaped*: together with the
+    nodes already in the graph it is predecessor-closed (causal pasts always
+    are), so every node's ``succ`` edge target and every visible delivery's
+    sender node is present once the batch is in.  Each node contributes
+
+    * its ``succ`` edge from its timeline predecessor (weight 1), and
+    * one ``lower``/``upper`` edge pair per message receipt in its last step
+      (the deliveries of ``local_delivery_map`` restricted to this batch).
+
+    Returns the visible deliveries the batch contributed, which is exactly
+    the bookkeeping an incremental caller
+    (:class:`~repro.core.knowledge_session.KnowledgeSession`) needs to
+    maintain its delivered/undelivered maps.  Called once with the full past
+    it builds ``GB(r, sigma)`` from scratch; called repeatedly with bitset
+    past deltas it *extends* the same graph in O(delta).
+    """
+    for node in nodes:
+        graph.add_node(node)
+        previous = node.predecessor()
+        if previous is not None:
+            graph.add_edge(previous, node, 1, SUCCESSOR_EDGE)
+    deliveries: List[VisibleDelivery] = []
+    for node in nodes:
+        if node.is_initial:
+            continue
+        for observation in node.history.last_step:
+            if isinstance(observation, MessageReceipt):
+                message = observation.message
+                sender_node = BasicNode(message.sender, message.sender_history)
+                lower = timed_network.L(sender_node.process, node.process)
+                upper = timed_network.U(sender_node.process, node.process)
+                graph.add_edge(sender_node, node, lower, LOWER_EDGE)
+                graph.add_edge(node, sender_node, -upper, UPPER_EDGE)
+                deliveries.append((sender_node, node.process, node))
+    return deliveries
+
+
+def ordered_past_delta(nodes) -> List[BasicNode]:
+    """A deterministic ordering of a past delta for graph appends.
+
+    Bitset deltas come out as frozensets; sorting by ``(process,
+    step_count)`` makes the edge-insertion order (and therefore engine
+    internals) reproducible without affecting any longest-path weight.
+    """
+    return sorted(nodes, key=lambda node: (node.process, node.step_count))
+
+
 def local_bounds_graph(
     sigma: BasicNode, timed_network: TimedNetwork
 ) -> WeightedGraph[BasicNode]:
@@ -64,25 +123,12 @@ def local_bounds_graph(
 
     Under a full-information protocol the past of ``sigma`` -- and every
     delivery among nodes of that past -- is determined by ``sigma``'s local
-    state, so the local bounds graph does not need the run at all.
+    state, so the local bounds graph does not need the run at all.  The
+    construction is one :func:`append_past_nodes` batch over the whole past;
+    incremental callers feed the same function per-step deltas instead.
     """
     graph: WeightedGraph[BasicNode] = WeightedGraph()
-    past = past_nodes(sigma)
-
-    nodes_by_process: Dict[Process, list] = {}
-    for node in past:
-        graph.add_node(node)
-        nodes_by_process.setdefault(node.process, []).append(node)
-    for process, nodes in nodes_by_process.items():
-        ordered = sorted(nodes, key=lambda node: node.step_count)
-        for previous, current in zip(ordered, ordered[1:]):
-            graph.add_edge(previous, current, 1, SUCCESSOR_EDGE)
-
-    for (sender_node, destination), receiver_node in local_delivery_map(sigma).items():
-        lower = timed_network.L(sender_node.process, destination)
-        upper = timed_network.U(sender_node.process, destination)
-        graph.add_edge(sender_node, receiver_node, lower, LOWER_EDGE)
-        graph.add_edge(receiver_node, sender_node, -upper, UPPER_EDGE)
+    append_past_nodes(graph, ordered_past_delta(past_nodes(sigma)), timed_network)
     return graph
 
 

@@ -128,6 +128,22 @@ def past_nodes(node: BasicNode) -> FrozenSet[BasicNode]:
     return result
 
 
+def past_mask(node: BasicNode) -> int:
+    """``past(node)`` as a bitset over the current pool's dense node uids.
+
+    The raw-mask form of :func:`past_nodes`: cheap to intersect, union and
+    diff.  Incremental consumers (the knowledge sessions) keep the previous
+    step's mask and materialise only ``past_mask(new) & ~old`` -- the causal
+    delta -- instead of re-walking the whole past.
+    """
+    return _past_mask(_interning._POOL, node)
+
+
+def mask_members(mask: int) -> FrozenSet[BasicNode]:
+    """Materialise a past bitset (e.g. a delta of two masks) into its nodes."""
+    return _mask_members(_interning._POOL, mask)
+
+
 def in_past(node: BasicNode, sigma: BasicNode) -> bool:
     """``node in past(sigma)``, answered by one bit probe on the cached mask.
 

@@ -31,7 +31,7 @@ API.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Hashable, List, Optional, Sequence, Tuple, Union
+from typing import Dict, Hashable, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
 
 from ..simulation.network import Process, TimedNetwork
 from .causality import (
@@ -89,6 +89,96 @@ class ChainNode:
 
 GraphKey = Union[BasicNode, AuxiliaryNode, ChainNode]
 
+#: One auxiliary-layer edge: ``(source, target, weight, label)``.
+AuxiliaryEdge = Tuple[GraphKey, GraphKey, int, str]
+
+
+def undelivered_pairs(
+    past: Iterable[BasicNode],
+    delivered: Mapping[Tuple[BasicNode, Process], BasicNode],
+    timed_network: TimedNetwork,
+) -> List[Tuple[BasicNode, Process]]:
+    """``(sender_node, destination)`` sends with no delivery inside the past.
+
+    Under flooding, every non-initial past node sent to all of its
+    out-neighbours; the pairs whose delivery is not visible are the ones the
+    ``E''`` edges constrain.  Incremental callers maintain this set with
+    O(delta) work instead (new nodes add pairs, new visible deliveries
+    retract them) -- this function is the from-scratch reference shape.
+    """
+    pairs: List[Tuple[BasicNode, Process]] = []
+    for node in past:
+        if node.is_initial:
+            continue  # initial nodes never send (processes are event driven)
+        for destination in timed_network.out_neighbors(node.process):
+            if (node, destination) not in delivered:
+                pairs.append((node, destination))
+    return pairs
+
+
+def flooding_edges(timed_network: TimedNetwork) -> List[AuxiliaryEdge]:
+    """The static ``E'''`` edges: one per channel, independent of any view."""
+    edges: List[AuxiliaryEdge] = []
+    for sender, receiver in timed_network.channels:
+        upper = timed_network.U(sender, receiver)
+        edges.append(
+            (AuxiliaryNode(receiver), AuxiliaryNode(sender), -upper, FLOODING_EDGE)
+        )
+    return edges
+
+
+def auxiliary_layer_edges(
+    boundary: Mapping[Process, BasicNode],
+    undelivered: Iterable[Tuple[BasicNode, Process]],
+    timed_network: TimedNetwork,
+    include_flooding: bool = True,
+) -> List[AuxiliaryEdge]:
+    """The ``E'``/``E''``/``E'''`` edge set for one view of a run.
+
+    This is the *whole* retractable part of the extended bounds graph: as the
+    view grows, boundaries advance (``E'``), messages are seen to arrive
+    (``E''`` edges must be dropped), and only ``E'''`` stays fixed.  Both the
+    one-shot :class:`ExtendedBoundsGraph` and the incremental
+    :class:`~repro.core.knowledge_session.KnowledgeSession` (which reinstalls
+    the set as a volatile engine overlay on every step, caching the static
+    ``E'''`` tail via ``include_flooding=False``) build it here.
+    """
+    edges: List[AuxiliaryEdge] = []
+    # E': the auxiliary node of i strictly follows i's boundary node.
+    for process in sorted(boundary):
+        edges.append((boundary[process], AuxiliaryNode(process), 1, AUXILIARY_EDGE))
+    # E'': messages sent from the past that were not delivered inside it.
+    upper_of = timed_network.U
+    for sender_node, destination in undelivered:
+        upper = upper_of(sender_node.process, destination)
+        edges.append(
+            (AuxiliaryNode(destination), sender_node, -upper, UNDELIVERED_EDGE)
+        )
+    # E''': flooding propagates the "beyond the view" frontier.
+    if include_flooding:
+        edges.extend(flooding_edges(timed_network))
+    return edges
+
+
+def resolve_chain_prefix(
+    theta: GeneralNode,
+    delivered: Mapping[Tuple[BasicNode, Process], BasicNode],
+) -> Tuple[BasicNode, int]:
+    """Follow ``theta``'s chain through the visible deliveries.
+
+    Returns ``(last_resolved_node, hops_resolved)``: the basic node reached
+    after the longest chain prefix whose messages are all seen to arrive.
+    """
+    resolved = theta.base
+    hops_resolved = 0
+    for next_process in theta.path[1:]:
+        receiver = delivered.get((resolved, next_process))
+        if receiver is None:
+            break
+        resolved = receiver
+        hops_resolved += 1
+    return resolved, hops_resolved
+
 
 class ExtendedBoundsGraph:
     """``GE(r, sigma)`` plus chain nodes for general nodes of interest.
@@ -128,29 +218,10 @@ class ExtendedBoundsGraph:
         for process in net.processes:
             self.graph.add_node(AuxiliaryNode(process))
 
-        # E': the auxiliary node of i strictly follows i's boundary node.
-        for process, boundary in self.boundary.items():
-            self.graph.add_edge(boundary, AuxiliaryNode(process), 1, AUXILIARY_EDGE)
-
-        # E'': messages sent from the past that were not delivered inside it.
-        delivered_pairs = set(self.delivered)
-        for node in self.past:
-            if node.is_initial:
-                continue  # initial nodes never send (processes are event driven)
-            for destination in net.out_neighbors(node.process):
-                if (node, destination) in delivered_pairs:
-                    continue
-                upper = net.U(node.process, destination)
-                self.graph.add_edge(
-                    AuxiliaryNode(destination), node, -upper, UNDELIVERED_EDGE
-                )
-
-        # E''': flooding propagates the "beyond the view" frontier.
-        for sender, receiver in net.channels:
-            upper = net.U(sender, receiver)
-            self.graph.add_edge(
-                AuxiliaryNode(receiver), AuxiliaryNode(sender), -upper, FLOODING_EDGE
-            )
+        for source, target, weight, label in auxiliary_layer_edges(
+            self.boundary, undelivered_pairs(self.past, self.delivered, net), net
+        ):
+            self.graph.add_edge(source, target, weight, label)
 
     # -- node access ----------------------------------------------------------------
 
@@ -194,14 +265,7 @@ class ExtendedBoundsGraph:
                 f"{self.sigma.describe()}"
             )
 
-        hops_resolved = 0
-        resolved: BasicNode = theta.base
-        for next_process in theta.path[1:]:
-            receiver = self.delivered.get((resolved, next_process))
-            if receiver is None:
-                break
-            resolved = receiver
-            hops_resolved += 1
+        resolved, hops_resolved = resolve_chain_prefix(theta, self.delivered)
         current = resolved
 
         if hops_resolved == theta.hops:

@@ -29,6 +29,18 @@ bounds-stats analysis passes the dominant cost of ``repro sweep``.
    gain nodes and edges -- e.g. chain nodes added per general-node query, or
    a run extended by one step) cached rows are *extended* by a worklist
    relaxation seeded from the new edges instead of being recomputed.
+4. **A volatile overlay.**  :class:`~repro.core.knowledge_session.
+   KnowledgeSession` keeps the *monotone* part of an extended bounds graph
+   (basic past + chain core) in the engine's base graph but must replace the
+   auxiliary ``psi`` layer on every step: ``E''`` edges are retracted when a
+   message is seen to arrive and chain anchors when a chain hop resolves.
+   :meth:`set_overlay` installs such a volatile edge set *next to* the base
+   graph without mutating it; :meth:`overlay_weight` answers longest-path
+   queries over base+overlay by seeding a worklist relaxation with the
+   memoized base row (longest paths only grow when edges are added, so the
+   base fixpoint is a valid lower seed).  Replacing the overlay therefore
+   discards only the per-step overlay rows -- the base rows, index maps and
+   SCCs persist across steps.
 
 The engine is exact: it raises :class:`PositiveCycleError` for exactly the
 sources from which the naive relaxation raises, and agrees with it on every
@@ -41,7 +53,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Dict, Generic, List, Optional
+from typing import Dict, Generic, Iterable, List, Optional, Tuple
 
 from .graph import NEG_INF, NodeT, PositiveCycleError, WeightedGraph
 
@@ -57,6 +69,9 @@ class EngineStats:
     row_cache_hits: int = 0
     syncs: int = 0
     queries: int = 0
+    overlay_rows_computed: int = 0
+    overlay_row_cache_hits: int = 0
+    overlay_installs: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         return {
@@ -65,6 +80,9 @@ class EngineStats:
             "row_cache_hits": self.row_cache_hits,
             "syncs": self.syncs,
             "queries": self.queries,
+            "overlay_rows_computed": self.overlay_rows_computed,
+            "overlay_row_cache_hits": self.overlay_row_cache_hits,
+            "overlay_installs": self.overlay_installs,
         }
 
 
@@ -88,14 +106,23 @@ class LongestPathEngine(Generic[NodeT]):
         self._edge_dst: List[int] = []
         self._edge_weight: List[int] = []
         self._out: List[List[int]] = []
-        # SCC condensation, rebuilt on growth.
+        # SCC condensation, recomputed lazily on first row computation after
+        # growth (row *extensions* and overlay relaxations never need it).
         self._comp: List[int] = []
         self._scc_members: List[List[int]] = []
         self._scc_intra: List[List[int]] = []
         self._scc_cross: List[List[int]] = []
+        self._scc_version = -1
         # Memoized state.
         self._rows: Dict[int, List[float]] = {}
         self._positive_cycle: Optional[bool] = None
+        # Volatile overlay: a replaceable edge layer next to the base graph.
+        self._overlay_edges: List[Tuple[NodeT, NodeT, int]] = []
+        self._overlay_nodes: List[NodeT] = []
+        self._overlay_index: Dict[NodeT, int] = {}
+        self._overlay_out: Dict[int, List[Tuple[int, int]]] = {}
+        self._overlay_rows: Dict[int, List[float]] = {}
+        self._overlay_mapped_version: Optional[int] = None
         self.stats = EngineStats()
 
     # -- synchronisation with the underlying graph ------------------------------
@@ -121,7 +148,6 @@ class LongestPathEngine(Generic[NodeT]):
         self._synced_edge_count = len(edges)
         self._synced_version = graph.version
         self._positive_cycle = None
-        self._recompute_sccs()
         if self._rows:
             for source_index, dist in list(self._rows.items()):
                 try:
@@ -134,6 +160,12 @@ class LongestPathEngine(Generic[NodeT]):
                     del self._rows[source_index]
                 else:
                     self.stats.rows_extended += 1
+
+    def _ensure_sccs(self) -> None:
+        """Recompute the condensation only when a fresh DP sweep needs it."""
+        if self._scc_version != self._synced_version:
+            self._recompute_sccs()
+            self._scc_version = self._synced_version
 
     def _recompute_sccs(self) -> None:
         """Iterative Tarjan; component ids come out in topological order."""
@@ -206,6 +238,7 @@ class LongestPathEngine(Generic[NodeT]):
 
     def _compute_row(self, source: int) -> List[float]:
         """One topologically-ordered DP sweep from ``source``."""
+        self._ensure_sccs()
         dist: List[float] = [NEG_INF] * len(self._nodes)
         dist[source] = 0
         edge_src = self._edge_src
@@ -358,6 +391,165 @@ class LongestPathEngine(Generic[NodeT]):
             node for node, value in zip(self._nodes, dist) if value != NEG_INF
         )
 
+    # -- the volatile overlay ----------------------------------------------------
+
+    def set_overlay(self, edges: Iterable[Tuple[NodeT, NodeT, int]]) -> None:
+        """Install (replacing any previous) a volatile edge layer.
+
+        Overlay edges live *next to* the base graph: they participate in
+        :meth:`overlay_weight` / :meth:`overlay_row` queries but never touch
+        the base graph, its memoized rows, or its SCCs.  Endpoints may be
+        base-graph nodes or fresh overlay-only vertices (e.g. the auxiliary
+        ``psi`` nodes of an extended bounds graph).  Unlike the base graph the
+        overlay may *shrink* between installs -- that is its purpose: the
+        per-step retractable constraints of a
+        :class:`~repro.core.knowledge_session.KnowledgeSession` go here.
+        """
+        self._overlay_edges = [
+            (source, target, int(weight)) for source, target, weight in edges
+        ]
+        self._overlay_mapped_version = None
+        self._overlay_rows.clear()
+        self.stats.overlay_installs += 1
+
+    def _overlay_sync(self) -> None:
+        """(Re)map overlay endpoints onto combined indices after base growth."""
+        self._sync()
+        if self._overlay_mapped_version == self._synced_version:
+            return
+        base_count = len(self._nodes)
+        overlay_nodes: List[NodeT] = []
+        overlay_index: Dict[NodeT, int] = {}
+        out: Dict[int, List[Tuple[int, int]]] = {}
+        base_index = self._index
+        for source, target, weight in self._overlay_edges:
+            source_id = base_index.get(source)
+            if source_id is None:
+                source_id = overlay_index.get(source)
+                if source_id is None:
+                    source_id = base_count + len(overlay_nodes)
+                    overlay_index[source] = source_id
+                    overlay_nodes.append(source)
+            target_id = base_index.get(target)
+            if target_id is None:
+                target_id = overlay_index.get(target)
+                if target_id is None:
+                    target_id = base_count + len(overlay_nodes)
+                    overlay_index[target] = target_id
+                    overlay_nodes.append(target)
+            bucket = out.get(source_id)
+            if bucket is None:
+                out[source_id] = bucket = []
+            bucket.append((target_id, weight))
+        self._overlay_nodes = overlay_nodes
+        self._overlay_index = overlay_index
+        self._overlay_out = out
+        self._overlay_rows.clear()
+        self._overlay_mapped_version = self._synced_version
+
+    def _combined_index(self, node: NodeT, role: str) -> int:
+        index = self._index.get(node)
+        if index is None:
+            index = self._overlay_index.get(node)
+        if index is None:
+            raise KeyError(f"{role} {node!r} is not a node of the graph or overlay")
+        return index
+
+    def _compute_overlay_row(self, source: int) -> List[float]:
+        """Base row (memoized) extended to a base+overlay fixpoint.
+
+        Longest-path weights only grow when edges are added, so the settled
+        base row is a valid lower seed for the combined graph; a worklist
+        relaxation rooted at the overlay edges converges to the exact
+        combined fixpoint, exactly like :meth:`_extend_row` does for base
+        growth.
+        """
+        base_count = len(self._nodes)
+        total = base_count + len(self._overlay_nodes)
+        if source < base_count:
+            dist = self._row(source) + [NEG_INF] * (total - base_count)
+        else:
+            dist = [NEG_INF] * total
+            dist[source] = 0
+        overlay_out = self._overlay_out
+        edge_dst = self._edge_dst
+        edge_weight = self._edge_weight
+        pending: deque = deque()
+        queued = [False] * total
+        if source >= base_count:
+            queued[source] = True
+            pending.append(source)
+        for origin, targets in overlay_out.items():
+            base = dist[origin]
+            if base == NEG_INF:
+                continue
+            for target, weight in targets:
+                candidate = base + weight
+                if candidate > dist[target]:
+                    dist[target] = candidate
+                    if not queued[target]:
+                        queued[target] = True
+                        pending.append(target)
+        pop_budget = total * total + len(self._edge_src) + len(self._overlay_edges)
+        while pending:
+            pop_budget -= 1
+            if pop_budget < 0:
+                raise PositiveCycleError(
+                    "positive-weight cycle reachable from the source; the "
+                    "constraint system is infeasible"
+                )
+            node = pending.popleft()
+            queued[node] = False
+            base = dist[node]
+            if node < base_count:
+                for edge_id in self._out[node]:
+                    candidate = base + edge_weight[edge_id]
+                    target = edge_dst[edge_id]
+                    if candidate > dist[target]:
+                        dist[target] = candidate
+                        if not queued[target]:
+                            queued[target] = True
+                            pending.append(target)
+            for target, weight in overlay_out.get(node, ()):
+                candidate = base + weight
+                if candidate > dist[target]:
+                    dist[target] = candidate
+                    if not queued[target]:
+                        queued[target] = True
+                        pending.append(target)
+        return dist
+
+    def _overlay_row_values(self, source: int) -> List[float]:
+        row = self._overlay_rows.get(source)
+        if row is not None:
+            self.stats.overlay_row_cache_hits += 1
+            return row
+        row = self._compute_overlay_row(source)
+        self._overlay_rows[source] = row
+        self.stats.overlay_rows_computed += 1
+        return row
+
+    def overlay_weight(self, source: NodeT, target: NodeT) -> Optional[int]:
+        """Longest-path weight over base+overlay, ``None`` when unreachable.
+
+        With an empty overlay this agrees with :meth:`weight` exactly.
+        """
+        self._overlay_sync()
+        self.stats.queries += 1
+        source_index = self._combined_index(source, "source")
+        target_index = self._combined_index(target, "target")
+        value = self._overlay_row_values(source_index)[target_index]
+        if value == NEG_INF:
+            return None
+        return int(value)
+
+    def overlay_row(self, source: NodeT) -> Dict[NodeT, float]:
+        """Longest-path weights from ``source`` over base+overlay, per node."""
+        self._overlay_sync()
+        self.stats.queries += 1
+        dist = self._overlay_row_values(self._combined_index(source, "source"))
+        return dict(zip(list(self._nodes) + self._overlay_nodes, dist))
+
     def has_positive_cycle(self) -> bool:
         """Whether any positive-weight cycle exists anywhere in the graph.
 
@@ -368,6 +560,7 @@ class LongestPathEngine(Generic[NodeT]):
         self._sync()
         if self._positive_cycle is not None:
             return self._positive_cycle
+        self._ensure_sccs()
         edge_src = self._edge_src
         edge_dst = self._edge_dst
         edge_weight = self._edge_weight
@@ -399,10 +592,12 @@ class LongestPathEngine(Generic[NodeT]):
 
     def component_count(self) -> int:
         self._sync()
+        self._ensure_sccs()
         return len(self._scc_members)
 
     def describe(self) -> str:
         self._sync()
+        self._ensure_sccs()
         return (
             f"LongestPathEngine(nodes={len(self._nodes)}, "
             f"edges={len(self._edge_src)}, sccs={len(self._scc_members)}, "

@@ -19,7 +19,7 @@ from typing import Any, Callable, Dict, Optional, Sequence, Tuple, TYPE_CHECKING
 
 from ..core.bounds_graph import basic_bounds_graph
 from ..core.extended_graph import ExtendedGraphError
-from ..core.knowledge import KnowledgeChecker
+from ..core.knowledge_session import KnowledgeSession
 from ..core.nodes import general
 from ..coordination.tasks import late_task, evaluate
 from ..simulation.messages import GO_TRIGGER
@@ -246,8 +246,10 @@ def knowledge_pass(run: "Run") -> Dict[str, Any]:
 
     Builds the extended bounds graph at the node where ``b`` was performed
     and asks for the largest ``x`` with ``K_sigma(theta_a --x--> sigma_b)``
-    (Theorem 4 machinery).  Both directions of the pair are answered in one
-    :meth:`KnowledgeChecker.max_known_gaps` batch against a single graph
+    (Theorem 4 machinery).  The pass rides the incremental
+    :class:`KnowledgeSession` substrate (a single observation is just a
+    session's cold step) and answers both directions of the pair in one
+    :meth:`KnowledgeSession.max_known_gaps` batch against a single overlay
     snapshot, which also yields the full known window.  Marked inapplicable
     when the run has no ``b`` action, no go, or the required nodes are not
     recognized at ``sigma_b``.
@@ -267,9 +269,9 @@ def knowledge_pass(run: "Run") -> Dict[str, Any]:
     if not run.timed_network.is_path((roles["go_sender"], roles["actor_a"])):
         return {"applicable": False, **roles, "reason": "no C->A channel"}
     theta_a = general(go_node, (roles["go_sender"], roles["actor_a"]))
-    checker = KnowledgeChecker(sigma_b, run.timed_network)
+    session = KnowledgeSession(run.timed_network).advance(sigma_b)
     try:
-        known_gap, reverse_gap = checker.max_known_gaps(
+        known_gap, reverse_gap = session.max_known_gaps(
             [(theta_a, sigma_b), (sigma_b, theta_a)]
         )
     except ExtendedGraphError:

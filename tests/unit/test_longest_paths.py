@@ -83,6 +83,9 @@ class TestBatchAndMemoization:
             "row_cache_hits",
             "syncs",
             "queries",
+            "overlay_rows_computed",
+            "overlay_row_cache_hits",
+            "overlay_installs",
         }
 
 
