@@ -8,13 +8,10 @@ simulator, not of the paper (which reports no measurements); the asserted
 process can know -- are the reproduction targets.
 """
 
-import pytest
-
 from _bench_utils import report
 
 from repro.core import (
     ExtendedBoundsGraph,
-    KnowledgeChecker,
     TwoLeggedFork,
     ZigzagPattern,
     basic_bounds_graph,

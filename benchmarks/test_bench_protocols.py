@@ -21,7 +21,15 @@ from repro.coordination import (
     late_task,
 )
 from repro.scenarios import zigzag_chain_scenario
-from repro.simulation import Context, ProtocolAssignment, actor_protocol, fully_connected, go_at, go_sender_protocol, simulate
+from repro.simulation import (
+    Context,
+    ProtocolAssignment,
+    actor_protocol,
+    fully_connected,
+    go_at,
+    go_sender_protocol,
+    simulate,
+)
 
 PROTOCOLS = {
     "optimal": OptimalCoordinationProtocol,

@@ -11,7 +11,7 @@ import pytest
 
 from _bench_utils import report
 
-from repro.core import ExtendedBoundsGraph, KnowledgeChecker, basic_bounds_graph, general
+from repro.core import KnowledgeChecker, basic_bounds_graph, general
 from repro.coordination import OptimalCoordinationProtocol, evaluate, late_task
 from repro.scenarios import (
     flooding_scenario,

@@ -7,13 +7,10 @@ hold on every instance generated.
 
 import itertools
 
-import pytest
-
 from _bench_utils import report
 
 from repro.core import (
     KnowledgeChecker,
-    basic_bounds_graph,
     check_theorem2,
     check_theorem3,
     empirical_min_gap,

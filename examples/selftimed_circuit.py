@@ -23,7 +23,6 @@ Run with:  python examples/selftimed_circuit.py
 from repro.coordination import OptimalCoordinationProtocol, early_task, evaluate, guaranteed_margin
 from repro.scenarios import Scenario
 from repro.simulation import (
-    EarliestDelivery,
     ExternalInput,
     GO_TRIGGER,
     ProtocolAssignment,

@@ -65,7 +65,10 @@ def fork_layout(margin: int) -> Scenario:
         external_inputs=[ExternalInput(3, "Control", GO_TRIGGER)],
         delivery=LatestDelivery(),  # worst case: every telegraph is as slow as allowed
         horizon=40,
-        description=f"single-fork layout, guaranteed margin {net.L('Control','Freight') - net.U('Control','Express')}",
+        description=(
+            "single-fork layout, guaranteed margin "
+            f"{net.L('Control','Freight') - net.U('Control','Express')}"
+        ),
     )
 
 

@@ -14,9 +14,9 @@ an optimistic bound assuming the most favourable interleavings.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Optional
 
-from ..simulation.network import Path, Process, TimedNetwork
+from ..simulation.network import Path, TimedNetwork
 from .tasks import CoordinationTask
 
 
@@ -63,7 +63,9 @@ def best_fork_plan(
     return best
 
 
-def guaranteed_margin(net: TimedNetwork, task: CoordinationTask, max_hops: int = 4) -> Optional[int]:
+def guaranteed_margin(
+    net: TimedNetwork, task: CoordinationTask, max_hops: int = 4
+) -> Optional[int]:
     """The largest margin B is guaranteed to be able to certify via a single fork."""
     plan = best_fork_plan(net, task, max_hops)
     return None if plan is None else plan.guaranteed_margin

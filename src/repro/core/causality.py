@@ -26,7 +26,7 @@ caches are per-pool.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, Mapping, Optional, Tuple
+from typing import Dict, FrozenSet, Iterable, Optional, Tuple
 
 from ..simulation import interning as _interning
 from ..simulation.interning import InternPool

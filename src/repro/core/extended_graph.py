@@ -31,7 +31,7 @@ API.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Hashable, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
 
 from ..simulation.network import Process, TimedNetwork
 from .causality import (
@@ -39,7 +39,7 @@ from .causality import (
     local_delivery_map,
     past_nodes,
 )
-from .bounds_graph import LOWER_EDGE, SUCCESSOR_EDGE, UPPER_EDGE, local_bounds_graph
+from .bounds_graph import local_bounds_graph
 from .graph import WeightedGraph
 from .longest_paths import LongestPathEngine
 from .nodes import BasicNode, GeneralNode

@@ -20,7 +20,7 @@ Two query paths coexist:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Generic, Hashable, Iterable, Iterator, List, Optional, Tuple, TypeVar
 
 NodeT = TypeVar("NodeT", bound=Hashable)
@@ -171,7 +171,9 @@ class WeightedGraph(Generic[NodeT]):
             return None
         return int(weight)
 
-    def longest_path(self, source: NodeT, target: NodeT) -> Optional[Tuple[int, Tuple[Edge[NodeT], ...]]]:
+    def longest_path(
+        self, source: NodeT, target: NodeT
+    ) -> Optional[Tuple[int, Tuple[Edge[NodeT], ...]]]:
         """The longest path from ``source`` to ``target`` as ``(weight, edges)``.
 
         Returns ``None`` when the target is unreachable.  Ties are broken

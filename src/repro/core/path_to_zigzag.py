@@ -24,7 +24,7 @@ from typing import Optional, Sequence, Tuple, TYPE_CHECKING
 
 from .bounds_graph import LOWER_EDGE, SUCCESSOR_EDGE, UPPER_EDGE, basic_bounds_graph
 from .forks import TwoLeggedFork, trivial_fork
-from .graph import Edge, WeightedGraph
+from .graph import Edge
 from .nodes import BasicNode, GeneralNode, general
 from .zigzag import ZigzagPattern
 

@@ -20,7 +20,7 @@ Two pragmatic deviations from the paper, both documented in DESIGN.md:
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Optional, Tuple, TYPE_CHECKING
+from typing import Dict, List, Mapping, Optional, Tuple, TYPE_CHECKING
 
 from ..simulation.context import ExternalInput
 from ..simulation.runs import (
@@ -31,7 +31,7 @@ from ..simulation.runs import (
 )
 from .bounds_graph import basic_bounds_graph, is_p_closed
 from .nodes import BasicNode
-from .timing import TimingError, slow_timing, validate_timing
+from .timing import slow_timing, validate_timing
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     pass

@@ -27,7 +27,7 @@ from ..simulation.network import TimedNetwork
 from .knowledge import KnowledgeChecker, empirical_min_gap
 from .nodes import BasicNode, GeneralNode, general
 from .path_to_zigzag import longest_zigzag_between
-from .precedence import TimedPrecedence, supports
+from .precedence import supports
 from .run_construction import realized_gap, slow_run
 from .zigzag import ZigzagPattern
 

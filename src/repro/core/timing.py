@@ -16,7 +16,7 @@ tight and powers Theorem 2.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, Mapping, Optional, Tuple, TYPE_CHECKING
+from typing import Dict, FrozenSet, Iterable, Mapping, Optional, TYPE_CHECKING
 
 from .bounds_graph import basic_bounds_graph, is_p_closed, precedence_set
 from .graph import NEG_INF, WeightedGraph

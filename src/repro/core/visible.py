@@ -19,9 +19,8 @@ exhibits an explicit witness pattern on small instances.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence, Tuple, TYPE_CHECKING
+from typing import List, Optional, Tuple, TYPE_CHECKING
 
-from ..simulation.network import Process, TimedNetwork
 from .causality import in_past
 from .forks import TwoLeggedFork
 from .nodes import BasicNode, GeneralNode

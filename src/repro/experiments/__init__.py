@@ -23,6 +23,17 @@ from .analyses import (
     run_analyses,
 )
 from .cli import main
+from .executors import (
+    BACKENDS,
+    ChunkedShardExecutor,
+    ProcessExecutor,
+    SerialExecutor,
+    SweepExecutor,
+    plan_shards,
+    resolve_executor,
+    run_shard,
+    shard_signature,
+)
 from .golden import (
     GOLDEN_FORMAT_VERSION,
     check_corpus,
@@ -35,8 +46,12 @@ from .runner import (
     SweepCell,
     SweepError,
     SweepOutcome,
+    build_base_scenario,
     build_cell_scenario,
+    decorate_scenario,
+    error_record,
     execute_cell,
+    execute_cell_inline,
     expand_grid,
     make_cell,
     make_delivery,
@@ -54,23 +69,32 @@ from .store import (
 
 __all__ = [
     "ADVERSARIES",
+    "BACKENDS",
     "AnalysisError",
     "AnalysisPass",
+    "ChunkedShardExecutor",
     "DEFAULT_ANALYSES",
     "DEFAULT_STORE_PATH",
     "GOLDEN_FORMAT_VERSION",
+    "ProcessExecutor",
     "ResultStore",
     "STORE_FORMAT_VERSION",
+    "SerialExecutor",
     "StoreError",
     "SweepCell",
     "SweepError",
+    "SweepExecutor",
     "SweepOutcome",
     "analysis_versions",
+    "build_base_scenario",
     "build_cell_scenario",
     "canonical_json",
     "cell_key",
     "check_corpus",
+    "decorate_scenario",
+    "error_record",
     "execute_cell",
+    "execute_cell_inline",
     "expand_grid",
     "get_analysis",
     "golden_payload",
@@ -80,9 +104,13 @@ __all__ = [
     "main",
     "make_cell",
     "make_delivery",
+    "plan_shards",
     "register_analysis",
+    "resolve_executor",
     "run_analyses",
     "run_cell",
+    "run_shard",
     "run_sweep",
+    "shard_signature",
     "write_corpus",
 ]

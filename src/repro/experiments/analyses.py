@@ -15,6 +15,7 @@ assumed to be the literal processes ``A``/``B``/``C``.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Any, Callable, Dict, Optional, Sequence, Tuple, TYPE_CHECKING
 
 from ..core.bounds_graph import basic_bounds_graph
@@ -81,9 +82,21 @@ def list_analyses() -> Tuple[str, ...]:
     return tuple(sorted(_ANALYSIS_REGISTRY))
 
 
+@lru_cache(maxsize=None)
+def _analysis_versions(names: Tuple[str, ...]) -> Tuple[Tuple[str, int], ...]:
+    # Safe to memoize: versions are frozen at registration and names can
+    # never be re-registered; an unknown name raises (and is not cached), so
+    # late registrations are picked up on the next call.
+    return tuple((name, get_analysis(name).version) for name in names)
+
+
 def analysis_versions(names: Sequence[str]) -> Dict[str, int]:
-    """``{name: version}`` for the requested passes (cache-key material)."""
-    return {name: get_analysis(name).version for name in names}
+    """``{name: version}`` for the requested passes (cache-key material).
+
+    Memoized per name tuple — resume scans key every cell of a grid, and the
+    registry lookup was the hot part of :meth:`SweepCell.key`.
+    """
+    return dict(_analysis_versions(tuple(names)))
 
 
 def run_analyses(run: "Run", names: Sequence[str]) -> Dict[str, Dict[str, Any]]:

@@ -28,6 +28,7 @@ from .analyses import (
     get_analysis,
     list_analyses,
 )
+from .executors import BACKENDS
 from .runner import (
     ADVERSARIES,
     SweepError,
@@ -173,6 +174,18 @@ def _cmd_run(args: argparse.Namespace, out) -> int:
 
 
 def _cmd_sweep(args: argparse.Namespace, out) -> int:
+    if args.workers < 1:
+        raise CliError(
+            f"--workers must be >= 1, got {args.workers} "
+            "(use --workers 1 for the serial path)"
+        )
+    if args.shard_size is not None:
+        if args.shard_size < 1:
+            raise CliError(f"--shard-size must be >= 1, got {args.shard_size}")
+        if args.backend != "sharded":
+            raise CliError("--shard-size requires --backend sharded")
+    if args.force and args.resume:
+        raise CliError("--force and --resume are mutually exclusive")
     scenarios = _csv(args.scenario) if args.scenario else list(DEFAULT_SWEEP_SCENARIOS)
     adversaries = _csv(args.adversary) if args.adversary else list(ADVERSARIES)
     if args.seed_list:
@@ -210,8 +223,16 @@ def _cmd_sweep(args: argparse.Namespace, out) -> int:
         workers=args.workers,
         force=args.force,
         progress=progress,
+        backend=args.backend,
+        resume=args.resume,
+        shard_size=args.shard_size,
     )
-    print(outcome.describe(), file=out)
+    print(f"{outcome.describe()} [backend={outcome.backend}]", file=out)
+    if outcome.recovered_lines:
+        print(
+            f"recovered store: dropped {outcome.recovered_lines} torn line(s)",
+            file=out,
+        )
     print(f"store: {store.path} ({len(store)} records)", file=out)
     return 1 if outcome.errors else 0
 
@@ -368,6 +389,28 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep_parser.add_argument(
         "--workers", type=int, default=DEFAULT_SWEEP_WORKERS, help="process-pool size"
+    )
+    sweep_parser.add_argument(
+        "--backend",
+        default="auto",
+        choices=BACKENDS,
+        help="execution backend: serial, per-cell process dispatch, or chunked "
+        "shards of structurally similar cells (default: %(default)s)",
+    )
+    sweep_parser.add_argument(
+        "--shard-size",
+        type=int,
+        default=None,
+        metavar="N",
+        help="cells per shard for --backend sharded (default: derived)",
+    )
+    sweep_parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="recover the store from a torn tail and skip persisted cells "
+        "(a killed sweep continues, re-executing only what never reached "
+        "the store: at most one in-flight cell per worker, or one in-flight "
+        "shard with --backend sharded)",
     )
     sweep_parser.add_argument("--horizon", type=int, default=None)
     sweep_parser.add_argument("--analysis", action="append", metavar="NAME")

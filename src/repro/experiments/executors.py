@@ -1,0 +1,276 @@
+"""Pluggable execution backends for the sweep runner.
+
+:func:`repro.experiments.runner.run_sweep` separates *what* to run (the cache
+scan against the result store) from *how* to run it (this module).  A backend
+is a :class:`SweepExecutor`: it receives the pending ``(index, cell)`` pairs
+and must invoke the result handler exactly once per cell, in completion
+order, with either the cell's result record or an error record.
+
+Three backends ship:
+
+* :class:`SerialExecutor` — in-process, cell by cell.  No pool spawn cost,
+  so it is the right choice for single-worker runs and tiny sweeps.
+* :class:`ProcessExecutor` — one :class:`~concurrent.futures.\
+ProcessPoolExecutor` task per cell (the classic behaviour).  Maximum
+  scheduling freedom, but every cell pays task dispatch, a fresh intern
+  pool, and scenario construction on its own.
+* :class:`ChunkedShardExecutor` — groups cells into per-worker *shards* and
+  dispatches whole shards.  Cells are grouped by their shard signature
+  (scenario name plus the parameters flagged ``shard_key=True`` on their
+  :class:`~repro.scenarios.base.ParamSpec`), so one worker task runs a
+  family of structurally identical instances back to back: pool dispatch is
+  paid once per shard, the hash-consing intern pool is shared across the
+  shard, and the base scenario is built once per distinct parameter
+  assignment and re-decorated per adversary.  On sweeps of many small cells
+  this amortisation dominates (see ``benchmarks/test_bench_sweep.py``).
+  The trade-off is checkpoint granularity: a worker reports a whole shard
+  at once, so a sweep killed mid-shard loses that shard's completed-but-
+  unreported cells (bounded by the shard size), where the per-cell
+  backends lose at most one cell per worker.
+
+Every backend produces records identical to the serial one (modulo the
+``duration_s`` timing field): cells are seeded by their identity, interning
+never changes semantics, and shard grouping is a scheduling hint only.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from ..scenarios.base import RegistryError, get_scenario
+from ..simulation.interning import intern_pool
+from .runner import (
+    SweepCell,
+    SweepError,
+    error_record,
+    execute_cell_inline,
+    run_cell,
+)
+
+#: The backend names ``run_sweep``/the CLI accept.
+BACKENDS: Tuple[str, ...] = ("auto", "serial", "process", "sharded")
+
+#: Ceiling on *derived* cells per shard: bounds a worker's intern-pool
+#: lifetime (memory) and keeps shards small enough to balance across the
+#: pool.  An explicit ``shard_size`` is the caller's choice and may exceed it.
+DEFAULT_MAX_SHARD_CELLS = 32
+
+#: Shards-per-worker target when deriving a shard size automatically; a bit
+#: of oversubscription lets the pool rebalance around slow shards.
+_SHARDS_PER_WORKER = 4
+
+#: ``handle(index, cell, record)`` — invoked exactly once per pending cell.
+ResultHandler = Callable[[int, SweepCell, Dict[str, Any]], None]
+
+
+class SweepExecutor(ABC):
+    """How the pending cells of one sweep get executed."""
+
+    #: Short name reported in outcomes and the CLI.
+    name: str = "abstract"
+
+    @abstractmethod
+    def execute(self, pending: Sequence[Tuple[int, SweepCell]], handle: ResultHandler) -> None:
+        """Run every pending cell, calling ``handle`` once per cell.
+
+        Implementations must never raise on a failing cell; failures are
+        reported as ``status: "error"`` records (see
+        :func:`~repro.experiments.runner.error_record`).
+        """
+
+
+class SerialExecutor(SweepExecutor):
+    """Run cells one after another in the calling process."""
+
+    name = "serial"
+
+    def execute(self, pending: Sequence[Tuple[int, SweepCell]], handle: ResultHandler) -> None:
+        for index, cell in pending:
+            try:
+                record = run_cell(cell)
+            except Exception as exc:  # noqa: BLE001 - per-cell isolation
+                record = error_record(cell, exc)
+            handle(index, cell, record)
+
+
+class ProcessExecutor(SweepExecutor):
+    """One process-pool task per cell (per-cell dispatch)."""
+
+    name = "process"
+
+    def __init__(self, workers: int):
+        if workers < 1:
+            raise SweepError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+
+    def execute(self, pending: Sequence[Tuple[int, SweepCell]], handle: ResultHandler) -> None:
+        if self.workers == 1 or len(pending) <= 1:
+            SerialExecutor().execute(pending, handle)
+            return
+        with ProcessPoolExecutor(max_workers=self.workers) as executor:
+            futures = {
+                executor.submit(run_cell, cell): (index, cell) for index, cell in pending
+            }
+            remaining = set(futures)
+            while remaining:
+                done, remaining = wait(remaining, return_when=FIRST_COMPLETED)
+                for future in done:
+                    index, cell = futures[future]
+                    try:
+                        record = future.result()
+                    except Exception as exc:  # noqa: BLE001 - per-cell isolation
+                        record = error_record(cell, exc)
+                    handle(index, cell, record)
+
+
+def shard_signature(cell: SweepCell) -> Tuple[Any, ...]:
+    """The grouping key of a cell for sharded execution.
+
+    Scenario name, the sweep-level horizon override, and the values of every
+    parameter the scenario flags as a shard key.  Cells sharing a signature
+    build the same family of instances, so running them in one worker shard
+    maximises intern-pool and scenario-construction reuse.  Unregistered
+    scenarios (possible when decoding foreign stores) degrade to the name.
+    """
+    try:
+        spec = get_scenario(cell.scenario)
+    except RegistryError:
+        return (cell.scenario, cell.horizon)
+    params = cell.params_dict()
+    structural = tuple((name, params.get(name)) for name in spec.shard_params())
+    return (cell.scenario, cell.horizon) + structural
+
+
+def plan_shards(
+    pending: Sequence[Tuple[int, SweepCell]],
+    workers: int,
+    shard_size: Optional[int] = None,
+) -> List[List[Tuple[int, SweepCell]]]:
+    """Group pending cells into shards of structurally similar cells.
+
+    Cells are bucketed by :func:`shard_signature`, each bucket is sorted so
+    cells with identical parameter assignments sit next to each other (grid
+    expansion iterates adversaries in the outer loop, which would otherwise
+    scatter the cells a shard's base-scenario cache could serve), and then
+    each bucket is chunked.  The chunk size is ``shard_size`` when given,
+    otherwise derived so the sweep yields roughly ``workers * 4`` shards
+    (bounded by :data:`DEFAULT_MAX_SHARD_CELLS`): enough shards for the pool
+    to balance load, few enough that dispatch stays amortised.
+    """
+    if shard_size is not None and shard_size < 1:
+        raise SweepError(f"shard size must be >= 1, got {shard_size}")
+    buckets: Dict[Tuple[Any, ...], List[Tuple[int, SweepCell]]] = {}
+    for index, cell in pending:
+        buckets.setdefault(shard_signature(cell), []).append((index, cell))
+    for bucket in buckets.values():
+        bucket.sort(key=lambda item: (item[1].params, item[1].seed, item[1].adversary))
+    if shard_size is None:
+        target = math.ceil(len(pending) / max(1, workers * _SHARDS_PER_WORKER))
+        shard_size = max(1, min(DEFAULT_MAX_SHARD_CELLS, target))
+    shards: List[List[Tuple[int, SweepCell]]] = []
+    for bucket in buckets.values():
+        for start in range(0, len(bucket), shard_size):
+            shards.append(bucket[start : start + shard_size])
+    return shards
+
+
+def run_shard(cells: Sequence[SweepCell]) -> List[Dict[str, Any]]:
+    """Execute one shard in the current process (pure; pool-safe).
+
+    The whole shard shares one intern pool — every cell of the shard rides
+    the same hash-consed substrate, so structurally identical histories,
+    messages, and causal pasts are built once — and a per-shard scenario
+    cache rebuilds the base scenario only once per distinct ``(scenario,
+    params)`` assignment (cells differing only in adversary re-decorate it).
+    Returns one record per cell, aligned with the input order; a failing
+    cell yields an error record without poisoning the rest of the shard.
+    """
+    records: List[Dict[str, Any]] = []
+    with intern_pool():
+        base_cache: Dict[Tuple[str, Tuple[Tuple[str, Any], ...]], Any] = {}
+        for cell in cells:
+            try:
+                record, _ = execute_cell_inline(cell, base_cache=base_cache)
+            except Exception as exc:  # noqa: BLE001 - per-cell isolation
+                record = error_record(cell, exc)
+            records.append(record)
+    return records
+
+
+class ChunkedShardExecutor(SweepExecutor):
+    """Dispatch per-worker shards of structurally similar cells."""
+
+    name = "sharded"
+
+    def __init__(self, workers: int, shard_size: Optional[int] = None):
+        if workers < 1:
+            raise SweepError(f"workers must be >= 1, got {workers}")
+        if shard_size is not None and shard_size < 1:
+            raise SweepError(f"shard size must be >= 1, got {shard_size}")
+        self.workers = workers
+        self.shard_size = shard_size
+
+    def execute(self, pending: Sequence[Tuple[int, SweepCell]], handle: ResultHandler) -> None:
+        shards = plan_shards(pending, self.workers, self.shard_size)
+        if self.workers == 1 or len(shards) <= 1:
+            # Still amortised (shared pool, scenario cache), just in-process.
+            for shard in shards:
+                self._deliver(shard, run_shard([cell for _, cell in shard]), handle)
+            return
+        with ProcessPoolExecutor(max_workers=min(self.workers, len(shards))) as executor:
+            futures = {
+                executor.submit(run_shard, [cell for _, cell in shard]): shard
+                for shard in shards
+            }
+            remaining = set(futures)
+            while remaining:
+                done, remaining = wait(remaining, return_when=FIRST_COMPLETED)
+                for future in done:
+                    shard = futures[future]
+                    try:
+                        records = future.result()
+                    except Exception as exc:  # noqa: BLE001 - whole-shard failure
+                        records = [error_record(cell, exc) for _, cell in shard]
+                    self._deliver(shard, records, handle)
+
+    @staticmethod
+    def _deliver(
+        shard: Sequence[Tuple[int, SweepCell]],
+        records: Sequence[Dict[str, Any]],
+        handle: ResultHandler,
+    ) -> None:
+        # strict: a worker returning the wrong record count must fail loudly,
+        # not silently drop the tail of the shard.
+        for (index, cell), record in zip(shard, records, strict=True):
+            handle(index, cell, record)
+
+
+def resolve_executor(
+    backend: Union[str, SweepExecutor] = "auto",
+    workers: int = 1,
+    shard_size: Optional[int] = None,
+) -> SweepExecutor:
+    """Turn a backend name (or a ready executor) into a :class:`SweepExecutor`.
+
+    ``auto`` picks the serial path for one worker and per-cell process
+    dispatch otherwise; ``process`` with one worker also degrades to serial
+    (no point spawning a pool for sequential work).  ``sharded`` keeps its
+    chunked execution even single-worker — the shared-pool and scenario-cache
+    amortisation applies in-process too.
+    """
+    if isinstance(backend, SweepExecutor):
+        return backend
+    if workers < 1:
+        raise SweepError(f"workers must be >= 1, got {workers}")
+    if backend == "auto":
+        backend = "serial" if workers == 1 else "process"
+    if backend == "serial":
+        return SerialExecutor()
+    if backend == "process":
+        return SerialExecutor() if workers == 1 else ProcessExecutor(workers)
+    if backend == "sharded":
+        return ChunkedShardExecutor(workers, shard_size=shard_size)
+    raise SweepError(f"unknown backend {backend!r}; known: {list(BACKENDS)}")

@@ -1,25 +1,29 @@
-"""The parallel sweep runner: grid expansion, execution, caching.
+"""The sweep runner: grid expansion, cache-aware execution, resumability.
 
 A *sweep* is a grid of cells ``scenario x adversary x seed x params``; each
 cell builds a registered scenario, overrides its delivery adversary, runs the
 simulation, applies the requested analysis passes, and yields one JSON
-record.  Execution is embarrassingly parallel, so cells run on a
-:class:`concurrent.futures.ProcessPoolExecutor` when more than one worker is
-requested; every cell derives its own deterministic seed from its identity,
-so results are independent of worker count and execution order.
+record.  Execution is embarrassingly parallel and delegated to a pluggable
+backend (:mod:`repro.experiments.executors`): serial, per-cell process-pool
+dispatch, or chunked shards of structurally similar cells; every cell
+derives its own deterministic seed from its identity, so results are
+independent of backend, worker count and execution order.
 
-Cells are content-addressed (see :mod:`repro.experiments.store`): cells whose
-key is already present in the result store are cache hits and are never
-re-simulated, which makes repeated sweeps incremental.
+Cells are content-addressed (see :mod:`repro.experiments.store`): the result
+store is the source of truth for completed cells, so cells whose key is
+already present are cache hits and are never re-simulated.  That makes
+repeated sweeps incremental and killed sweeps resumable —
+``run_sweep(resume=True)`` first recovers the store from any torn tail the
+crash left behind, then skips exactly the cells that already completed.
 """
 
 from __future__ import annotations
 
 import hashlib
 import time
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
 from typing import (
+    TYPE_CHECKING,
     Any,
     Callable,
     Dict,
@@ -28,6 +32,7 @@ from typing import (
     Optional,
     Sequence,
     Tuple,
+    Union,
 )
 
 from ..scenarios.base import Scenario, get_scenario
@@ -40,6 +45,10 @@ from ..simulation.delivery import (
 )
 from .analyses import DEFAULT_ANALYSES, analysis_versions, run_analyses
 from .store import ResultStore, canonical_json, cell_key
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..simulation.runs import Run
+    from .executors import SweepExecutor
 
 #: The delivery adversaries a sweep can pit scenarios against.
 ADVERSARIES: Tuple[str, ...] = ("earliest", "latest", "random")
@@ -81,14 +90,20 @@ class SweepCell:
         return dict(self.params)
 
     def key(self) -> str:
-        return cell_key(
-            scenario=self.scenario,
-            params=self.params_dict(),
-            adversary=self.adversary,
-            seed=self.seed,
-            analysis_versions=analysis_versions(self.analyses),
-            horizon=self.horizon,
-        )
+        # Memoized: resume scans hash every cell of a large grid, and the
+        # digest of a frozen cell can never change.
+        cached = self.__dict__.get("_key")
+        if cached is None:
+            cached = cell_key(
+                scenario=self.scenario,
+                params=self.params_dict(),
+                adversary=self.adversary,
+                seed=self.seed,
+                analysis_versions=analysis_versions(self.analyses),
+                horizon=self.horizon,
+            )
+            object.__setattr__(self, "_key", cached)
+        return cached
 
     def derived_seed(self) -> int:
         """A deterministic per-cell seed for the delivery adversary.
@@ -200,30 +215,51 @@ def expand_grid(
     return cells
 
 
-def build_cell_scenario(cell: SweepCell) -> Scenario:
-    """Instantiate the scenario of a cell with its adversary applied."""
-    spec = get_scenario(cell.scenario)
-    scenario = spec.build(**cell.params_dict())
-    scenario = scenario.with_delivery(make_delivery(cell.adversary, cell.derived_seed()))
+def build_base_scenario(cell: SweepCell) -> Scenario:
+    """Instantiate the scenario of a cell *before* adversary decoration.
+
+    The base scenario depends only on ``(scenario, params)``, so shard
+    workers cache it across cells that differ only in adversary or horizon
+    override (see :func:`repro.experiments.executors.run_shard`).
+    """
+    return get_scenario(cell.scenario).build(**cell.params_dict())
+
+
+def decorate_scenario(cell: SweepCell, base: Scenario) -> Scenario:
+    """Apply a cell's adversary (and horizon override) to its base scenario."""
+    scenario = base.with_delivery(make_delivery(cell.adversary, cell.derived_seed()))
     if cell.horizon is not None:
         scenario = scenario.with_horizon(cell.horizon)
     return scenario
 
 
-def execute_cell(cell: SweepCell):
-    """Execute one cell, returning both its result record and the run.
+def build_cell_scenario(cell: SweepCell) -> Scenario:
+    """Instantiate the scenario of a cell with its adversary applied."""
+    return decorate_scenario(cell, build_base_scenario(cell))
 
-    Callers that also want the run itself (e.g. the CLI's ``--viz``) use this
-    to avoid simulating twice.
+
+def execute_cell_inline(
+    cell: SweepCell,
+    base_cache: Optional[Dict[Tuple[str, Tuple[Tuple[str, Any], ...]], Scenario]] = None,
+) -> Tuple[Dict[str, Any], "Run"]:
+    """Execute one cell inside the *caller's* intern pool.
+
+    ``base_cache`` (keyed by ``(scenario, params)``) lets shard workers
+    reuse the undecorated scenario across cells of the same parameter
+    assignment; the per-cell delivery adversary is always freshly built, so
+    reuse never leaks adversary state between cells.
     """
     started = time.perf_counter()
-    # One intern pool per cell: every run/analysis of the cell shares the
-    # hash-consed substrate (identity equality, cached causal pasts), and
-    # dropping the pool afterwards bounds worker memory across a long sweep.
-    with intern_pool():
-        scenario = build_cell_scenario(cell)
-        run = scenario.run()
-        results = run_analyses(run, cell.analyses)
+    base: Optional[Scenario] = None
+    cache_key = (cell.scenario, cell.params)
+    if base_cache is not None:
+        base = base_cache.get(cache_key)
+    if base is None:
+        base = build_base_scenario(cell)
+        if base_cache is not None:
+            base_cache[cache_key] = base
+    run = decorate_scenario(cell, base).run()
+    results = run_analyses(run, cell.analyses)
     record = {
         "key": cell.key(),
         "scenario": cell.scenario,
@@ -239,10 +275,37 @@ def execute_cell(cell: SweepCell):
     return record, run
 
 
+def execute_cell(cell: SweepCell) -> Tuple[Dict[str, Any], "Run"]:
+    """Execute one cell, returning both its result record and the run.
+
+    Callers that also want the run itself (e.g. the CLI's ``--viz``) use this
+    to avoid simulating twice.  One intern pool per cell: every run/analysis
+    of the cell shares the hash-consed substrate (identity equality, cached
+    causal pasts), and dropping the pool afterwards bounds worker memory
+    across a long sweep.  Shard workers instead scope one pool around a whole
+    shard (:func:`repro.experiments.executors.run_shard`).
+    """
+    with intern_pool():
+        return execute_cell_inline(cell)
+
+
 def run_cell(cell: SweepCell) -> Dict[str, Any]:
     """Execute one cell and return its result record (pure; pool-safe)."""
     record, _ = execute_cell(cell)
     return record
+
+
+def error_record(cell: SweepCell, exc: BaseException) -> Dict[str, Any]:
+    """The ``status: "error"`` record of a failed cell (never cached)."""
+    return {
+        "key": cell.key(),
+        "scenario": cell.scenario,
+        "params": cell.params_dict(),
+        "adversary": cell.adversary,
+        "seed": cell.seed,
+        "status": "error",
+        "error": f"{type(exc).__name__}: {exc}",
+    }
 
 
 @dataclass
@@ -255,6 +318,8 @@ class SweepOutcome:
     errors: int = 0
     records: List[Dict[str, Any]] = field(default_factory=list)
     duration_s: float = 0.0
+    backend: str = ""
+    recovered_lines: int = 0
 
     @property
     def cache_hit_rate(self) -> float:
@@ -273,18 +338,42 @@ def run_sweep(
     workers: int = 1,
     force: bool = False,
     progress: Optional[Callable[[str], None]] = None,
+    backend: Union[str, "SweepExecutor"] = "auto",
+    resume: bool = False,
+    shard_size: Optional[int] = None,
 ) -> SweepOutcome:
     """Run a sweep, serving cells from ``store`` where possible.
 
     Cached cells (key present in the store) are returned without simulation
-    unless ``force``.  The rest execute serially (``workers <= 1``) or on a
-    process pool; freshly-computed records are persisted as they arrive, so
-    an interrupted sweep loses at most the in-flight cells.  A cell that
-    raises yields a ``status: "error"`` record that is *not* cached.
+    unless ``force``.  The rest execute on the requested ``backend`` (a name
+    from :data:`~repro.experiments.executors.BACKENDS` or a ready
+    :class:`~repro.experiments.executors.SweepExecutor`); freshly-computed
+    records are persisted as they arrive, so an interrupted sweep loses at
+    most the in-flight work: one cell per worker on the serial/process
+    backends, up to one *shard* per worker on the sharded backend (workers
+    report whole shards — coarser checkpoint granularity is the price of the
+    amortisation).  ``resume=True`` first recovers the store from a torn
+    tail (atomic rewrite) and then relies on the normal cache scan, so a
+    killed sweep re-executes exactly the cells whose records never reached
+    the store.  A cell that raises yields a ``status: "error"`` record that
+    is *not* cached.
     """
+    from .executors import resolve_executor  # runner <-> executors layering
+
+    if force and resume:
+        raise SweepError("force and resume are mutually exclusive")
+    if resume and store is None:
+        raise SweepError("resume requires a result store")
+    executor = resolve_executor(backend, workers, shard_size=shard_size)
+
     started = time.perf_counter()
-    outcome = SweepOutcome(total=len(cells))
+    outcome = SweepOutcome(total=len(cells), backend=executor.name)
     notify = progress or (lambda message: None)
+
+    if resume and store is not None:
+        outcome.recovered_lines = store.recover()
+        if outcome.recovered_lines:
+            notify(f"store recovery: dropped {outcome.recovered_lines} torn line(s)")
 
     pending: List[Tuple[int, SweepCell]] = []
     records: List[Optional[Dict[str, Any]]] = [None] * len(cells)
@@ -308,40 +397,16 @@ def run_sweep(
             outcome.errors += 1
             notify(f"ERROR: {cell.describe()}: {record.get('error')}")
 
-    def error_record(cell: SweepCell, exc: BaseException) -> Dict[str, Any]:
-        return {
-            "key": cell.key(),
-            "scenario": cell.scenario,
-            "params": cell.params_dict(),
-            "adversary": cell.adversary,
-            "seed": cell.seed,
-            "status": "error",
-            "error": f"{type(exc).__name__}: {exc}",
-        }
+    executor.execute(pending, finish)
 
-    if workers <= 1 or len(pending) <= 1:
-        for index, cell in pending:
-            try:
-                record = run_cell(cell)
-            except Exception as exc:  # noqa: BLE001 - per-cell isolation
-                record = error_record(cell, exc)
-            finish(index, cell, record)
-    else:
-        with ProcessPoolExecutor(max_workers=workers) as executor:
-            futures = {
-                executor.submit(run_cell, cell): (index, cell)
-                for index, cell in pending
-            }
-            remaining = set(futures)
-            while remaining:
-                done, remaining = wait(remaining, return_when=FIRST_COMPLETED)
-                for future in done:
-                    index, cell = futures[future]
-                    try:
-                        record = future.result()
-                    except Exception as exc:  # noqa: BLE001 - per-cell isolation
-                        record = error_record(cell, exc)
-                    finish(index, cell, record)
+    undelivered = [cell.describe() for index, cell in pending if records[index] is None]
+    if undelivered:
+        # A backend violating the call-handle-once contract must not let the
+        # sweep report success with cells silently skipped.
+        raise SweepError(
+            f"backend {executor.name!r} never reported {len(undelivered)} cell(s): "
+            f"{undelivered[:3]}{'...' if len(undelivered) > 3 else ''}"
+        )
 
     outcome.records = [record for record in records if record is not None]
     outcome.duration_s = time.perf_counter() - started

@@ -7,9 +7,21 @@ applied.  Repeated sweeps therefore become incremental — a cell whose key is
 already present is a cache hit and is never re-simulated — while bumping an
 analysis version re-runs exactly the cells it affects.
 
-The store is append-only (crash-safe: a torn final line is ignored on load);
-:meth:`ResultStore.compact` rewrites the file keeping the newest record per
-key.
+The store is the source of truth for resumable sweeps, so its writes are
+crash-safe at two levels:
+
+* *appends* (:meth:`ResultStore.put`) are a single ``write(2)`` on an
+  ``O_APPEND`` descriptor, so a record is either entirely on disk or not at
+  all — a crash can tear at most the final line, never interleave two;
+* *rewrites* (:meth:`ResultStore.compact`, :meth:`ResultStore.recover`) go
+  through a temp file in the same directory followed by an atomic
+  ``os.replace``, with the data fsynced before the rename, so readers always
+  observe either the old file or the complete new one.
+
+A torn final line (from a ``kill -9`` mid-append) is ignored on load;
+:meth:`ResultStore.recover` additionally rewrites the file without the torn
+tail, and :meth:`ResultStore.compact` rewrites it keeping the newest record
+per key.  Both are idempotent.
 """
 
 from __future__ import annotations
@@ -28,9 +40,7 @@ DEFAULT_STORE_PATH = os.path.join(".repro-store", "results.jsonl")
 
 def canonical_json(value: Any) -> str:
     """Deterministic JSON: sorted keys, no whitespace, no NaN."""
-    return json.dumps(
-        value, sort_keys=True, separators=(",", ":"), allow_nan=False
-    )
+    return json.dumps(value, sort_keys=True, separators=(",", ":"), allow_nan=False)
 
 
 def cell_key(
@@ -60,6 +70,20 @@ class StoreError(ValueError):
     """Raised on malformed store records."""
 
 
+def _parse_line(line: bytes) -> Optional[Dict[str, Any]]:
+    """One JSONL line -> record, or ``None`` for blank/torn/keyless lines."""
+    stripped = line.strip()
+    if not stripped:
+        return None
+    try:
+        record = json.loads(stripped)
+    except (json.JSONDecodeError, UnicodeDecodeError):
+        return None
+    if not isinstance(record, dict) or not isinstance(record.get("key"), str):
+        return None
+    return record
+
+
 class ResultStore:
     """An append-only JSONL result cache with an in-memory key index."""
 
@@ -76,18 +100,11 @@ class ResultStore:
         self._loaded = True
         if not os.path.exists(self.path):
             return
-        with open(self.path, "r", encoding="utf-8") as handle:
+        with open(self.path, "rb") as handle:
             for line in handle:
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    record = json.loads(line)
-                except json.JSONDecodeError:
-                    continue  # torn trailing line from an interrupted append
-                key = record.get("key")
-                if isinstance(key, str):
-                    self._index[key] = record
+                record = _parse_line(line)
+                if record is not None:
+                    self._index[record["key"]] = record
 
     def reload(self) -> None:
         """Drop the in-memory index and re-read the file on next access."""
@@ -123,7 +140,18 @@ class ResultStore:
     # -- writes ------------------------------------------------------------
 
     def put(self, record: Mapping[str, Any]) -> None:
-        """Append one record; the newest record per key wins on lookup."""
+        """Append one record; the newest record per key wins on lookup.
+
+        The append is a single ``write(2)`` on an ``O_APPEND`` descriptor:
+        either the whole line lands on disk or (on a crash) none of it, and
+        concurrent appenders from different processes cannot interleave.  If
+        a previous append was torn mid-line, a leading newline is folded into
+        the same write so the fragment cannot swallow this record too.  In
+        the degenerate short-write case (disk full, file-size limit) the
+        remainder is completed by follow-up writes — our own line stays whole
+        or the call raises, but interleave-safety against *other* appenders
+        is forfeited for that one record.
+        """
         key = record.get("key")
         if not isinstance(key, str) or not key:
             raise StoreError("store records must carry a non-empty string 'key'")
@@ -132,35 +160,127 @@ class ResultStore:
         directory = os.path.dirname(self.path)
         if directory:
             os.makedirs(directory, exist_ok=True)
-        with open(self.path, "ab") as handle:
-            # If a previous append was interrupted mid-line, start fresh so the
-            # torn fragment cannot swallow this record too.
-            if handle.tell() > 0:
-                with open(self.path, "rb") as reader:
-                    reader.seek(-1, os.SEEK_END)
-                    last = reader.read(1)
-                if last != b"\n":
-                    handle.write(b"\n")
-            handle.write((canonical_json(payload) + "\n").encode("utf-8"))
+        line = (canonical_json(payload) + "\n").encode("utf-8")
+        if not self._ends_with_newline():
+            line = b"\n" + line
+        fd = os.open(self.path, os.O_WRONLY | os.O_APPEND | os.O_CREAT, 0o644)
+        try:
+            # Normally one write(2); loop to finish a short write (ENOSPC,
+            # RLIMIT_FSIZE) so a silently-truncated count cannot leave a torn
+            # line behind while the index believes the record landed.
+            view = memoryview(line)
+            while view:
+                view = view[os.write(fd, view) :]
+        finally:
+            os.close(fd)
+        # Only reached when the whole line is durably appended: an exception
+        # above leaves the key out of the index, so the cell is re-executed
+        # rather than served from a record that never fully landed.
         self._index[key] = payload
 
     def put_many(self, records: Sequence[Mapping[str, Any]]) -> None:
         for record in records:
             self.put(record)
 
-    def compact(self) -> int:
-        """Rewrite the file keeping one (newest) record per key.
+    def _ends_with_newline(self) -> bool:
+        """Whether the file is empty or its last byte is a newline."""
+        try:
+            with open(self.path, "rb") as handle:
+                handle.seek(0, os.SEEK_END)
+                if handle.tell() == 0:
+                    return True
+                handle.seek(-1, os.SEEK_END)
+                return handle.read(1) == b"\n"
+        except FileNotFoundError:
+            return True
 
-        Returns the number of lines dropped.
+    def _atomic_rewrite(self, lines: Sequence[bytes]) -> None:
+        """Replace the store file with ``lines`` via temp-file + rename.
+
+        The temp file lives in the store's own directory (same filesystem, so
+        the rename is atomic) and is fsynced before ``os.replace``; a crash at
+        any point leaves either the old complete file or the new one.  The
+        temp name is per-process so two rewriters never share a temp file;
+        note that a rewrite snapshots the file, so records appended by
+        *another* process between the read and the rename are dropped —
+        rewrites (compact/recover) belong to a single coordinating process,
+        while appends are safe from many.
+        """
+        directory = os.path.dirname(self.path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        tmp_path = f"{self.path}.{os.getpid()}.tmp"
+        fd = os.open(tmp_path, os.O_WRONLY | os.O_CREAT | os.O_TRUNC, 0o644)
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.writelines(lines)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp_path, self.path)
+        except BaseException:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+            raise
+        if directory:
+            try:
+                dir_fd = os.open(directory, os.O_RDONLY)
+            except OSError:
+                return  # platform without directory fds; rename already done
+            try:
+                os.fsync(dir_fd)
+            finally:
+                os.close(dir_fd)
+
+    def recover(self) -> int:
+        """Drop torn/corrupt lines from the file, atomically; idempotent.
+
+        Scans the raw JSONL, keeps every parseable keyed record line (torn
+        tails from a ``kill -9`` mid-append and any other corrupt lines are
+        dropped), and rewrites the file via temp-file + rename only when
+        something actually needs dropping.  Returns the number of lines
+        dropped.  This is the entry point resumable sweeps call before
+        trusting the store as the source of truth for completed cells.
+        """
+        if not os.path.exists(self.path):
+            return 0
+        with open(self.path, "rb") as handle:
+            raw = handle.read()
+        kept: List[bytes] = []
+        dropped = 0
+        for line in raw.split(b"\n"):
+            if not line.strip():
+                continue
+            if _parse_line(line) is None:
+                dropped += 1
+            else:
+                kept.append(line + b"\n")
+        clean = raw.endswith(b"\n") or not raw
+        if dropped == 0 and clean:
+            self._ensure_loaded()
+            return 0
+        self._atomic_rewrite(kept)
+        self.reload()
+        self._ensure_loaded()
+        return dropped
+
+    def compact(self) -> int:
+        """Rewrite the file keeping one (newest) record per key, atomically.
+
+        Returns the number of lines dropped (superseded duplicates plus any
+        torn/corrupt lines).  Compacting an already-compact store drops 0
+        lines and rewrites nothing.
         """
         self._ensure_loaded()
         if not os.path.exists(self.path):
             return 0
-        with open(self.path, "r", encoding="utf-8") as handle:
-            total_lines = sum(1 for line in handle if line.strip())
-        tmp_path = self.path + ".tmp"
-        with open(tmp_path, "w", encoding="utf-8") as handle:
-            for record in self._index.values():
-                handle.write(canonical_json(record) + "\n")
-        os.replace(tmp_path, self.path)
+        with open(self.path, "rb") as handle:
+            raw = handle.read()
+        total_lines = sum(1 for line in raw.split(b"\n") if line.strip())
+        if total_lines == len(self._index) and (raw.endswith(b"\n") or not raw):
+            return 0
+        self._atomic_rewrite(
+            [(canonical_json(record) + "\n").encode("utf-8") for record in self._index.values()]
+        )
         return total_lines - len(self._index)

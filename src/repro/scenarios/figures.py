@@ -14,14 +14,14 @@ processes and ``E`` (``E2``, ...) additional spontaneous senders.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Optional, Tuple
 
 from ..coordination.optimal import OptimalCoordinationProtocol
-from ..coordination.tasks import CoordinationTask, late_task
+from ..coordination.tasks import late_task
 from ..simulation.context import ExternalInput
-from ..simulation.delivery import BiasedDelivery, DeliveryStrategy, EarliestDelivery, LatestDelivery
+from ..simulation.delivery import DeliveryStrategy, EarliestDelivery, LatestDelivery
 from ..simulation.messages import GO_TRIGGER
-from ..simulation.network import TimedNetwork, timed_network
+from ..simulation.network import timed_network
 from ..simulation.protocols import (
     PerformOnceRule,
     Protocol,
@@ -29,7 +29,6 @@ from ..simulation.protocols import (
     RuleBasedProtocol,
     actor_protocol,
     go_sender_protocol,
-    go_seen_in_message_from,
     received_go_trigger,
     relayed_actor_protocol,
 )

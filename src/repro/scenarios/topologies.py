@@ -27,13 +27,16 @@ from ..simulation.protocols import ProtocolAssignment
 from .base import ParamSpec, Scenario, register_scenario
 from .random_nets import random_external_schedule
 
-#: Parameters shared by every topology-flooding scenario.
+#: Parameters shared by every topology-flooding scenario.  The structural
+#: ones (channel bounds, horizon) are shard keys: cells agreeing on them
+#: build the same topology family, so the sharded sweep backend co-schedules
+#: them on one worker; the seed/trigger axes vary freely within a shard.
 _COMMON_PARAMS = (
-    ParamSpec("lower", int, 1, "uniform per-channel lower bound L"),
-    ParamSpec("upper", int, 2, "uniform per-channel upper bound U"),
+    ParamSpec("lower", int, 1, "uniform per-channel lower bound L", shard_key=True),
+    ParamSpec("upper", int, 2, "uniform per-channel upper bound U", shard_key=True),
     ParamSpec("seed", int, 0, "seed for trigger placement and delivery"),
     ParamSpec("num_inputs", int, 2, "number of external triggers"),
-    ParamSpec("horizon", int, 12, "simulated horizon"),
+    ParamSpec("horizon", int, 12, "simulated horizon", shard_key=True),
 )
 
 
@@ -62,7 +65,10 @@ def _flood_scenario(
 
 @register_scenario(
     "line-flood",
-    params=[ParamSpec("num_processes", int, 4, "processes on the line"), *_COMMON_PARAMS],
+    params=[
+        ParamSpec("num_processes", int, 4, "processes on the line", shard_key=True),
+        *_COMMON_PARAMS,
+    ],
     description="FFIP flooding on a bidirectional line",
     tags=("topology", "flooding"),
 )
@@ -83,7 +89,10 @@ def line_flooding_scenario(
 
 @register_scenario(
     "ring-flood",
-    params=[ParamSpec("num_processes", int, 5, "processes on the ring"), *_COMMON_PARAMS],
+    params=[
+        ParamSpec("num_processes", int, 5, "processes on the ring", shard_key=True),
+        *_COMMON_PARAMS,
+    ],
     description="FFIP flooding on a unidirectional ring",
     tags=("topology", "flooding"),
 )
@@ -104,7 +113,10 @@ def ring_flooding_scenario(
 
 @register_scenario(
     "star-flood",
-    params=[ParamSpec("num_leaves", int, 4, "leaves around the hub"), *_COMMON_PARAMS],
+    params=[
+        ParamSpec("num_leaves", int, 4, "leaves around the hub", shard_key=True),
+        *_COMMON_PARAMS,
+    ],
     description="FFIP flooding on a hub-and-leaves star",
     tags=("topology", "flooding"),
 )
@@ -125,7 +137,10 @@ def star_flooding_scenario(
 
 @register_scenario(
     "complete-flood",
-    params=[ParamSpec("num_processes", int, 4, "processes in the clique"), *_COMMON_PARAMS],
+    params=[
+        ParamSpec("num_processes", int, 4, "processes in the clique", shard_key=True),
+        *_COMMON_PARAMS,
+    ],
     description="FFIP flooding on a complete directed network",
     tags=("topology", "flooding"),
 )
@@ -147,8 +162,8 @@ def complete_flooding_scenario(
 @register_scenario(
     "grid-flood",
     params=[
-        ParamSpec("rows", int, 2, "grid rows"),
-        ParamSpec("cols", int, 3, "grid columns"),
+        ParamSpec("rows", int, 2, "grid rows", shard_key=True),
+        ParamSpec("cols", int, 3, "grid columns", shard_key=True),
         *_COMMON_PARAMS,
     ],
     description="FFIP flooding on a rows x cols mesh",
@@ -173,8 +188,8 @@ def grid_flooding_scenario(
 @register_scenario(
     "torus-flood",
     params=[
-        ParamSpec("rows", int, 3, "torus rows"),
-        ParamSpec("cols", int, 3, "torus columns"),
+        ParamSpec("rows", int, 3, "torus rows", shard_key=True),
+        ParamSpec("cols", int, 3, "torus columns", shard_key=True),
         *_COMMON_PARAMS,
     ],
     description="FFIP flooding on a rows x cols torus",
@@ -199,8 +214,8 @@ def torus_flooding_scenario(
 @register_scenario(
     "tree-flood",
     params=[
-        ParamSpec("branching", int, 2, "children per node"),
-        ParamSpec("depth", int, 2, "tree depth"),
+        ParamSpec("branching", int, 2, "children per node", shard_key=True),
+        ParamSpec("depth", int, 2, "tree depth", shard_key=True),
         *_COMMON_PARAMS,
     ],
     description="FFIP flooding on a rooted tree",

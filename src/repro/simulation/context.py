@@ -10,8 +10,8 @@ the timed network plus bookkeeping for the spontaneous external messages
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterable, List, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Iterable, List, Tuple
 
 from .messages import GO_TRIGGER
 from .network import Process, TimedNetwork

@@ -39,7 +39,7 @@ from .messages import (
     MessageReceipt,
     Observation,
 )
-from .network import NetworkError, Process, TimedNetwork
+from .network import Process, TimedNetwork
 from .protocols import (
     FloodingFullInformationProtocol,
     Protocol,

@@ -28,7 +28,7 @@ from .context import Context, ExternalInput, schedule
 from .engine import Simulator, _InTransit
 from .messages import History, LocalAction, Message
 from .network import Process
-from .protocols import Protocol, ProtocolAssignment, StepContext
+from .protocols import ProtocolAssignment, StepContext
 from .runs import DeliveryRecord, ExternalDeliveryRecord, Run, SendRecord
 
 #: Sentinel delay meaning "the message is still in transit at the horizon".

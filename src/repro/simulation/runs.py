@@ -17,7 +17,7 @@ core package consumes.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 from ..core.nodes import BasicNode, GeneralNode
 from .context import Context, ExternalInput

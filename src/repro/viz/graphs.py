@@ -7,7 +7,7 @@ Figures 6, 7 and 8 -- so that examples can show *why* a precedence is known.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence
+from typing import Optional, Sequence
 
 from ..core.extended_graph import AuxiliaryNode, ChainNode, ExtendedBoundsGraph
 from ..core.graph import Edge, WeightedGraph
@@ -36,7 +36,9 @@ def graph_listing(
     if labels is not None:
         wanted = set(labels)
         selected = [edge for edge in selected if edge.label in wanted]
-    selected.sort(key=lambda edge: (edge.label, _node_label(edge.source, run), _node_label(edge.target, run)))
+    selected.sort(
+        key=lambda edge: (edge.label, _node_label(edge.source, run), _node_label(edge.target, run))
+    )
     for edge in selected:
         lines.append(
             f"  [{edge.label:>11}] {_node_label(edge.source, run):<18} "

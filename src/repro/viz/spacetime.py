@@ -19,7 +19,7 @@ idle instant.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
 from ..core.nodes import BasicNode
 from ..simulation.messages import ExternalReceipt, LocalAction, MessageReceipt
@@ -104,7 +104,9 @@ def message_table(run: Run, limit: Optional[int] = None) -> str:
         deliveries = deliveries[:limit]
     net = run.timed_network
     for record in deliveries:
-        window = f"[{net.L(record.sender, record.destination)},{net.U(record.sender, record.destination)}]"
+        low = net.L(record.sender, record.destination)
+        high = net.U(record.sender, record.destination)
+        window = f"[{low},{high}]"
         lines.append(
             f"{record.sender:>6} {record.destination:>6} {record.send_time:>6} "
             f"{record.delivery_time:>6} {record.delay:>6} {window:>10}"

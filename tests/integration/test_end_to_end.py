@@ -77,7 +77,12 @@ class TestFullPipeline:
             go_sender=workload.go_sender,
         )
         outcomes = []
-        for protocol_cls in (OptimalCoordinationProtocol, LocalGraphProtocol, ChainLowerBoundProtocol, NeverActProtocol):
+        for protocol_cls in (
+            OptimalCoordinationProtocol,
+            LocalGraphProtocol,
+            ChainLowerBoundProtocol,
+            NeverActProtocol,
+        ):
             scenario = workload_scenario(workload, b_protocol=protocol_cls(task), horizon=30)
             run = scenario.run()
             outcomes.append(evaluate(run, task))

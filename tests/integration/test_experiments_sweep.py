@@ -3,22 +3,22 @@
 A >= 36-cell grid (3 scenarios x 3 delivery adversaries x 4 seeds) runs on a
 2-worker process pool, persists to the JSONL store, and a second invocation
 completes with 100% cache hits.  A subprocess test exercises the real
-``python -m repro`` entry point.
+``python -m repro`` entry point, and a kill-and-resume test SIGKILLs a sweep
+mid-flight and asserts that ``--resume`` recomputes zero completed cells.
 """
 
 import json
 import os
+import signal
 import subprocess
 import sys
-
-import pytest
+import time
 
 import repro
 from repro.experiments import ADVERSARIES, ResultStore, expand_grid, run_sweep
 from repro.experiments.cli import DEFAULT_SWEEP_SCENARIOS, main as cli_main
 
 SRC_DIR = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
-
 
 def _grid():
     return expand_grid(
@@ -107,6 +107,21 @@ class TestCliSubprocess:
         assert "-> 36 cells" in result.stdout
         assert "dry run: nothing executed" in result.stdout
 
+    def test_python_m_repro_sweep_backend_sharded(self, tmp_path):
+        store_path = str(tmp_path / "results.jsonl")
+        args = [
+            sys.executable, "-m", "repro", "sweep",
+            "--scenario", "line-flood", "--adversary", "earliest,random",
+            "--seeds", "2", "--set", "horizon=5",
+            "--backend", "sharded", "--workers", "2", "--store", store_path,
+        ]
+        result = subprocess.run(
+            args, capture_output=True, text=True, env=self._env(), timeout=120
+        )
+        assert result.returncode == 0, result.stderr
+        assert "[backend=sharded]" in result.stdout
+        assert len(ResultStore(store_path)) == 4
+
     def test_python_m_repro_list(self):
         result = subprocess.run(
             [sys.executable, "-m", "repro", "list"],
@@ -117,3 +132,82 @@ class TestCliSubprocess:
         )
         assert result.returncode == 0, result.stderr
         assert "torus-flood" in result.stdout
+
+
+class TestKillAndResume:
+    """A SIGKILLed sweep resumes via ``--resume`` with zero recomputed cells."""
+
+    #: Heavy-ish cells (~50-100ms each) so the kill reliably lands mid-sweep.
+    SWEEP_ARGS = [
+        "sweep",
+        "--scenario", "torus-flood",
+        "--adversary", "random",
+        "--seeds", "24",
+        "--set", "rows=5",
+        "--set", "cols=5",
+        "--set", "horizon=16",
+        "--workers", "2",
+    ]
+
+    def _cells(self):
+        return expand_grid(
+            ["torus-flood"],
+            adversaries=["random"],
+            seeds=range(24),
+            param_grid={"rows": [5], "cols": [5], "horizon": [16]},
+        )
+
+    def test_kill_mid_sweep_then_resume(self, tmp_path, capsys):
+        store_path = str(tmp_path / "results.jsonl")
+        env = dict(os.environ)
+        env["PYTHONPATH"] = SRC_DIR + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", *self.SWEEP_ARGS, "--store", store_path],
+            env=env,
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+        )
+        # Kill as soon as at least two cells have been persisted.
+        deadline = time.time() + 120
+        while time.time() < deadline and proc.poll() is None:
+            if os.path.exists(store_path):
+                with open(store_path, "rb") as handle:
+                    if handle.read().count(b"\n") >= 2:
+                        break
+            time.sleep(0.005)
+        proc.send_signal(signal.SIGKILL)
+        proc.wait(timeout=60)
+
+        # Simulate the worst crash shape deterministically: a torn final line
+        # (the process died mid-append).
+        with open(store_path, "ab") as handle:
+            handle.write(b'{"key": "torn-by-sigkill')
+        completed = set(ResultStore(store_path).keys())
+        assert completed, "sweep was killed before persisting anything"
+
+        cells = self._cells()
+        recomputed = []
+        outcome = run_sweep(
+            cells,
+            store=ResultStore(store_path),
+            workers=2,
+            resume=True,
+            progress=lambda message: recomputed.append(message)
+            if message.startswith("done:") else None,
+        )
+        # Zero recomputed cells: everything the killed run persisted is a
+        # cache hit, and only the remainder executed.
+        assert outcome.recovered_lines == 1
+        assert outcome.errors == 0
+        assert outcome.cached == len(completed)
+        assert outcome.executed == len(cells) - len(completed)
+        assert len(recomputed) == outcome.executed
+        for record in outcome.records:
+            if record["key"] in completed:
+                assert record.get("cached") is True
+
+        # The CLI path: a second --resume invocation is 100% cache hits.
+        exit_code = cli_main([*self.SWEEP_ARGS, "--store", store_path, "--resume"])
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        assert f"0 executed, {len(cells)} cached" in out

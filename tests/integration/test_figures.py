@@ -26,11 +26,9 @@ from repro.scenarios import (
     figure3_fork_weight,
     figure3_scenario,
     figure4_scenario,
-    figure6_scenario,
-    figure8_scenario,
     zigzag_chain_equation_weight,
 )
-from repro.simulation import LatestDelivery, SeededRandomDelivery
+from repro.simulation import SeededRandomDelivery
 
 
 class TestFigure1:

@@ -27,7 +27,6 @@ from repro.core import (
 )
 from repro.simulation import (
     Context,
-    ExternalInput,
     ProtocolAssignment,
     actor_protocol,
     enumerate_runs,

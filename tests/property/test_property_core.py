@@ -4,7 +4,6 @@ from hypothesis import given, settings, strategies as st
 
 from repro.core import (
     basic_bounds_graph,
-    general,
     is_p_closed,
     is_valid_timing,
     local_bounds_graph,

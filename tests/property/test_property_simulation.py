@@ -2,16 +2,13 @@
 
 from hypothesis import given, settings, strategies as st
 
-from repro.scenarios import flooding_scenario, random_timed_network, random_workload, workload_scenario
-from repro.simulation import (
-    Context,
-    ProtocolAssignment,
-    SeededRandomDelivery,
-    actor_protocol,
-    go_at,
-    go_sender_protocol,
-    simulate,
+from repro.scenarios import (
+    flooding_scenario,
+    random_timed_network,
+    random_workload,
+    workload_scenario,
 )
+from repro.simulation import SeededRandomDelivery
 
 SMALL = dict(max_examples=20, deadline=None)
 
@@ -84,7 +81,9 @@ def test_actor_acts_exactly_once_and_after_go(seed, go_time):
     action = run.find_action(workload.actor_a, "a")
     if action is not None:
         assert action.time > go_records[0].time
-        occurrences = [r for r in run.actions() if r.process == workload.actor_a and r.action == "a"]
+        occurrences = [
+            r for r in run.actions() if r.process == workload.actor_a and r.action == "a"
+        ]
         assert len(occurrences) == 1
 
 

@@ -1,7 +1,5 @@
 """Unit tests for the basic and local bounds graphs (Definitions 8 and 14)."""
 
-import pytest
-
 from repro.core import (
     LOWER_EDGE,
     SUCCESSOR_EDGE,

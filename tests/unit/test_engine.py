@@ -4,7 +4,6 @@ import pytest
 
 from repro.simulation import (
     Context,
-    EarliestDelivery,
     ExternalInput,
     LatestDelivery,
     ProtocolAssignment,
@@ -106,7 +105,8 @@ class TestBasicExecution:
         run.validate()
         net = run.timed_network
         for record in run.deliveries:
-            low, high = net.L(record.sender, record.destination), net.U(record.sender, record.destination)
+            low = net.L(record.sender, record.destination)
+            high = net.U(record.sender, record.destination)
             assert low <= record.delay <= high
 
     def test_silent_protocol_produces_no_messages(self, triangle):

@@ -384,6 +384,48 @@ class TestCli:
         payload = json.loads(capsys.readouterr().out)
         assert payload[0]["scenario"] == "figure1" and payload[0]["cells"] == 1
 
+    def test_sweep_rejects_zero_workers(self, capsys):
+        assert cli_main(["sweep", "--workers", "0"]) == 2
+        err = capsys.readouterr().err
+        assert "--workers must be >= 1" in err
+
+    def test_sweep_rejects_negative_workers(self, capsys):
+        assert cli_main(["sweep", "--workers", "-3"]) == 2
+        assert "--workers must be >= 1" in capsys.readouterr().err
+
+    def test_sweep_rejects_force_plus_resume(self, capsys):
+        assert cli_main(["sweep", "--force", "--resume"]) == 2
+        assert "mutually exclusive" in capsys.readouterr().err
+
+    def test_sweep_rejects_bad_shard_size(self, capsys):
+        assert cli_main(["sweep", "--backend", "sharded", "--shard-size", "0"]) == 2
+        assert "--shard-size must be >= 1" in capsys.readouterr().err
+
+    def test_sweep_rejects_shard_size_without_sharded_backend(self, capsys):
+        assert cli_main(["sweep", "--shard-size", "4"]) == 2
+        assert "--shard-size requires --backend sharded" in capsys.readouterr().err
+
+    def test_sweep_single_worker_takes_serial_path(self, tmp_path, capsys):
+        store_path = str(tmp_path / "results.jsonl")
+        code = cli_main(
+            ["sweep", "--scenario", "figure1", "--adversary", "earliest",
+             "--seeds", "1", "--workers", "1", "--store", store_path]
+        )
+        assert code == 0
+        assert "[backend=serial]" in capsys.readouterr().out
+
+    def test_sweep_backend_sharded_and_resume(self, tmp_path, capsys):
+        store_path = str(tmp_path / "results.jsonl")
+        args = ["sweep", "--scenario", "figure1", "--adversary", "earliest,latest",
+                "--seeds", "2", "--workers", "2", "--backend", "sharded",
+                "--store", store_path]
+        assert cli_main(args) == 0
+        out = capsys.readouterr().out
+        assert "4 executed, 0 cached" in out and "[backend=sharded]" in out
+        assert cli_main([*args, "--resume"]) == 0
+        out = capsys.readouterr().out
+        assert "0 executed, 4 cached" in out
+
     def test_report_viz_by_prefix(self, tmp_path, capsys):
         store_path = str(tmp_path / "results.jsonl")
         cli_main(

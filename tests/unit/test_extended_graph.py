@@ -71,7 +71,8 @@ class TestStructure:
         extended, sigma, run = extended_b
         assert not extended.graph.has_positive_cycle()
         sigma2 = figure2b_run.final_node("B")
-        assert not ExtendedBoundsGraph(sigma2, figure2b_run.timed_network).graph.has_positive_cycle()
+        graph = ExtendedBoundsGraph(sigma2, figure2b_run.timed_network).graph
+        assert not graph.has_positive_cycle()
 
     def test_without_auxiliary_layer(self, triangle_run):
         sigma = triangle_run.final_node("B")

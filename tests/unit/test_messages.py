@@ -12,7 +12,8 @@ from repro.simulation import (
 
 
 def make_message(sender="C", recipients=("A", "B"), payload=None):
-    return Message(sender, recipients, History.initial(sender).extend((ExternalReceipt("go"),)), payload)
+    history = History.initial(sender).extend((ExternalReceipt("go"),))
+    return Message(sender, recipients, history, payload)
 
 
 class TestObservations:

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core import BasicNode, GeneralNode, NodeError, general
-from repro.simulation import ExternalReceipt, History, LocalAction
+from repro.simulation import ExternalReceipt, History
 
 
 def node_after_steps(process="A", steps=1):

@@ -1,7 +1,5 @@
 """The public package surface: everything advertised in __all__ is importable."""
 
-import importlib
-
 import pytest
 
 import repro
@@ -10,7 +8,6 @@ import repro.core
 import repro.scenarios
 import repro.simulation
 import repro.viz
-
 
 @pytest.mark.parametrize(
     "module",

@@ -65,12 +65,19 @@ class TestPathToZigzag:
         with pytest.raises(ConversionError):
             path_to_zigzag(figure6_run, edges, general(receiver), general(receiver))
 
-    @pytest.mark.parametrize("source_process,target_process", [("C", "B"), ("A", "B"), ("C", "A"), ("B", "C")])
+    @pytest.mark.parametrize(
+        "source_process,target_process",
+        [("C", "B"), ("A", "B"), ("C", "A"), ("B", "C")],
+    )
     def test_longest_path_conversion_preserves_weight(
         self, triangle_run, source_process, target_process
     ):
         graph = basic_bounds_graph(triangle_run)
-        source = triangle_run.final_node(source_process) if source_process != "C" else triangle_run.external_deliveries[0].receiver_node
+        source = (
+            triangle_run.final_node(source_process)
+            if source_process != "C"
+            else triangle_run.external_deliveries[0].receiver_node
+        )
         target = triangle_run.final_node(target_process)
         result = graph.longest_path(source, target)
         if result is None:

@@ -19,8 +19,6 @@ from repro.scenarios import (
     figure3_scenario,
     figure4_scenario,
     figure5_scenario,
-    figure6_scenario,
-    figure8_scenario,
     flooding_scenario,
     random_timed_network,
     random_workload,

@@ -1,8 +1,6 @@
 """Unit tests for timed precedence statements and system support."""
 
-import pytest
-
-from repro.core import TimedPrecedence, general, minimum_gap, precedes, supports
+from repro.core import general, minimum_gap, precedes, supports
 
 
 class TestTimedPrecedence:

@@ -65,7 +65,9 @@ class TestRules:
         assert rule.actions(ctx) == ("a",)
         # Once the action is already in the history, the rule stays quiet.
         done_with_action = History.initial("A").extend((LocalAction("a"),))
-        ctx_done = make_ctx(net, "A", previous=done_with_action, observations=(ExternalReceipt("z"),))
+        ctx_done = make_ctx(
+            net, "A", previous=done_with_action, observations=(ExternalReceipt("z"),)
+        )
         assert rule.actions(ctx_done) == ()
 
     def test_function_rule(self, net):

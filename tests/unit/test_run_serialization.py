@@ -5,7 +5,7 @@ import json
 import pytest
 
 from repro.core import basic_bounds_graph
-from repro.scenarios import figure1_scenario, figure2b_scenario, flooding_scenario
+from repro.scenarios import figure2b_scenario, flooding_scenario
 from repro.simulation import Run
 from repro.simulation.runs import RUN_FORMAT_VERSION, RunFormatError
 

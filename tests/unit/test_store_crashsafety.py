@@ -1,0 +1,160 @@
+"""Crash-safety tests for the result store.
+
+The store is the source of truth for resumable sweeps, so this file pins the
+three guarantees resume relies on: appends are single atomic writes (a crash
+tears at most the final line), :meth:`ResultStore.recover` drops torn tails
+via an atomic temp-file + rename rewrite, and compaction/recovery are
+idempotent.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.experiments import ResultStore, StoreError
+
+
+def _record(key, value=0):
+    return {"key": key, "status": "ok", "value": value}
+
+
+def _raw_lines(path):
+    with open(path, "rb") as handle:
+        return handle.read().split(b"\n")
+
+
+class TestTornTailRecovery:
+    def _store_with_torn_tail(self, tmp_path, records=3):
+        store = ResultStore(str(tmp_path / "results.jsonl"))
+        for i in range(records):
+            store.put(_record(f"k{i}", i))
+        with open(store.path, "ab") as handle:
+            handle.write(b'{"key": "torn-partial-rec')  # kill -9 mid-append
+        return ResultStore(store.path)
+
+    def test_torn_tail_ignored_on_load(self, tmp_path):
+        store = self._store_with_torn_tail(tmp_path)
+        assert len(store) == 3
+        assert store.get("k1") == _record("k1", 1)
+
+    def test_recover_drops_exactly_the_torn_tail(self, tmp_path):
+        store = self._store_with_torn_tail(tmp_path)
+        assert store.recover() == 1
+        assert len(store) == 3
+        # The file itself is clean again: parseable, newline-terminated.
+        raw = open(store.path, "rb").read()
+        assert raw.endswith(b"\n")
+        for line in raw.strip().split(b"\n"):
+            json.loads(line)
+
+    def test_recover_is_idempotent(self, tmp_path):
+        store = self._store_with_torn_tail(tmp_path)
+        assert store.recover() == 1
+        assert store.recover() == 0
+        assert store.recover() == 0
+
+    def test_recover_on_clean_store_rewrites_nothing(self, tmp_path):
+        store = ResultStore(str(tmp_path / "results.jsonl"))
+        store.put(_record("a"))
+        mtime = os.stat(store.path).st_mtime_ns
+        assert store.recover() == 0
+        assert os.stat(store.path).st_mtime_ns == mtime
+
+    def test_recover_missing_file(self, tmp_path):
+        store = ResultStore(str(tmp_path / "absent.jsonl"))
+        assert store.recover() == 0
+
+    def test_recover_drops_interior_corruption_too(self, tmp_path):
+        path = tmp_path / "results.jsonl"
+        lines = [
+            json.dumps(_record("a")),
+            "not json at all",
+            json.dumps({"no-key": True}),
+            json.dumps(_record("b")),
+        ]
+        path.write_text("\n".join(lines) + "\n")
+        store = ResultStore(str(path))
+        assert store.recover() == 2
+        assert store.keys() == ("a", "b")
+
+    def test_put_after_torn_tail_starts_a_fresh_line(self, tmp_path):
+        store = self._store_with_torn_tail(tmp_path)
+        store.put(_record("k3", 3))
+        reloaded = ResultStore(store.path)
+        assert reloaded.get("k3") == _record("k3", 3)
+        assert len(reloaded) == 4  # torn fragment swallowed nothing
+
+
+class TestAtomicWrites:
+    def test_put_is_a_single_append_write(self, tmp_path, monkeypatch):
+        """One record == one write(2): a crash can never interleave records."""
+        store = ResultStore(str(tmp_path / "results.jsonl"))
+        store.put(_record("warmup"))
+        writes = []
+        real_write = os.write
+
+        def counting_write(fd, data):
+            writes.append(bytes(data))
+            return real_write(fd, data)
+
+        monkeypatch.setattr(os, "write", counting_write)
+        store.put(_record("observed"))
+        assert len(writes) == 1
+        assert writes[0].endswith(b"\n")
+        json.loads(writes[0])
+
+    def test_rewrite_leaves_no_temp_file(self, tmp_path):
+        store = ResultStore(str(tmp_path / "results.jsonl"))
+        for i in range(3):
+            store.put(_record("same-key", i))
+        assert store.compact() == 2
+        assert os.listdir(tmp_path) == ["results.jsonl"]
+
+    def test_failed_rewrite_preserves_the_original(self, tmp_path, monkeypatch):
+        store = ResultStore(str(tmp_path / "results.jsonl"))
+        for i in range(3):
+            store.put(_record("same-key", i))
+        before = open(store.path, "rb").read()
+
+        def explode(src, dst):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(os, "replace", explode)
+        with pytest.raises(OSError):
+            store.compact()
+        monkeypatch.undo()
+        assert open(store.path, "rb").read() == before  # old file intact
+        assert os.listdir(tmp_path) == ["results.jsonl"]  # temp cleaned up
+
+    def test_rejects_keyless_records(self, tmp_path):
+        store = ResultStore(str(tmp_path / "results.jsonl"))
+        with pytest.raises(StoreError):
+            store.put({"status": "ok"})
+        with pytest.raises(StoreError):
+            store.put({"key": ""})
+
+
+class TestCompactionIdempotence:
+    def test_compact_drops_superseded_then_nothing(self, tmp_path):
+        store = ResultStore(str(tmp_path / "results.jsonl"))
+        for i in range(5):
+            store.put(_record("hot-key", i))
+        store.put(_record("other"))
+        assert store.compact() == 4
+        assert store.compact() == 0
+        reloaded = ResultStore(store.path)
+        assert reloaded.get("hot-key") == _record("hot-key", 4)
+        assert len(reloaded) == 2
+
+    def test_compact_also_drops_torn_tail(self, tmp_path):
+        store = ResultStore(str(tmp_path / "results.jsonl"))
+        store.put(_record("a"))
+        with open(store.path, "ab") as handle:
+            handle.write(b'{"torn')
+        store = ResultStore(store.path)
+        assert store.compact() == 1
+        assert store.compact() == 0
+
+    def test_compact_missing_file(self, tmp_path):
+        assert ResultStore(str(tmp_path / "absent.jsonl")).compact() == 0

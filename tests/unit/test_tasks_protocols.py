@@ -16,7 +16,7 @@ from repro.coordination import (
     summarise,
 )
 from repro.coordination.tasks import CoordinationTask
-from repro.scenarios import figure1_scenario, figure2b_scenario, zigzag_chain_scenario
+from repro.scenarios import figure1_scenario, figure2b_scenario
 
 
 class TestTaskDefinitions:
@@ -159,7 +159,14 @@ class TestBaselines:
         assert not outcome.b_performed
 
     def test_chain_baseline_acts_when_chain_exists(self, triangle_net):
-        from repro.simulation import Context, ProtocolAssignment, actor_protocol, go_at, go_sender_protocol, simulate
+        from repro.simulation import (
+            Context,
+            ProtocolAssignment,
+            actor_protocol,
+            go_at,
+            go_sender_protocol,
+            simulate,
+        )
 
         margin = 1
         task = late_task(margin)
@@ -173,7 +180,14 @@ class TestBaselines:
         assert outcome.satisfied
 
     def test_chain_baseline_never_solves_early(self, triangle_net):
-        from repro.simulation import Context, ProtocolAssignment, actor_protocol, go_at, go_sender_protocol, simulate
+        from repro.simulation import (
+            Context,
+            ProtocolAssignment,
+            actor_protocol,
+            go_at,
+            go_sender_protocol,
+            simulate,
+        )
 
         task = early_task(0)
         protocols = ProtocolAssignment()

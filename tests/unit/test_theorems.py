@@ -14,7 +14,6 @@ from repro.core import (
     general,
     supported_margin,
 )
-from repro.coordination import late_task
 from repro.scenarios import figure2a_scenario, figure2b_scenario
 
 

@@ -6,7 +6,6 @@ from repro.core import (
     ConstructionError,
     TimingError,
     basic_bounds_graph,
-    is_p_closed,
     is_valid_timing,
     precedence_set,
     realized_gap,
