@@ -1,0 +1,108 @@
+"""Benchmark gate for the observability layer (PR 6).
+
+The ``repro.obs`` counters are *always on* — every engine row, session
+advance, intern canonicalisation, and store append bumps a module-global
+:class:`~repro.obs.metrics.Counter`.  That is only acceptable if the cost is
+noise: this file measures the per-operation price of the two hot-path
+idioms (``counter.value += 1`` and a ``span()`` enter/exit), counts how many
+such operations a representative serial sweep actually performs (from the
+registry delta itself), and gates the estimated instrumentation share of
+the sweep's wall time at < 5%.
+
+The estimate is deliberately conservative: counter deltas are summed by
+*value*, so a single ``+= len(batch)`` bulk increment is priced as
+``len(batch)`` separate operations.
+
+Measured numbers land in ``BENCH_obs.json``.  No baseline is committed for
+this file — the interesting quantity is the hard in-test gate, and the raw
+op counts vary with grid shape, so an exact-match baseline would be brittle.
+"""
+
+import time
+from pathlib import Path
+
+from _bench_utils import record, report
+
+from repro.experiments import expand_grid, run_sweep
+from repro.obs import metrics as obs_metrics
+from repro.obs.collect import registry_baseline, registry_delta
+from repro.obs.trace import span
+
+ARTIFACT = Path(__file__).resolve().parent / "BENCH_obs.json"
+
+#: The acceptance criterion from the issue: always-on metrics must cost
+#: less than 5% of a representative sweep's wall time.
+MAX_OVERHEAD_FRACTION = 0.05
+
+COUNTER_TIMING_OPS = 200_000
+SPAN_TIMING_OPS = 20_000
+
+
+def _time_counter_op() -> float:
+    """Seconds per ``counter.value += 1`` (the hot-path idiom)."""
+    counter = obs_metrics.counter("bench.obs.counter")
+    start = time.perf_counter()
+    for _ in range(COUNTER_TIMING_OPS):
+        counter.value += 1
+    return (time.perf_counter() - start) / COUNTER_TIMING_OPS
+
+
+def _time_span_op() -> float:
+    """Seconds per ``span()`` enter/exit (tracing off: histogram only)."""
+    start = time.perf_counter()
+    for _ in range(SPAN_TIMING_OPS):
+        with span("bench.obs.span"):
+            pass
+    return (time.perf_counter() - start) / SPAN_TIMING_OPS
+
+
+def test_metrics_overhead_under_five_percent():
+    cells = expand_grid(
+        ["line-flood"],
+        adversaries=["earliest", "latest", "random"],
+        seeds=range(48),
+        param_grid={"horizon": [4]},
+    )
+
+    baseline = registry_baseline()
+    start = time.perf_counter()
+    outcome = run_sweep(cells, workers=1, backend="serial")
+    workload_s = time.perf_counter() - start
+    delta = registry_delta(baseline)
+    assert outcome.errors == 0
+
+    # Every counter unit and every histogram observation the sweep performed.
+    counter_ops = sum(delta["counters"].values())
+    span_ops = sum(h["count"] for h in delta["histograms"].values())
+    assert counter_ops > 0 and span_ops > 0
+
+    per_counter_s = _time_counter_op()
+    per_span_s = _time_span_op()
+    estimated_s = counter_ops * per_counter_s + span_ops * per_span_s
+    fraction = estimated_s / workload_s
+
+    report(
+        "obs-overhead",
+        f"always-on metrics cost < {MAX_OVERHEAD_FRACTION:.0%} of sweep time",
+        f"{fraction:.2%} ({counter_ops} counter ops + {span_ops} spans "
+        f"over {workload_s * 1e3:.0f}ms)",
+    )
+    record(
+        ARTIFACT,
+        "serial_sweep_overhead",
+        {
+            "workload_s": round(workload_s, 4),
+            "counter_ops": counter_ops,
+            "span_ops": span_ops,
+            "counter_op_ns": round(per_counter_s * 1e9, 1),
+            "span_op_ns": round(per_span_s * 1e9, 1),
+            "estimated_overhead_s": round(estimated_s, 5),
+            "overhead_fraction": round(fraction, 5),
+        },
+        top_level={"cells": len(cells)},
+    )
+
+    assert fraction < MAX_OVERHEAD_FRACTION, (
+        f"instrumentation overhead {fraction:.2%} exceeds "
+        f"{MAX_OVERHEAD_FRACTION:.0%} of workload time"
+    )

@@ -14,7 +14,12 @@ The package is organised in layers:
 * :mod:`repro.scenarios` -- builders for the exact communication patterns of
   the paper's figures plus randomized workloads and structured-topology
   families, all addressable by name through the scenario registry.
-* :mod:`repro.viz` -- ASCII space-time diagrams and bounds-graph dumps.
+* :mod:`repro.viz` -- ASCII space-time diagrams, bounds-graph dumps,
+  GraphML/DOT export, and the static HTML sweep dashboard.
+* :mod:`repro.obs` -- zero-dependency observability: process-local metric
+  counters/gauges/histograms, ``span()`` tracing (deep mode via the
+  ``REPRO_TRACE`` environment variable), and the snapshot-delta collector
+  that merges worker metrics into persisted sweep telemetry.
 * :mod:`repro.experiments` -- the experiment substrate: a parallel sweep
   runner with deterministic per-cell seeding, versioned analysis passes, a
   persistent content-addressed result store, and the ``repro`` CLI

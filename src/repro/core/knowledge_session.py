@@ -44,6 +44,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Set, Tuple, TYPE_CHECKING
 
+from ..obs import metrics as _metrics
 from ..simulation import interning as _interning
 from ..simulation.messages import ExternalReceipt, GO_TRIGGER
 from ..simulation.network import Process, TimedNetwork
@@ -68,6 +69,12 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from .longest_paths import EngineStats
 
 __all__ = ["KnowledgeSession"]
+
+# Process-wide session counters (every session feeds the same set).
+_C_ADVANCES = _metrics.counter("session.advances")
+_C_RESETS = _metrics.counter("session.resets")
+_C_NODES_APPENDED = _metrics.counter("session.nodes_appended")
+_C_PSI_REINSTALLS = _metrics.counter("session.psi_reinstalls")
 
 
 class KnowledgeSession:
@@ -111,10 +118,12 @@ class KnowledgeSession:
         self._overlay_dirty = True
         self._go_nodes: Dict[Tuple[Process, str], Tuple[Optional[BasicNode], int]] = {}
         # The E''' tail never changes for a fixed network; build it once.
-        self._flooding_edges: List[Tuple[GraphKey, GraphKey, int]] = [
-            (source, target, weight)
-            for source, target, weight, _ in flooding_edges(self.timed_network)
-        ] if self.include_auxiliary else []
+        self._flooding_edges: List[Tuple[GraphKey, GraphKey, int]] = []
+        if self.include_auxiliary:
+            self._flooding_edges = [
+                (source, target, weight)
+                for source, target, weight, _ in flooding_edges(self.timed_network)
+            ]
 
     @property
     def sigma(self) -> Optional[BasicNode]:
@@ -146,6 +155,7 @@ class KnowledgeSession:
         """
         if self._needs_reset(sigma):
             self.resets += 1
+            _C_RESETS.value += 1
             self._cold_start()
         if sigma is self._sigma:
             return self
@@ -178,6 +188,8 @@ class KnowledgeSession:
         self._overlay_dirty = True
         self.advances += 1
         self.nodes_appended += len(ordered)
+        _C_ADVANCES.value += 1
+        _C_NODES_APPENDED.value += len(ordered)
         return self
 
     # -- the auxiliary overlay -----------------------------------------------------
@@ -210,6 +222,7 @@ class KnowledgeSession:
                     edges.append((AuxiliaryNode(chain_node.process), chain_node, 0))
         self._graph.engine.set_overlay(edges)
         self._overlay_dirty = False
+        _C_PSI_REINSTALLS.value += 1
 
     # -- general nodes ----------------------------------------------------------------
 

@@ -55,9 +55,22 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Dict, Generic, Iterable, List, Optional, Tuple
 
+from ..obs import metrics as _metrics
 from .graph import NEG_INF, NodeT, PositiveCycleError, WeightedGraph
 
 __all__ = ["EngineStats", "LongestPathEngine"]
+
+# Process-wide engine counters (every engine instance feeds the same set);
+# bound once so one metric event is a single attribute add on the hot path.
+_C_QUERIES = _metrics.counter("engine.queries")
+_C_ROWS_COMPUTED = _metrics.counter("engine.rows_computed")
+_C_ROWS_EXTENDED = _metrics.counter("engine.rows_extended")
+_C_ROW_HITS = _metrics.counter("engine.row_cache_hits")
+_C_SYNCS = _metrics.counter("engine.syncs")
+_C_SCC_RECOMPUTES = _metrics.counter("engine.scc_recomputes")
+_C_OVERLAY_INSTALLS = _metrics.counter("engine.overlay_installs")
+_C_OVERLAY_ROWS = _metrics.counter("engine.overlay_rows_computed")
+_C_OVERLAY_HITS = _metrics.counter("engine.overlay_row_cache_hits")
 
 
 @dataclass
@@ -132,6 +145,7 @@ class LongestPathEngine(Generic[NodeT]):
         if graph.version == self._synced_version:
             return
         self.stats.syncs += 1
+        _C_SYNCS.value += 1
         for node in graph.nodes[len(self._nodes) :]:
             self._index[node] = len(self._nodes)
             self._nodes.append(node)
@@ -160,6 +174,7 @@ class LongestPathEngine(Generic[NodeT]):
                     del self._rows[source_index]
                 else:
                     self.stats.rows_extended += 1
+                    _C_ROWS_EXTENDED.value += 1
 
     def _ensure_sccs(self) -> None:
         """Recompute the condensation only when a fresh DP sweep needs it."""
@@ -169,6 +184,7 @@ class LongestPathEngine(Generic[NodeT]):
 
     def _recompute_sccs(self) -> None:
         """Iterative Tarjan; component ids come out in topological order."""
+        _C_SCC_RECOMPUTES.value += 1
         n = len(self._nodes)
         order = [-1] * n
         low = [0] * n
@@ -327,10 +343,12 @@ class LongestPathEngine(Generic[NodeT]):
         row = self._rows.get(source_index)
         if row is not None:
             self.stats.row_cache_hits += 1
+            _C_ROW_HITS.value += 1
             return row
         row = self._compute_row(source_index)
         self._rows[source_index] = row
         self.stats.rows_computed += 1
+        _C_ROWS_COMPUTED.value += 1
         return row
 
     def _source_index(self, source: NodeT) -> int:
@@ -351,6 +369,7 @@ class LongestPathEngine(Generic[NodeT]):
         """
         self._sync()
         self.stats.queries += 1
+        _C_QUERIES.value += 1
         dist = self._row(self._source_index(source))
         return dict(zip(self._nodes, dist))
 
@@ -358,6 +377,7 @@ class LongestPathEngine(Generic[NodeT]):
         """Longest-path weight between two nodes, ``None`` when unreachable."""
         self._sync()
         self.stats.queries += 1
+        _C_QUERIES.value += 1
         source_index = self._source_index(source)
         target_index = self._index.get(target)
         if target_index is None:
@@ -386,6 +406,7 @@ class LongestPathEngine(Generic[NodeT]):
         """Nodes reachable from ``source`` (including itself), off the cached row."""
         self._sync()
         self.stats.queries += 1
+        _C_QUERIES.value += 1
         dist = self._row(self._source_index(source))
         return frozenset(
             node for node, value in zip(self._nodes, dist) if value != NEG_INF
@@ -411,6 +432,7 @@ class LongestPathEngine(Generic[NodeT]):
         self._overlay_mapped_version = None
         self._overlay_rows.clear()
         self.stats.overlay_installs += 1
+        _C_OVERLAY_INSTALLS.value += 1
 
     def _overlay_sync(self) -> None:
         """(Re)map overlay endpoints onto combined indices after base growth."""
@@ -523,10 +545,12 @@ class LongestPathEngine(Generic[NodeT]):
         row = self._overlay_rows.get(source)
         if row is not None:
             self.stats.overlay_row_cache_hits += 1
+            _C_OVERLAY_HITS.value += 1
             return row
         row = self._compute_overlay_row(source)
         self._overlay_rows[source] = row
         self.stats.overlay_rows_computed += 1
+        _C_OVERLAY_ROWS.value += 1
         return row
 
     def overlay_weight(self, source: NodeT, target: NodeT) -> Optional[int]:
@@ -536,6 +560,7 @@ class LongestPathEngine(Generic[NodeT]):
         """
         self._overlay_sync()
         self.stats.queries += 1
+        _C_QUERIES.value += 1
         source_index = self._combined_index(source, "source")
         target_index = self._combined_index(target, "target")
         value = self._overlay_row_values(source_index)[target_index]
@@ -547,6 +572,7 @@ class LongestPathEngine(Generic[NodeT]):
         """Longest-path weights from ``source`` over base+overlay, per node."""
         self._overlay_sync()
         self.stats.queries += 1
+        _C_QUERIES.value += 1
         dist = self._overlay_row_values(self._combined_index(source, "source"))
         return dict(zip(list(self._nodes) + self._overlay_nodes, dist))
 

@@ -31,7 +31,9 @@ from .executors import (
     SweepExecutor,
     plan_shards,
     resolve_executor,
+    run_cell_monitored,
     run_shard,
+    run_shard_monitored,
     shard_signature,
 )
 from .golden import (
@@ -41,8 +43,17 @@ from .golden import (
     knowledge_answers,
     write_corpus,
 )
+from .reporting import (
+    aggregate_metric,
+    discover_metrics,
+    flatten_scalars,
+    format_aggregate,
+    group_records,
+)
 from .runner import (
     ADVERSARIES,
+    TELEMETRY_KIND,
+    TELEMETRY_STATUS,
     SweepCell,
     SweepError,
     SweepOutcome,
@@ -57,6 +68,7 @@ from .runner import (
     make_delivery,
     run_cell,
     run_sweep,
+    sweep_telemetry_key,
 )
 from .store import (
     DEFAULT_STORE_PATH,
@@ -85,6 +97,9 @@ __all__ = [
     "SweepError",
     "SweepExecutor",
     "SweepOutcome",
+    "TELEMETRY_KIND",
+    "TELEMETRY_STATUS",
+    "aggregate_metric",
     "analysis_versions",
     "build_base_scenario",
     "build_cell_scenario",
@@ -92,12 +107,16 @@ __all__ = [
     "cell_key",
     "check_corpus",
     "decorate_scenario",
+    "discover_metrics",
     "error_record",
     "execute_cell",
     "execute_cell_inline",
     "expand_grid",
+    "flatten_scalars",
+    "format_aggregate",
     "get_analysis",
     "golden_payload",
+    "group_records",
     "infer_roles",
     "knowledge_answers",
     "list_analyses",
@@ -109,8 +128,11 @@ __all__ = [
     "resolve_executor",
     "run_analyses",
     "run_cell",
+    "run_cell_monitored",
     "run_shard",
+    "run_shard_monitored",
     "run_sweep",
     "shard_signature",
+    "sweep_telemetry_key",
     "write_corpus",
 ]

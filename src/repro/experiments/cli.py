@@ -1,12 +1,16 @@
-"""The ``repro`` command line: list, run, sweep, report.
+"""The ``repro`` command line: list, run, sweep, report, export.
 
 * ``repro list`` — registered scenarios (with typed parameters), analysis
   passes, and delivery adversaries;
 * ``repro run SCENARIO`` — one cell, with an optional space-time diagram;
 * ``repro sweep`` — a parameter grid executed on a process pool, cached in
   the persistent result store (repeat invocations are incremental);
-* ``repro report`` — aggregate mean/min/max tables over the store, plus
-  per-cell space-time diagrams re-derived from any stored record.
+* ``repro report`` — aggregate tables over the store (numeric metrics as
+  mean/min/max, booleans and labels as value counts), per-cell space-time
+  diagrams, persisted sweep telemetry (``--telemetry``), and a static HTML
+  dashboard (``--html``);
+* ``repro export`` — GraphML / DOT dumps of a cell's bounds graph, extended
+  bounds graph ``GE(r, sigma)``, or causal-past DAG.
 
 Installed as a console script via ``pip install -e .`` or reachable as
 ``python -m repro``.
@@ -18,9 +22,13 @@ import argparse
 import json
 import os
 import sys
-from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from ..core.bounds_graph import basic_bounds_graph
+from ..core.extended_graph import ExtendedBoundsGraph
 from ..scenarios.base import ParamSpec, RegistryError, get_scenario, scenario_registry
+from ..viz.export import causal_dag, graph_to_dot, graph_to_graphml
+from ..viz.html_report import render_html_report
 from ..viz.spacetime import action_table, spacetime_diagram
 from .analyses import (
     DEFAULT_ANALYSES,
@@ -29,8 +37,10 @@ from .analyses import (
     list_analyses,
 )
 from .executors import BACKENDS
+from .reporting import aggregate_metric, format_aggregate, group_records
 from .runner import (
     ADVERSARIES,
+    TELEMETRY_KIND,
     SweepError,
     build_cell_scenario,
     execute_cell,
@@ -46,11 +56,16 @@ DEFAULT_SWEEP_SEEDS = 4
 DEFAULT_SWEEP_WORKERS = 2
 
 #: Metrics `repro report` aggregates when none are requested explicitly.
+#: Mixes numeric columns (mean/min/max) with boolean/label columns (value
+#: counts) — the latter were silently dropped before the report grew a
+#: categorical aggregation path.
 DEFAULT_REPORT_METRICS = (
     "summary.sends",
     "summary.deliveries",
     "bounds_graph.edges",
     "coordination.achieved_margin",
+    "coordination.applicable",
+    "coordination.go_sender",
 )
 
 
@@ -237,19 +252,29 @@ def _cmd_sweep(args: argparse.Namespace, out) -> int:
     return 1 if outcome.errors else 0
 
 
-def _flatten_numeric(prefix: str, value: Any, into: Dict[str, float]) -> None:
-    if isinstance(value, bool):
-        into[prefix] = 1.0 if value else 0.0
-    elif isinstance(value, (int, float)):
-        into[prefix] = float(value)
-    elif isinstance(value, Mapping):
-        for key, inner in value.items():
-            _flatten_numeric(f"{prefix}.{key}" if prefix else str(key), inner, into)
+def _record_run(record: Dict[str, Any]):
+    """Re-derive the run of one stored record (deterministic by cell identity)."""
+    cell = make_cell(
+        record["scenario"],
+        overrides=record["params"],
+        adversary=record["adversary"],
+        seed=record["seed"],
+        horizon=record.get("horizon"),
+    )
+    return cell, build_cell_scenario(cell).run()
 
 
 def _cmd_report(args: argparse.Namespace, out) -> int:
     store = ResultStore(args.store)
-    records = [r for r in store.records() if r.get("status") == "ok"]
+    all_records = store.records()
+    records = [r for r in all_records if r.get("status") == "ok"]
+    telemetry_records = [r for r in all_records if r.get("kind") == TELEMETRY_KIND]
+
+    if args.telemetry:
+        # JSON for machine consumption (CI artifacts); newest last.
+        print(json.dumps(telemetry_records, indent=2, sort_keys=True), file=out)
+        return 0
+
     if args.viz:
         record = store.get(args.viz)
         if record is None:
@@ -259,14 +284,7 @@ def _cmd_report(args: argparse.Namespace, out) -> int:
                     f"key {args.viz!r} matches {len(matches)} records in {store.path}"
                 )
             record = matches[0]
-        cell = make_cell(
-            record["scenario"],
-            overrides=record["params"],
-            adversary=record["adversary"],
-            seed=record["seed"],
-            horizon=record.get("horizon"),
-        )
-        run = build_cell_scenario(cell).run()
+        cell, run = _record_run(record)
         print(f"cell: {cell.describe()}", file=out)
         print("\n" + spacetime_diagram(run), file=out)
         print("\n" + action_table(run), file=out)
@@ -278,13 +296,7 @@ def _cmd_report(args: argparse.Namespace, out) -> int:
 
     group_fields = _csv(args.group_by)
     metrics = list(args.metric) if args.metric else list(DEFAULT_REPORT_METRICS)
-
-    groups: Dict[Tuple[str, ...], List[Dict[str, float]]] = {}
-    for record in records:
-        group = tuple(str(record.get(field, "?")) for field in group_fields)
-        flat: Dict[str, float] = {}
-        _flatten_numeric("", record.get("analyses", {}), flat)
-        groups.setdefault(group, []).append(flat)
+    groups = group_records(records, group_fields)
 
     if args.json:
         payload = []
@@ -292,30 +304,40 @@ def _cmd_report(args: argparse.Namespace, out) -> int:
             entry: Dict[str, Any] = dict(zip(group_fields, group))
             entry["cells"] = len(rows)
             for metric in metrics:
-                values = [row[metric] for row in rows if metric in row]
-                if values:
-                    entry[metric] = {
-                        "mean": sum(values) / len(values),
-                        "min": min(values),
-                        "max": max(values),
-                        "n": len(values),
-                    }
+                summary = aggregate_metric(rows, metric)
+                if summary is not None:
+                    entry[metric] = summary
             payload.append(entry)
         print(json.dumps(payload, indent=2, sort_keys=True), file=out)
         return 0
 
-    header = group_fields + ["cells"] + [f"{m} (mean/min/max)" for m in metrics]
+    header = group_fields + ["cells"] + list(metrics)
     rows_out: List[List[str]] = []
     for group, rows in sorted(groups.items()):
         row = list(group) + [str(len(rows))]
         for metric in metrics:
-            values = [r[metric] for r in rows if metric in r]
-            if values:
-                mean = sum(values) / len(values)
-                row.append(f"{mean:.2f}/{min(values):g}/{max(values):g}")
-            else:
-                row.append("-")
+            row.append(format_aggregate(aggregate_metric(rows, metric)))
         rows_out.append(row)
+
+    if args.html is not None:
+        telemetry = telemetry_records[-1] if telemetry_records else None
+        diagrams: List[Tuple[str, str]] = []
+        for record in records[: args.diagrams]:
+            cell, run = _record_run(record)
+            diagrams.append((cell.describe(), spacetime_diagram(run)))
+        html = render_html_report(
+            header,
+            rows_out,
+            record_count=len(records),
+            store_path=store.path,
+            telemetry=telemetry,
+            diagrams=diagrams,
+        )
+        with open(args.html, "w", encoding="utf-8") as handle:
+            handle.write(html)
+        print(f"wrote {args.html} ({len(records)} records)", file=out)
+        return 0
+
     widths = [
         max(len(header[i]), *(len(row[i]) for row in rows_out)) if rows_out else len(header[i])
         for i in range(len(header))
@@ -325,6 +347,63 @@ def _cmd_report(args: argparse.Namespace, out) -> int:
     for row in rows_out:
         print("  ".join(cellval.ljust(widths[i]) for i, cellval in enumerate(row)), file=out)
     print(f"\n{len(records)} records in {store.path}", file=out)
+    return 0
+
+
+def _parse_sigma(run, text: Optional[str]):
+    """Resolve ``--sigma PROCESS[@TIME]`` against a run's timelines."""
+    if text is None:
+        process = run.processes[0]
+        return run.final_node(process)
+    process, _, time_text = text.partition("@")
+    process = process.strip()
+    if process not in run.processes:
+        raise CliError(
+            f"--sigma process {process!r} not in run (processes: {list(run.processes)})"
+        )
+    if not time_text:
+        return run.final_node(process)
+    try:
+        time = int(time_text)
+    except ValueError:
+        raise CliError(f"--sigma expects PROCESS[@TIME], got {text!r}")
+    if time < 0 or time > run.horizon:
+        raise CliError(
+            f"--sigma time {time} outside run horizon [0, {run.horizon}]"
+        )
+    return run.node_at(process, time)
+
+
+def _cmd_export(args: argparse.Namespace, out) -> int:
+    overrides = _parse_single_overrides(args.scenario, args.set or ())
+    cell = make_cell(
+        args.scenario,
+        overrides=overrides,
+        adversary=args.adversary,
+        seed=args.seed,
+        horizon=args.horizon,
+    )
+    run = build_cell_scenario(cell).run()
+    if args.graph == "bounds":
+        graph = basic_bounds_graph(run)
+    elif args.graph == "causal":
+        graph = causal_dag(run)
+    else:  # extended
+        sigma = _parse_sigma(run, args.sigma)
+        graph = ExtendedBoundsGraph(sigma, run.timed_network).graph
+    if args.format == "graphml":
+        text = graph_to_graphml(graph, run)
+    else:
+        text = graph_to_dot(graph, run, name=f"{args.graph}-{cell.scenario}")
+    if args.output is not None:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(
+            f"wrote {args.output} ({len(graph)} nodes, {graph.edge_count()} edges)",
+            file=out,
+        )
+    else:
+        out.write(text)
     return 0
 
 
@@ -444,6 +523,58 @@ def build_parser() -> argparse.ArgumentParser:
         help="re-derive and draw the run of one stored cell (key or unique prefix)",
     )
     report_parser.add_argument("--json", action="store_true", help="emit JSON")
+    report_parser.add_argument(
+        "--telemetry",
+        action="store_true",
+        help="emit the persisted sweep telemetry records as JSON",
+    )
+    report_parser.add_argument(
+        "--html",
+        default=None,
+        metavar="PATH",
+        help="write a static HTML dashboard (tables, telemetry, diagrams)",
+    )
+    report_parser.add_argument(
+        "--diagrams",
+        type=int,
+        default=3,
+        metavar="N",
+        help="space-time diagrams to embed in --html (default: %(default)s)",
+    )
+
+    export_parser = sub.add_parser(
+        "export", help="export a cell's graphs as GraphML or DOT"
+    )
+    export_parser.add_argument("scenario", help="registered scenario name")
+    export_parser.add_argument(
+        "--set", action="append", metavar="NAME=VALUE", help="override one parameter"
+    )
+    export_parser.add_argument("--adversary", default="earliest", choices=ADVERSARIES)
+    export_parser.add_argument("--seed", type=int, default=0)
+    export_parser.add_argument("--horizon", type=int, default=None)
+    export_parser.add_argument(
+        "--graph",
+        default="bounds",
+        choices=("bounds", "extended", "causal"),
+        help="which graph: the basic bounds graph GB(r), the extended bounds "
+        "graph GE(r, sigma), or the causal-past DAG (default: %(default)s)",
+    )
+    export_parser.add_argument(
+        "--sigma",
+        default=None,
+        metavar="PROCESS[@TIME]",
+        help="observer node for --graph extended (default: first process, "
+        "final state)",
+    )
+    export_parser.add_argument(
+        "--format",
+        default="graphml",
+        choices=("graphml", "dot"),
+        help="output format (default: %(default)s)",
+    )
+    export_parser.add_argument(
+        "--output", default=None, metavar="PATH", help="write here instead of stdout"
+    )
     return parser
 
 
@@ -455,6 +586,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "run": _cmd_run,
         "sweep": _cmd_sweep,
         "report": _cmd_report,
+        "export": _cmd_export,
     }
     try:
         return commands[args.command](args, sys.stdout)

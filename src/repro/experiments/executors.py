@@ -36,10 +36,13 @@ never changes semantics, and shard grouping is a scheduling hint only.
 from __future__ import annotations
 
 import math
+import time
 from abc import ABC, abstractmethod
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
+from ..obs.collect import Collector, registry_baseline, registry_delta
+from ..obs.trace import trace_events
 from ..scenarios.base import RegistryError, get_scenario
 from ..simulation.interning import intern_pool
 from .runner import (
@@ -81,6 +84,31 @@ class SweepExecutor(ABC):
         :func:`~repro.experiments.runner.error_record`).
         """
 
+    @property
+    def worker_telemetry(self) -> Collector:
+        """Worker metric deltas and shard timings absorbed during execute().
+
+        Lazily created (and stored on the instance ``__dict__``), so custom
+        executors that never call ``super().__init__()`` still expose an
+        empty collector.  Backends that run work *in-process* must record
+        shard wall-time metadata only — their metric increments already land
+        in the parent registry, and absorbing them again would double count.
+        """
+        collector = self.__dict__.get("_worker_telemetry")
+        if collector is None:
+            collector = Collector()
+            self.__dict__["_worker_telemetry"] = collector
+        return collector
+
+    def _absorb_worker_payload(
+        self, payload: Mapping[str, Any], cells: int, **extra: Any
+    ) -> None:
+        """Fold one out-of-process worker payload into the telemetry."""
+        collector = self.worker_telemetry
+        collector.add_metrics(payload.get("metrics"))
+        collector.add_shard(cells, float(payload.get("wall_s") or 0.0), **extra)
+        collector.add_trace(payload.get("trace"))
+
 
 class SerialExecutor(SweepExecutor):
     """Run cells one after another in the calling process."""
@@ -108,11 +136,13 @@ class ProcessExecutor(SweepExecutor):
 
     def execute(self, pending: Sequence[Tuple[int, SweepCell]], handle: ResultHandler) -> None:
         if self.workers == 1 or len(pending) <= 1:
+            # In-process: increments land in the parent registry directly.
             SerialExecutor().execute(pending, handle)
             return
         with ProcessPoolExecutor(max_workers=self.workers) as executor:
             futures = {
-                executor.submit(run_cell, cell): (index, cell) for index, cell in pending
+                executor.submit(run_cell_monitored, cell): (index, cell)
+                for index, cell in pending
             }
             remaining = set(futures)
             while remaining:
@@ -120,7 +150,9 @@ class ProcessExecutor(SweepExecutor):
                 for future in done:
                     index, cell = futures[future]
                     try:
-                        record = future.result()
+                        payload = future.result()
+                        record = payload["record"]
+                        self._absorb_worker_payload(payload, cells=1)
                     except Exception as exc:  # noqa: BLE001 - per-cell isolation
                         record = error_record(cell, exc)
                     handle(index, cell, record)
@@ -177,7 +209,28 @@ def plan_shards(
     return shards
 
 
-def run_shard(cells: Sequence[SweepCell]) -> List[Dict[str, Any]]:
+def run_cell_monitored(cell: SweepCell) -> Dict[str, Any]:
+    """Execute one cell and ship its metric delta with the record.
+
+    The worker half of the snapshot-delta protocol
+    (:mod:`repro.obs.collect`): the payload carries the result record plus
+    everything the cell's execution added to this process's registry, so the
+    sweep parent can merge metrics from reused pool workers without double
+    counting.  New trace events ride along when deep tracing is on.
+    """
+    baseline = registry_baseline()
+    mark = len(trace_events())
+    started = time.perf_counter()
+    record = run_cell(cell)
+    return {
+        "record": record,
+        "metrics": registry_delta(baseline),
+        "wall_s": time.perf_counter() - started,
+        "trace": trace_events()[mark:],
+    }
+
+
+def run_shard_monitored(cells: Sequence[SweepCell]) -> Dict[str, Any]:
     """Execute one shard in the current process (pure; pool-safe).
 
     The whole shard shares one intern pool — every cell of the shard rides
@@ -185,9 +238,14 @@ def run_shard(cells: Sequence[SweepCell]) -> List[Dict[str, Any]]:
     messages, and causal pasts are built once — and a per-shard scenario
     cache rebuilds the base scenario only once per distinct ``(scenario,
     params)`` assignment (cells differing only in adversary re-decorate it).
-    Returns one record per cell, aligned with the input order; a failing
-    cell yields an error record without poisoning the rest of the shard.
+    ``records`` holds one record per cell, aligned with the input order; a
+    failing cell yields an error record without poisoning the rest of the
+    shard.  Like :func:`run_cell_monitored`, the payload carries the shard's
+    registry delta, wall time, and new trace events.
     """
+    baseline = registry_baseline()
+    mark = len(trace_events())
+    started = time.perf_counter()
     records: List[Dict[str, Any]] = []
     with intern_pool():
         base_cache: Dict[Tuple[str, Tuple[Tuple[str, Any], ...]], Any] = {}
@@ -197,7 +255,17 @@ def run_shard(cells: Sequence[SweepCell]) -> List[Dict[str, Any]]:
             except Exception as exc:  # noqa: BLE001 - per-cell isolation
                 record = error_record(cell, exc)
             records.append(record)
-    return records
+    return {
+        "records": records,
+        "metrics": registry_delta(baseline),
+        "wall_s": time.perf_counter() - started,
+        "trace": trace_events()[mark:],
+    }
+
+
+def run_shard(cells: Sequence[SweepCell]) -> List[Dict[str, Any]]:
+    """The records of :func:`run_shard_monitored` (compatibility surface)."""
+    return run_shard_monitored(cells)["records"]
 
 
 class ChunkedShardExecutor(SweepExecutor):
@@ -217,12 +285,19 @@ class ChunkedShardExecutor(SweepExecutor):
         shards = plan_shards(pending, self.workers, self.shard_size)
         if self.workers == 1 or len(shards) <= 1:
             # Still amortised (shared pool, scenario cache), just in-process.
+            # Record shard wall-time metadata only: the metric increments and
+            # trace events already landed in the parent registry/buffer, and
+            # absorbing the payload too would double count them.
             for shard in shards:
-                self._deliver(shard, run_shard([cell for _, cell in shard]), handle)
+                payload = run_shard_monitored([cell for _, cell in shard])
+                self.worker_telemetry.add_shard(
+                    len(shard), payload["wall_s"], in_process=True
+                )
+                self._deliver(shard, payload["records"], handle)
             return
         with ProcessPoolExecutor(max_workers=min(self.workers, len(shards))) as executor:
             futures = {
-                executor.submit(run_shard, [cell for _, cell in shard]): shard
+                executor.submit(run_shard_monitored, [cell for _, cell in shard]): shard
                 for shard in shards
             }
             remaining = set(futures)
@@ -231,7 +306,9 @@ class ChunkedShardExecutor(SweepExecutor):
                 for future in done:
                     shard = futures[future]
                     try:
-                        records = future.result()
+                        payload = future.result()
+                        records = payload["records"]
+                        self._absorb_worker_payload(payload, cells=len(shard))
                     except Exception as exc:  # noqa: BLE001 - whole-shard failure
                         records = [error_record(cell, exc) for _, cell in shard]
                     self._deliver(shard, records, handle)

@@ -1,0 +1,115 @@
+"""Shared aggregation for ``repro report`` (text, JSON, and HTML surfaces).
+
+Historically the report flattened analysis results with a *numeric-only*
+walk, so non-numeric fields — achievability booleans rendered as labels,
+role names, status strings — silently vanished from every table.  This
+module is the fix and the single source of truth for all report formats:
+
+* :func:`flatten_scalars` keeps **every** scalar leaf: numbers as floats,
+  booleans as booleans, strings as strings, ``None`` as ``None``, and lists
+  of scalars by index (``path.0``, ``path.1``, ...);
+* :func:`aggregate_metric` summarises one flattened column per group —
+  numerically (``mean/min/max/n``) when every observed value is a number,
+  categorically (value counts) otherwise, so a boolean or label column
+  reports ``True:3 False:1`` instead of disappearing.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+__all__ = [
+    "aggregate_metric",
+    "discover_metrics",
+    "flatten_scalars",
+    "format_aggregate",
+    "group_records",
+]
+
+
+def flatten_scalars(value: Any, prefix: str = "") -> Dict[str, Any]:
+    """Flatten nested mappings/sequences into dotted-path scalar leaves.
+
+    Every scalar survives: numbers become floats, booleans stay booleans,
+    strings stay strings, ``None`` stays ``None``.  Lists and tuples flatten
+    by index.  Unknown leaf types degrade to ``repr`` (still visible, never
+    dropped).
+    """
+    flat: Dict[str, Any] = {}
+    _flatten_into(prefix, value, flat)
+    return flat
+
+
+def _flatten_into(prefix: str, value: Any, into: Dict[str, Any]) -> None:
+    if isinstance(value, Mapping):
+        for key, inner in value.items():
+            _flatten_into(f"{prefix}.{key}" if prefix else str(key), inner, into)
+    elif isinstance(value, (list, tuple)):
+        for index, inner in enumerate(value):
+            _flatten_into(f"{prefix}.{index}" if prefix else str(index), inner, into)
+    elif isinstance(value, bool) or value is None or isinstance(value, str):
+        into[prefix] = value
+    elif isinstance(value, (int, float)):
+        into[prefix] = float(value)
+    else:
+        into[prefix] = repr(value)
+
+
+def group_records(
+    records: Sequence[Mapping[str, Any]],
+    group_fields: Sequence[str],
+    source: str = "analyses",
+) -> Dict[Tuple[str, ...], List[Dict[str, Any]]]:
+    """Bucket records by their group-field values; rows are flattened leaves."""
+    groups: Dict[Tuple[str, ...], List[Dict[str, Any]]] = {}
+    for record in records:
+        group = tuple(str(record.get(field, "?")) for field in group_fields)
+        groups.setdefault(group, []).append(flatten_scalars(record.get(source, {})))
+    return groups
+
+
+def aggregate_metric(
+    rows: Sequence[Mapping[str, Any]], metric: str
+) -> Optional[Dict[str, Any]]:
+    """Summarise one metric column across a group's rows.
+
+    Returns ``None`` when no row carries the metric.  All-numeric columns
+    (booleans excluded — ``True`` is a label here, not ``1.0``) aggregate to
+    ``{"mean", "min", "max", "n"}``; anything else aggregates to value
+    counts ``{"counts": {...}, "n"}`` with deterministic (sorted) count keys.
+    """
+    values = [row[metric] for row in rows if metric in row]
+    if not values:
+        return None
+    if all(isinstance(v, float) and not isinstance(v, bool) for v in values):
+        return {
+            "mean": sum(values) / len(values),
+            "min": min(values),
+            "max": max(values),
+            "n": len(values),
+        }
+    counts: Dict[str, int] = {}
+    for value in values:
+        label = str(value)
+        counts[label] = counts.get(label, 0) + 1
+    return {"counts": dict(sorted(counts.items())), "n": len(values)}
+
+
+def format_aggregate(summary: Optional[Mapping[str, Any]]) -> str:
+    """One table cell: ``mean/min/max`` for numbers, ``label:n`` for counts."""
+    if summary is None:
+        return "-"
+    if "mean" in summary:
+        return f"{summary['mean']:.2f}/{summary['min']:g}/{summary['max']:g}"
+    return " ".join(f"{label}:{n}" for label, n in summary["counts"].items())
+
+
+def discover_metrics(
+    groups: Mapping[Tuple[str, ...], Sequence[Mapping[str, Any]]],
+) -> List[str]:
+    """Every flattened metric path present in any row, sorted."""
+    names: set = set()
+    for rows in groups.values():
+        for row in rows:
+            names.update(row)
+    return sorted(names)

@@ -35,8 +35,12 @@ from typing import (
     Union,
 )
 
+from ..obs import metrics as _metrics
+from ..obs.collect import Collector, registry_baseline, registry_delta
+from ..obs.metrics import merge_snapshots
+from ..obs.trace import span, trace_events, tracing_enabled
 from ..scenarios.base import Scenario, get_scenario
-from ..simulation.interning import intern_pool
+from ..simulation.interning import intern_pool, intern_stats
 from ..simulation.delivery import (
     DeliveryStrategy,
     EarliestDelivery,
@@ -52,6 +56,30 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 #: The delivery adversaries a sweep can pit scenarios against.
 ADVERSARIES: Tuple[str, ...] = ("earliest", "latest", "random")
+
+_C_CELLS_EXECUTED = _metrics.counter("sweep.cells_executed")
+_C_CELLS_CACHED = _metrics.counter("sweep.cells_cached")
+_C_CELLS_ERRORS = _metrics.counter("sweep.cells_errors")
+_C_BASE_HITS = _metrics.counter("runner.base_cache_hits")
+_C_BASE_MISSES = _metrics.counter("runner.base_cache_misses")
+_C_INTERNED = _metrics.counter("intern.objects_interned")
+
+#: The intern-pool tables counting *values* (as opposed to derived caches);
+#: their growth across a cell is what ``intern.objects_interned`` reports.
+_INTERN_VALUE_TABLES = (
+    "externals",
+    "actions",
+    "receipts",
+    "messages",
+    "history_initials",
+    "history_children",
+    "nodes",
+)
+
+
+def _interned_objects() -> int:
+    stats = intern_stats()
+    return sum(stats[name] for name in _INTERN_VALUE_TABLES)
 
 
 class SweepError(ValueError):
@@ -250,28 +278,34 @@ def execute_cell_inline(
     reuse never leaks adversary state between cells.
     """
     started = time.perf_counter()
-    base: Optional[Scenario] = None
-    cache_key = (cell.scenario, cell.params)
-    if base_cache is not None:
-        base = base_cache.get(cache_key)
-    if base is None:
-        base = build_base_scenario(cell)
+    with span("cell", scenario=cell.scenario, adversary=cell.adversary):
+        interned_before = _interned_objects()
+        base: Optional[Scenario] = None
+        cache_key = (cell.scenario, cell.params)
         if base_cache is not None:
-            base_cache[cache_key] = base
-    run = decorate_scenario(cell, base).run()
-    results = run_analyses(run, cell.analyses)
-    record = {
-        "key": cell.key(),
-        "scenario": cell.scenario,
-        "params": cell.params_dict(),
-        "adversary": cell.adversary,
-        "seed": cell.seed,
-        "horizon": cell.horizon,
-        "analyses": results,
-        "analysis_versions": analysis_versions(cell.analyses),
-        "status": "ok",
-        "duration_s": round(time.perf_counter() - started, 6),
-    }
+            base = base_cache.get(cache_key)
+        if base is None:
+            _C_BASE_MISSES.value += 1
+            base = build_base_scenario(cell)
+            if base_cache is not None:
+                base_cache[cache_key] = base
+        else:
+            _C_BASE_HITS.value += 1
+        run = decorate_scenario(cell, base).run()
+        results = run_analyses(run, cell.analyses)
+        _C_INTERNED.value += _interned_objects() - interned_before
+        record = {
+            "key": cell.key(),
+            "scenario": cell.scenario,
+            "params": cell.params_dict(),
+            "adversary": cell.adversary,
+            "seed": cell.seed,
+            "horizon": cell.horizon,
+            "analyses": results,
+            "analysis_versions": analysis_versions(cell.analyses),
+            "status": "ok",
+            "duration_s": round(time.perf_counter() - started, 6),
+        }
     return record, run
 
 
@@ -320,6 +354,9 @@ class SweepOutcome:
     duration_s: float = 0.0
     backend: str = ""
     recovered_lines: int = 0
+    #: The persisted :data:`sweep telemetry <sweep_telemetry_key>` record
+    #: (also appended to the store when one is given).
+    telemetry: Optional[Dict[str, Any]] = None
 
     @property
     def cache_hit_rate(self) -> float:
@@ -330,6 +367,49 @@ class SweepOutcome:
             f"{self.total} cells: {self.executed} executed, {self.cached} cached, "
             f"{self.errors} errors in {self.duration_s:.2f}s"
         )
+
+
+#: ``kind``/``status`` of the telemetry record a sweep persists; report and
+#: cache scans filter on these, so telemetry never masquerades as a cell.
+TELEMETRY_KIND = "sweep_telemetry"
+TELEMETRY_STATUS = "telemetry"
+
+
+def sweep_telemetry_key(cells: Sequence[SweepCell]) -> str:
+    """The store key of a sweep's telemetry record.
+
+    A digest of the sorted cell keys: re-running the same grid overwrites its
+    telemetry (newest record per key wins) instead of growing the store, and
+    the ``telemetry-`` prefix can never collide with a cell's hex key.
+    """
+    material = canonical_json(sorted(cell.key() for cell in cells))
+    return "telemetry-" + hashlib.sha256(material.encode("utf-8")).hexdigest()[:12]
+
+
+def _hit_rate(hits: float, misses: float) -> Optional[float]:
+    total = hits + misses
+    return round(hits / total, 6) if total else None
+
+
+def _derived_metrics(merged: Mapping[str, Any]) -> Dict[str, Any]:
+    """Headline rates computed from the merged counter totals."""
+    counters = merged.get("counters", {})
+    return {
+        "engine_row_hit_rate": _hit_rate(
+            counters.get("engine.row_cache_hits", 0),
+            counters.get("engine.rows_computed", 0),
+        ),
+        "engine_overlay_hit_rate": _hit_rate(
+            counters.get("engine.overlay_row_cache_hits", 0),
+            counters.get("engine.overlay_rows_computed", 0),
+        ),
+        "base_scenario_hit_rate": _hit_rate(
+            counters.get("runner.base_cache_hits", 0),
+            counters.get("runner.base_cache_misses", 0),
+        ),
+        "store_appends": counters.get("store.appends", 0),
+        "objects_interned": counters.get("intern.objects_interned", 0),
+    }
 
 
 def run_sweep(
@@ -357,6 +437,14 @@ def run_sweep(
     killed sweep re-executes exactly the cells whose records never reached
     the store.  A cell that raises yields a ``status: "error"`` record that
     is *not* cached.
+
+    Every sweep also assembles a telemetry record (``kind:
+    "sweep_telemetry"``): phase timings, per-shard wall times, worker
+    utilization, and the metric deltas of the parent process merged with the
+    deltas every worker shipped back (see :mod:`repro.obs.collect`).  It is
+    returned on ``outcome.telemetry`` and — for error-free sweeps — persisted
+    into the store under :func:`sweep_telemetry_key`, where its non-hex key
+    and non-``ok`` status keep it out of cache scans and reports.
     """
     from .executors import resolve_executor  # runner <-> executors layering
 
@@ -367,6 +455,8 @@ def run_sweep(
     executor = resolve_executor(backend, workers, shard_size=shard_size)
 
     started = time.perf_counter()
+    parent_baseline = registry_baseline()
+    trace_mark = len(trace_events())
     outcome = SweepOutcome(total=len(cells), backend=executor.name)
     notify = progress or (lambda message: None)
 
@@ -377,27 +467,32 @@ def run_sweep(
 
     pending: List[Tuple[int, SweepCell]] = []
     records: List[Optional[Dict[str, Any]]] = [None] * len(cells)
-    for index, cell in enumerate(cells):
-        cached = store.get(cell.key()) if (store is not None and not force) else None
-        if cached is not None:
-            records[index] = {**cached, "cached": True}
-            outcome.cached += 1
-            notify(f"cache hit: {cell.describe()}")
-        else:
-            pending.append((index, cell))
+    with span("sweep.scan") as scan_span:
+        for index, cell in enumerate(cells):
+            cached = store.get(cell.key()) if (store is not None and not force) else None
+            if cached is not None:
+                records[index] = {**cached, "cached": True}
+                outcome.cached += 1
+                _C_CELLS_CACHED.value += 1
+                notify(f"cache hit: {cell.describe()}")
+            else:
+                pending.append((index, cell))
 
     def finish(index: int, cell: SweepCell, record: Dict[str, Any]) -> None:
         records[index] = record
         if record.get("status") == "ok":
             outcome.executed += 1
+            _C_CELLS_EXECUTED.value += 1
             if store is not None:
                 store.put(record)
             notify(f"done: {cell.describe()} ({record['duration_s']:.3f}s)")
         else:
             outcome.errors += 1
+            _C_CELLS_ERRORS.value += 1
             notify(f"ERROR: {cell.describe()}: {record.get('error')}")
 
-    executor.execute(pending, finish)
+    with span("sweep.execute", backend=executor.name) as execute_span:
+        executor.execute(pending, finish)
 
     undelivered = [cell.describe() for index, cell in pending if records[index] is None]
     if undelivered:
@@ -410,4 +505,43 @@ def run_sweep(
 
     outcome.records = [record for record in records if record is not None]
     outcome.duration_s = time.perf_counter() - started
+
+    # -- telemetry: parent registry delta + worker payloads, persisted -----
+    collector: Collector = getattr(executor, "worker_telemetry", None) or Collector()
+    merged = dict(collector.merged)
+    merge_snapshots(merged, registry_delta(parent_baseline))
+    execute_s = execute_span.duration_s
+    utilization = None
+    if collector.shards and execute_s > 0 and workers > 0:
+        utilization = round(collector.worker_wall_s() / (execute_s * workers), 4)
+    telemetry: Dict[str, Any] = {
+        "key": sweep_telemetry_key(cells),
+        "kind": TELEMETRY_KIND,
+        "status": TELEMETRY_STATUS,
+        "backend": executor.name,
+        "workers": workers,
+        "cells": {
+            "total": outcome.total,
+            "executed": outcome.executed,
+            "cached": outcome.cached,
+            "errors": outcome.errors,
+            "cache_hit_rate": round(outcome.cache_hit_rate, 6),
+        },
+        "timings": {
+            "scan_s": round(scan_span.duration_s, 6),
+            "execute_s": round(execute_s, 6),
+            "total_s": round(outcome.duration_s, 6),
+        },
+        "shards": list(collector.shards),
+        "worker_payloads": collector.worker_payloads,
+        "worker_wall_s": round(collector.worker_wall_s(), 6),
+        "worker_utilization": utilization,
+        "metrics": merged,
+        "derived": _derived_metrics(merged),
+    }
+    if tracing_enabled():
+        telemetry["trace"] = collector.trace + trace_events()[trace_mark:]
+    outcome.telemetry = telemetry
+    if store is not None and not outcome.errors:
+        store.put(telemetry)
     return outcome

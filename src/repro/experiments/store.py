@@ -31,8 +31,15 @@ import json
 import os
 from typing import Any, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
 
+from ..obs import metrics as _metrics
+
 #: Version stamp of the store's record layout; part of every cache key.
 STORE_FORMAT_VERSION = 1
+
+_C_APPENDS = _metrics.counter("store.appends")
+_C_LOOKUPS = _metrics.counter("store.lookups")
+_C_RECOVER_DROPPED = _metrics.counter("store.recover_dropped_lines")
+_C_COMPACT_DROPPED = _metrics.counter("store.compact_dropped_lines")
 
 #: Default store location, relative to the current working directory.
 DEFAULT_STORE_PATH = os.path.join(".repro-store", "results.jsonl")
@@ -123,6 +130,7 @@ class ResultStore:
 
     def get(self, key: str) -> Optional[Dict[str, Any]]:
         self._ensure_loaded()
+        _C_LOOKUPS.value += 1
         return self._index.get(key)
 
     def keys(self) -> Tuple[str, ...]:
@@ -177,6 +185,7 @@ class ResultStore:
         # above leaves the key out of the index, so the cell is re-executed
         # rather than served from a record that never fully landed.
         self._index[key] = payload
+        _C_APPENDS.value += 1
 
     def put_many(self, records: Sequence[Mapping[str, Any]]) -> None:
         for record in records:
@@ -263,6 +272,7 @@ class ResultStore:
         self._atomic_rewrite(kept)
         self.reload()
         self._ensure_loaded()
+        _C_RECOVER_DROPPED.value += dropped
         return dropped
 
     def compact(self) -> int:
@@ -281,6 +291,11 @@ class ResultStore:
         if total_lines == len(self._index) and (raw.endswith(b"\n") or not raw):
             return 0
         self._atomic_rewrite(
-            [(canonical_json(record) + "\n").encode("utf-8") for record in self._index.values()]
+            [
+                (canonical_json(record) + "\n").encode("utf-8")
+                for record in self._index.values()
+            ]
         )
-        return total_lines - len(self._index)
+        dropped = total_lines - len(self._index)
+        _C_COMPACT_DROPPED.value += dropped
+        return dropped

@@ -1,0 +1,67 @@
+"""``repro.obs``: zero-dependency instrumentation for the whole stack.
+
+Three pieces:
+
+* :mod:`metrics <repro.obs.metrics>` -- a process-local
+  :class:`~repro.obs.metrics.MetricsRegistry` of counters, gauges, and
+  fixed-bucket histograms.  Always on; hot paths pay one attribute add per
+  event (the overhead is gated below 5% by ``benchmarks/test_bench_obs.py``).
+* :mod:`trace <repro.obs.trace>` -- :func:`~repro.obs.trace.span` context
+  managers timing the coarse phases (cells, shards, analysis passes).  Span
+  durations always land in ``span.<name>.s`` histograms; setting the
+  ``REPRO_TRACE`` environment variable additionally records structured
+  trace events with monotonic timestamps.
+* :mod:`collect <repro.obs.collect>` -- the snapshot-delta protocol that
+  carries worker-process metrics back to the sweep parent, and the
+  :class:`~repro.obs.collect.Collector` that merges them into the persisted
+  sweep telemetry.
+
+The package imports nothing from the rest of ``repro``, so any layer (core,
+simulation, experiments, viz) may instrument itself without cycles.
+"""
+
+from .collect import Collector, registry_baseline, registry_delta
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    counter,
+    empty_snapshot,
+    gauge,
+    histogram,
+    merge_snapshots,
+    registry,
+    snapshot_diff,
+)
+from .trace import (
+    TRACE_ENV,
+    drain_trace_events,
+    set_tracing,
+    span,
+    trace_events,
+    tracing_enabled,
+)
+
+__all__ = [
+    "Collector",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "TRACE_ENV",
+    "counter",
+    "drain_trace_events",
+    "empty_snapshot",
+    "gauge",
+    "histogram",
+    "merge_snapshots",
+    "registry",
+    "registry_baseline",
+    "registry_delta",
+    "set_tracing",
+    "snapshot_diff",
+    "span",
+    "trace_events",
+    "tracing_enabled",
+]

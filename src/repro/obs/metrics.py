@@ -1,0 +1,291 @@
+"""Process-local structured metrics: counters, gauges, fixed-bucket histograms.
+
+The registry is the always-on half of the instrumentation layer (the opt-in
+``REPRO_TRACE`` deep mode lives in :mod:`repro.obs.trace`).  Design rules,
+set by the hot paths that carry these metrics:
+
+* **One registry per OS process, never swapped.**  Instrumented modules bind
+  their :class:`Counter` objects once at import time (``_C = counter("x")``)
+  and increment via a plain attribute add (``_C.value += 1``) -- the cost of
+  one metric event is an attribute load plus an integer add, cheap enough to
+  ride inside :class:`~repro.core.longest_paths.LongestPathEngine` queries.
+  :meth:`MetricsRegistry.reset` therefore zeroes instruments *in place*; it
+  never replaces them, so bound references stay live.
+* **Snapshots are plain JSON.**  :meth:`MetricsRegistry.snapshot` returns a
+  dict of dicts that serialises as-is; sweep workers ship snapshot *deltas*
+  (:func:`snapshot_diff`) back with their results and the parent folds them
+  together with :func:`merge_snapshots` -- counters and histogram buckets are
+  additive across processes, gauges merge by sum (they report per-worker
+  levels, so the merged value is a fleet aggregate).
+* **Histograms have cheap fixed buckets.**  A tuple of upper bounds plus an
+  overflow bucket; one observation is a short linear scan.  The default
+  bucket ladder suits sub-second durations, the dominant use.
+
+Metric names are dotted lowercase, grouped by subsystem: ``engine.*``,
+``session.*``, ``intern.*``, ``store.*``, ``sweep.*``, and ``span.*`` (the
+histograms recorded by :func:`repro.obs.trace.span`).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Mapping, Optional, Sequence, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "counter",
+    "gauge",
+    "histogram",
+    "registry",
+    "empty_snapshot",
+    "merge_snapshots",
+    "snapshot_diff",
+]
+
+#: Default histogram bucket upper bounds (seconds): spans from ~0.1ms cells
+#: to multi-second shards land in distinct buckets; everything above the last
+#: bound goes to the overflow bucket.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.0001,
+    0.0005,
+    0.001,
+    0.005,
+    0.01,
+    0.05,
+    0.1,
+    0.5,
+    1.0,
+    5.0,
+)
+
+
+class Counter:
+    """A monotonically increasing count (ints or float totals).
+
+    Hot call sites skip :meth:`inc` and do ``c.value += 1`` directly -- same
+    semantics, one attribute add.
+    """
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: float = 1) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """A point-in-time level (e.g. an intern-pool table size)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def inc(self, amount: float = 1) -> None:
+        self.value += amount
+
+
+class Histogram:
+    """Fixed-bucket distribution with count/sum/min/max sidecars."""
+
+    __slots__ = ("name", "bounds", "counts", "count", "total", "vmin", "vmax")
+
+    def __init__(self, name: str, bounds: Sequence[float] = DEFAULT_BUCKETS):
+        self.name = name
+        self.bounds = tuple(sorted(bounds))
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.vmin: Optional[float] = None
+        self.vmax: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        index = 0
+        for bound in self.bounds:
+            if value <= bound:
+                break
+            index += 1
+        self.counts[index] += 1
+        self.count += 1
+        self.total += value
+        if self.vmin is None or value < self.vmin:
+            self.vmin = value
+        if self.vmax is None or value > self.vmax:
+            self.vmax = value
+
+    def _zero(self) -> None:
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.vmin = None
+        self.vmax = None
+
+
+class MetricsRegistry:
+    """Create-or-get registry of named instruments for one process."""
+
+    __slots__ = ("counters", "gauges", "histograms")
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, Counter] = {}
+        self.gauges: Dict[str, Gauge] = {}
+        self.histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        instrument = self.counters.get(name)
+        if instrument is None:
+            instrument = self.counters[name] = Counter(name)
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        instrument = self.gauges.get(name)
+        if instrument is None:
+            instrument = self.gauges[name] = Gauge(name)
+        return instrument
+
+    def histogram(self, name: str, bounds: Sequence[float] = DEFAULT_BUCKETS) -> Histogram:
+        instrument = self.histograms.get(name)
+        if instrument is None:
+            instrument = self.histograms[name] = Histogram(name, bounds)
+        return instrument
+
+    def snapshot(self) -> Dict[str, Any]:
+        """A JSON-safe copy of every instrument's current state."""
+        return {
+            "counters": {name: c.value for name, c in self.counters.items()},
+            "gauges": {name: g.value for name, g in self.gauges.items()},
+            "histograms": {
+                name: {
+                    "bounds": list(h.bounds),
+                    "counts": list(h.counts),
+                    "count": h.count,
+                    "sum": h.total,
+                    "min": h.vmin,
+                    "max": h.vmax,
+                }
+                for name, h in self.histograms.items()
+            },
+        }
+
+    def reset(self) -> None:
+        """Zero every instrument in place (bound references stay live)."""
+        for instrument in self.counters.values():
+            instrument.value = 0
+        for instrument in self.gauges.values():
+            instrument.value = 0
+        for instrument in self.histograms.values():
+            instrument._zero()
+
+
+#: The registry of this process.  Deliberately module-global and never
+#: swapped: instrumented modules bind counters out of it at import time.
+_REGISTRY = MetricsRegistry()
+
+
+def registry() -> MetricsRegistry:
+    """The process-local registry."""
+    return _REGISTRY
+
+
+def counter(name: str) -> Counter:
+    return _REGISTRY.counter(name)
+
+
+def gauge(name: str) -> Gauge:
+    return _REGISTRY.gauge(name)
+
+
+def histogram(name: str, bounds: Sequence[float] = DEFAULT_BUCKETS) -> Histogram:
+    return _REGISTRY.histogram(name, bounds)
+
+
+def empty_snapshot() -> Dict[str, Any]:
+    return {"counters": {}, "gauges": {}, "histograms": {}}
+
+
+def snapshot_diff(before: Mapping[str, Any], after: Mapping[str, Any]) -> Dict[str, Any]:
+    """What happened between two snapshots of the *same* registry.
+
+    Counters and histogram counts/sums subtract (instruments absent from
+    ``before`` count from zero); gauges take their ``after`` level, and a
+    diffed histogram's ``min``/``max`` are the ``after`` values (the exact
+    window extremes are not recoverable from two cumulative snapshots).
+    """
+    counters_before = before.get("counters", {})
+    counters = {
+        name: value - counters_before.get(name, 0)
+        for name, value in after.get("counters", {}).items()
+    }
+    gauges = dict(after.get("gauges", {}))
+    histograms: Dict[str, Any] = {}
+    hist_before = before.get("histograms", {})
+    for name, h_after in after.get("histograms", {}).items():
+        h_prev = hist_before.get(name)
+        if h_prev is None or list(h_prev["bounds"]) != list(h_after["bounds"]):
+            histograms[name] = {key: value for key, value in h_after.items()}
+            continue
+        histograms[name] = {
+            "bounds": list(h_after["bounds"]),
+            "counts": [a - b for a, b in zip(h_after["counts"], h_prev["counts"])],
+            "count": h_after["count"] - h_prev["count"],
+            "sum": h_after["sum"] - h_prev["sum"],
+            "min": h_after["min"],
+            "max": h_after["max"],
+        }
+    return {"counters": counters, "gauges": gauges, "histograms": histograms}
+
+
+def _merge_minmax(a: Optional[float], b: Optional[float], pick) -> Optional[float]:
+    if a is None:
+        return b
+    if b is None:
+        return a
+    return pick(a, b)
+
+
+def merge_snapshots(
+    accumulator: Dict[str, Any], snapshot: Mapping[str, Any]
+) -> Dict[str, Any]:
+    """Fold ``snapshot`` into ``accumulator`` (mutated and returned).
+
+    Counters, gauges, and histogram buckets add; histogram ``min``/``max``
+    combine.  Histograms with mismatched bucket ladders fall back to adding
+    only ``count``/``sum`` (the first ladder wins).
+    """
+    acc_counters = accumulator.setdefault("counters", {})
+    for name, value in snapshot.get("counters", {}).items():
+        acc_counters[name] = acc_counters.get(name, 0) + value
+    acc_gauges = accumulator.setdefault("gauges", {})
+    for name, value in snapshot.get("gauges", {}).items():
+        acc_gauges[name] = acc_gauges.get(name, 0) + value
+    acc_hists = accumulator.setdefault("histograms", {})
+    for name, incoming in snapshot.get("histograms", {}).items():
+        current = acc_hists.get(name)
+        if current is None:
+            acc_hists[name] = {
+                "bounds": list(incoming["bounds"]),
+                "counts": list(incoming["counts"]),
+                "count": incoming["count"],
+                "sum": incoming["sum"],
+                "min": incoming["min"],
+                "max": incoming["max"],
+            }
+            continue
+        if list(current["bounds"]) == list(incoming["bounds"]):
+            current["counts"] = [
+                a + b for a, b in zip(current["counts"], incoming["counts"])
+            ]
+        current["count"] += incoming["count"]
+        current["sum"] += incoming["sum"]
+        current["min"] = _merge_minmax(current["min"], incoming["min"], min)
+        current["max"] = _merge_minmax(current["max"], incoming["max"], max)
+    return accumulator

@@ -1,0 +1,123 @@
+"""Span tracing: monotonic timestamps around the stack's coarse phases.
+
+:func:`span` is the deep half of the instrumentation layer.  It always
+times its block with :func:`time.perf_counter` (monotonic) and records the
+duration into the ``span.<name>.s`` histogram of the process registry, so
+per-phase timing totals are available from metrics alone.  When the deep
+mode is enabled -- the ``REPRO_TRACE`` environment variable is set to
+anything non-empty, or :func:`set_tracing` was called -- each span
+additionally appends a structured trace event::
+
+    {"name": "cell", "start_s": 12.345678, "duration_s": 0.0021,
+     "attrs": {"scenario": "torus-flood"}}
+
+to a bounded per-process buffer (:func:`trace_events` /
+:func:`drain_trace_events`).  Sweep workers drain their buffer and ship the
+events back with their results so a sweep's telemetry can interleave spans
+from every process.
+
+Spans are for *coarse* phases (cells, shards, analysis passes, sweep
+stages), not per-query paths: one disabled span costs two ``perf_counter``
+calls and one histogram observation.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Any, Dict, List
+
+from .metrics import histogram
+
+__all__ = [
+    "TRACE_ENV",
+    "TRACE_EVENT_LIMIT",
+    "drain_trace_events",
+    "set_tracing",
+    "span",
+    "trace_events",
+    "tracing_enabled",
+]
+
+#: Environment variable enabling the deep trace mode (any non-empty value).
+TRACE_ENV = "REPRO_TRACE"
+
+#: Hard cap on buffered trace events per process; beyond it events are
+#: counted as dropped rather than grown without bound.
+TRACE_EVENT_LIMIT = 10_000
+
+_tracing = bool(os.environ.get(TRACE_ENV))
+_events: List[Dict[str, Any]] = []
+_dropped = 0
+
+
+def tracing_enabled() -> bool:
+    return _tracing
+
+
+def set_tracing(enabled: bool) -> bool:
+    """Force the deep mode on/off; returns the previous setting."""
+    global _tracing
+    previous = _tracing
+    _tracing = bool(enabled)
+    return previous
+
+
+def trace_events() -> List[Dict[str, Any]]:
+    """A copy of the buffered trace events (oldest first)."""
+    return list(_events)
+
+
+def dropped_trace_events() -> int:
+    """How many events the buffer cap discarded since the last drain."""
+    return _dropped
+
+
+def drain_trace_events() -> List[Dict[str, Any]]:
+    """Return the buffered events and clear the buffer (and drop count)."""
+    global _dropped
+    events = list(_events)
+    _events.clear()
+    _dropped = 0
+    return events
+
+
+class span:
+    """Context manager timing one phase; see the module docstring.
+
+    Reusable and re-entrant-safe per instance is *not* guaranteed -- create
+    one per ``with`` block (the normal idiom ``with span("cell", ...):``).
+    """
+
+    __slots__ = ("name", "attrs", "_start", "duration_s")
+
+    def __init__(self, name: str, **attrs: Any):
+        self.name = name
+        self.attrs = attrs
+        self._start = 0.0
+        #: Set on exit; lets callers read the phase timing off the span.
+        self.duration_s = 0.0
+
+    def __enter__(self) -> "span":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        duration = time.perf_counter() - self._start
+        self.duration_s = duration
+        histogram(f"span.{self.name}.s").observe(duration)
+        if _tracing:
+            global _dropped
+            if len(_events) < TRACE_EVENT_LIMIT:
+                event: Dict[str, Any] = {
+                    "name": self.name,
+                    "start_s": round(self._start, 6),
+                    "duration_s": round(duration, 6),
+                }
+                if self.attrs:
+                    event["attrs"] = dict(self.attrs)
+                if exc_type is not None:
+                    event["error"] = exc_type.__name__
+                _events.append(event)
+            else:
+                _dropped += 1

@@ -32,6 +32,7 @@ from __future__ import annotations
 from typing import Iterator, List, Optional, Tuple
 
 from . import interning as _interning
+from ..obs import metrics as _metrics
 from .network import Process
 
 #: Sentinel tag for the spontaneous external message that triggers C's "go".
@@ -473,6 +474,9 @@ def _canonical_step(memo, step: Step) -> Step:
     )
 
 
+_C_CANONICALIZATIONS = _metrics.counter("intern.canonicalizations")
+
+
 def _canonicalize(value):
     """Iterative post-order canonicalisation of a history/message DAG.
 
@@ -486,6 +490,7 @@ def _canonicalize(value):
     cached = memo.get(id(value))
     if cached is not None:
         return cached
+    _C_CANONICALIZATIONS.value += 1
     pins = pool.canonical_pins
     stack = [value]
     while stack:

@@ -1,13 +1,19 @@
-"""Text-based visualisation of runs and bounds graphs."""
+"""Text-based visualisation, graph export, and HTML reporting for runs."""
 
+from .export import causal_dag, graph_to_dot, graph_to_graphml
 from .graphs import extended_graph_listing, graph_listing, path_listing
+from .html_report import render_html_report
 from .spacetime import action_table, message_table, spacetime_diagram
 
 __all__ = [
     "action_table",
+    "causal_dag",
     "extended_graph_listing",
     "graph_listing",
+    "graph_to_dot",
+    "graph_to_graphml",
     "message_table",
     "path_listing",
+    "render_html_report",
     "spacetime_diagram",
 ]

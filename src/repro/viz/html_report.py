@@ -1,0 +1,137 @@
+"""A static, dependency-free HTML dashboard for sweep stores.
+
+``repro report --html PATH`` renders one self-contained page: aggregate
+sweep tables (built by the CLI via :mod:`repro.experiments.reporting`, so
+non-numeric fields show up as value counts), the persisted sweep telemetry
+(backend, phase timings, worker utilization, per-shard throughput, merged
+counters), and a handful of space-time diagrams re-derived from stored
+cells.  Everything is inline — no scripts, no external assets — so the file
+works from CI artifact storage or an email attachment.
+
+This module is purely presentational (it imports nothing from
+:mod:`repro.experiments`, keeping the viz layer dependency-free): callers
+hand it pre-aggregated table rows.  Rendering is deterministic for fixed
+inputs — counters sort by name and no timestamp is embedded unless the
+caller passes one explicitly (``generated_at``).
+"""
+
+from __future__ import annotations
+
+from html import escape
+from typing import Any, List, Mapping, Optional, Sequence, Tuple
+
+__all__ = ["render_html_report"]
+
+_STYLE = """
+body { font-family: -apple-system, 'Segoe UI', Roboto, sans-serif;
+       margin: 2rem auto; max-width: 72rem; color: #1a1a2e; }
+h1 { border-bottom: 2px solid #4a4e8f; padding-bottom: .3rem; }
+h2 { margin-top: 2rem; color: #4a4e8f; }
+table { border-collapse: collapse; margin: .8rem 0; font-size: .9rem; }
+th, td { border: 1px solid #c5c8e8; padding: .25rem .6rem; text-align: left; }
+th { background: #eef0fb; }
+tr:nth-child(even) td { background: #f7f8fd; }
+pre { background: #14142b; color: #d8e0f0; padding: .8rem;
+      overflow-x: auto; font-size: .8rem; line-height: 1.25; }
+.meta { color: #555; font-size: .85rem; }
+""".strip()
+
+
+def _table(header: Sequence[str], rows: Sequence[Sequence[Any]]) -> str:
+    parts = ["<table>", "<tr>"]
+    parts.extend(f"<th>{escape(str(cell))}</th>" for cell in header)
+    parts.append("</tr>")
+    for row in rows:
+        parts.append("<tr>")
+        parts.extend(f"<td>{escape(str(cell))}</td>" for cell in row)
+        parts.append("</tr>")
+    parts.append("</table>")
+    return "".join(parts)
+
+
+def _telemetry_section(telemetry: Mapping[str, Any]) -> str:
+    cells = telemetry.get("cells", {})
+    timings = telemetry.get("timings", {})
+    overview_rows: List[Tuple[str, Any]] = [
+        ("backend", telemetry.get("backend", "?")),
+        ("workers", telemetry.get("workers", "?")),
+        ("cells total / executed / cached / errors",
+         f"{cells.get('total', 0)} / {cells.get('executed', 0)} / "
+         f"{cells.get('cached', 0)} / {cells.get('errors', 0)}"),
+        ("scan / execute / total (s)",
+         f"{timings.get('scan_s', 0)} / {timings.get('execute_s', 0)} / "
+         f"{timings.get('total_s', 0)}"),
+        ("worker wall time (s)", telemetry.get("worker_wall_s", 0)),
+        ("worker utilization", telemetry.get("worker_utilization", "-")),
+        ("worker payloads", telemetry.get("worker_payloads", 0)),
+    ]
+    for name, value in sorted((telemetry.get("derived") or {}).items()):
+        overview_rows.append((name, "-" if value is None else value))
+    parts = ["<h2>Sweep telemetry</h2>", _table(["field", "value"], overview_rows)]
+
+    counters = (telemetry.get("metrics") or {}).get("counters") or {}
+    if counters:
+        parts.append("<h3>Merged counters</h3>")
+        parts.append(_table(["counter", "value"], sorted(counters.items())))
+    shards = telemetry.get("shards") or []
+    if shards:
+        parts.append("<h3>Shards</h3>")
+        parts.append(
+            _table(
+                ["cells", "wall_s", "cells_per_s", "in_process"],
+                [
+                    (
+                        shard.get("cells", "?"),
+                        shard.get("wall_s", "?"),
+                        shard.get("cells_per_s", "?"),
+                        shard.get("in_process", False),
+                    )
+                    for shard in shards
+                ],
+            )
+        )
+    return "".join(parts)
+
+
+def _diagram_section(diagrams: Sequence[Tuple[str, str]]) -> str:
+    parts = ["<h2>Space-time diagrams</h2>"]
+    for title, text in diagrams:
+        parts.append(f"<h3>{escape(title)}</h3><pre>{escape(text)}</pre>")
+    return "".join(parts)
+
+
+def render_html_report(
+    table_header: Sequence[str],
+    table_rows: Sequence[Sequence[Any]],
+    record_count: int,
+    store_path: str,
+    telemetry: Optional[Mapping[str, Any]] = None,
+    diagrams: Sequence[Tuple[str, str]] = (),
+    title: str = "repro sweep report",
+    generated_at: Optional[str] = None,
+) -> str:
+    """Render the dashboard; see the module docstring.
+
+    ``table_header`` / ``table_rows`` is the pre-aggregated sweep table
+    (group fields, cell counts, formatted metric summaries); ``diagrams`` is
+    ``(title, preformatted text)`` pairs.
+    """
+    meta = f"{record_count} records in {escape(store_path)}"
+    if generated_at:
+        meta += f" · generated {escape(generated_at)}"
+    parts = [
+        "<!DOCTYPE html>",
+        '<html lang="en"><head><meta charset="utf-8">',
+        f"<title>{escape(title)}</title>",
+        f"<style>{_STYLE}</style></head><body>",
+        f"<h1>{escape(title)}</h1>",
+        f'<p class="meta">{meta}</p>',
+        "<h2>Sweep results</h2>",
+        _table(table_header, table_rows),
+    ]
+    if telemetry is not None:
+        parts.append(_telemetry_section(telemetry))
+    if diagrams:
+        parts.append(_diagram_section(diagrams))
+    parts.append("</body></html>")
+    return "\n".join(parts) + "\n"

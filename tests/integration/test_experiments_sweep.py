@@ -38,7 +38,12 @@ class TestSweepAcceptance:
         assert first.total == len(cells)
         assert first.executed == len(cells)
         assert first.errors == 0
-        assert len(store) == len(cells)
+        # One record per cell plus the sweep's telemetry record.
+        assert len(store) == len(cells) + 1
+        telemetry = store.get(first.telemetry["key"])
+        assert telemetry is not None
+        assert telemetry["kind"] == "sweep_telemetry"
+        assert telemetry["status"] == "telemetry"
 
         # Second invocation: incremental, 100% cache hits, nothing executed.
         second = run_sweep(cells, store=store, workers=2)
@@ -80,11 +85,13 @@ class TestSweepAcceptance:
         out = capsys.readouterr().out
         assert "0 executed, 36 cached" in out
 
-        # The store holds analysable records for every cell.
+        # The store holds analysable records for every cell (plus the sweep's
+        # telemetry record, which carries a non-"ok" status).
         records = ResultStore(store_path).records()
-        assert len(records) == 36
-        for record in records:
-            assert record["status"] == "ok"
+        cell_records = [r for r in records if r["status"] == "ok"]
+        assert len(cell_records) == 36
+        assert len(records) == 37
+        for record in cell_records:
             assert "summary" in record["analyses"]
             json.dumps(record)
 
@@ -120,7 +127,8 @@ class TestCliSubprocess:
         )
         assert result.returncode == 0, result.stderr
         assert "[backend=sharded]" in result.stdout
-        assert len(ResultStore(store_path)) == 4
+        # 4 cell records + 1 telemetry record.
+        assert len(ResultStore(store_path)) == 5
 
     def test_python_m_repro_list(self):
         result = subprocess.run(

@@ -1,0 +1,135 @@
+"""Tests for GraphML/DOT export: determinism, escaping, networkx round-trip."""
+
+import io
+
+import pytest
+
+from repro.core.bounds_graph import basic_bounds_graph
+from repro.core.extended_graph import ExtendedBoundsGraph
+from repro.core.graph import WeightedGraph
+from repro.experiments.cli import main as cli_main
+from repro.experiments.runner import build_cell_scenario, make_cell
+from repro.viz.export import causal_dag, graph_to_dot, graph_to_graphml
+
+
+@pytest.fixture()
+def figure1_run():
+    return build_cell_scenario(make_cell("figure1")).run()
+
+
+class TestGraphML:
+    def test_deterministic_output(self, figure1_run):
+        first = graph_to_graphml(basic_bounds_graph(figure1_run), figure1_run)
+        second = graph_to_graphml(basic_bounds_graph(figure1_run), figure1_run)
+        assert first == second
+
+    def test_declares_keys_and_labels(self, figure1_run):
+        xml = graph_to_graphml(basic_bounds_graph(figure1_run), figure1_run)
+        assert 'attr.name="label"' in xml
+        assert 'attr.name="weight"' in xml
+        assert "A@t0" in xml
+
+    def test_escapes_xml_specials(self):
+        graph = WeightedGraph()
+        graph.add_edge("a<b", 'c&"d"', 1, label="<&>")
+        xml = graph_to_graphml(graph)
+        assert "a&lt;b" in xml and "c&amp;" in xml and "&lt;&amp;&gt;" in xml
+
+    def test_networkx_roundtrip_bounds_graph(self, figure1_run):
+        nx = pytest.importorskip("networkx")
+        graph = basic_bounds_graph(figure1_run)
+        loaded = nx.read_graphml(io.StringIO(graph_to_graphml(graph, figure1_run)))
+        assert loaded.number_of_nodes() == len(graph)
+        assert loaded.number_of_edges() == graph.edge_count()
+        labels = {data["label"] for _, data in loaded.nodes(data=True)}
+        assert "A@t0" in labels
+        weights = [data["weight"] for _, _, data in loaded.edges(data=True)]
+        assert all(isinstance(w, int) for w in weights)
+
+    def test_networkx_roundtrip_preserves_parallel_edges(self):
+        nx = pytest.importorskip("networkx")
+        graph = WeightedGraph()
+        graph.add_edge("a", "b", 1, label="fidelity")
+        graph.add_edge("a", "b", 5, label="transmission")
+        loaded = nx.read_graphml(io.StringIO(graph_to_graphml(graph)))
+        assert loaded.is_multigraph()
+        assert loaded.number_of_edges() == 2
+
+    def test_networkx_roundtrip_extended_graph(self, figure1_run):
+        nx = pytest.importorskip("networkx")
+        sigma = figure1_run.final_node(figure1_run.processes[0])
+        extended = ExtendedBoundsGraph(sigma, figure1_run.timed_network)
+        xml = graph_to_graphml(extended.graph, figure1_run)
+        loaded = nx.read_graphml(io.StringIO(xml))
+        assert loaded.number_of_nodes() == len(extended.graph)
+        labels = {data["label"] for _, data in loaded.nodes(data=True)}
+        assert any(label.startswith("psi(") for label in labels)
+
+
+class TestDot:
+    def test_deterministic_and_quoted(self, figure1_run):
+        dag = causal_dag(figure1_run)
+        text = graph_to_dot(dag, figure1_run, name="causal")
+        assert text == graph_to_dot(causal_dag(figure1_run), figure1_run, name="causal")
+        assert text.startswith('digraph "causal" {')
+        assert '[label="A@t0"];' in text
+        assert text.rstrip().endswith("}")
+
+    def test_quote_escaping(self):
+        graph = WeightedGraph()
+        graph.add_edge('say "hi"', "b\\c", 1)
+        text = graph_to_dot(graph)
+        assert '\\"hi\\"' in text
+        assert "b\\\\c" in text
+
+
+class TestCausalDag:
+    def test_edges_match_run_structure(self, figure1_run):
+        dag = causal_dag(figure1_run)
+        locals_ = [e for e in dag.edges if e.label == "local"]
+        messages = [e for e in dag.edges if e.label == "message"]
+        expected_locals = sum(
+            len(figure1_run.timelines[p]) - 1 for p in figure1_run.processes
+        )
+        assert len(locals_) == expected_locals
+        assert len(messages) == len(figure1_run.deliveries)
+        for edge in messages:
+            assert edge.weight >= 0  # transmission delay
+
+    def test_every_run_node_present(self, figure1_run):
+        dag = causal_dag(figure1_run)
+        for node in figure1_run.nodes():
+            assert node in dag
+
+
+class TestExportCli:
+    def test_export_graphml_roundtrips(self, tmp_path, capsys):
+        nx = pytest.importorskip("networkx")
+        path = str(tmp_path / "g.graphml")
+        assert cli_main(
+            ["export", "figure1", "--graph", "bounds", "--output", path]
+        ) == 0
+        assert "wrote" in capsys.readouterr().out
+        loaded = nx.read_graphml(path)
+        assert loaded.number_of_nodes() > 0
+
+    def test_export_extended_with_sigma(self, tmp_path, capsys):
+        path = str(tmp_path / "ge.graphml")
+        code = cli_main(
+            ["export", "figure1", "--graph", "extended", "--sigma", "A",
+             "--output", path]
+        )
+        assert code == 0
+        assert "psi(" in open(path, encoding="utf-8").read()
+
+    def test_export_dot_to_stdout(self, capsys):
+        assert cli_main(["export", "figure1", "--graph", "causal",
+                         "--format", "dot"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("digraph")
+
+    def test_export_rejects_bad_sigma(self, capsys):
+        assert cli_main(
+            ["export", "figure1", "--graph", "extended", "--sigma", "ZZZ"]
+        ) == 2
+        assert "not in run" in capsys.readouterr().err

@@ -1,0 +1,198 @@
+"""Unit tests for the ``repro.obs`` instrumentation layer."""
+
+import time
+
+import pytest
+
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
+from repro.obs.collect import Collector, registry_baseline, registry_delta
+from repro.obs.metrics import (
+    Counter,
+    Histogram,
+    MetricsRegistry,
+    empty_snapshot,
+    merge_snapshots,
+    snapshot_diff,
+)
+from repro.obs.trace import drain_trace_events, set_tracing, span
+
+
+@pytest.fixture()
+def registry():
+    return MetricsRegistry()
+
+
+class TestMetricsPrimitives:
+    def test_counter_inc_and_bare_value(self, registry):
+        counter = registry.counter("x")
+        counter.inc()
+        counter.inc(4)
+        counter.value += 1  # the hot-path idiom
+        assert registry.counter("x").value == 6
+        assert registry.counter("x") is counter
+
+    def test_gauge_set_and_inc(self, registry):
+        gauge = registry.gauge("g")
+        gauge.set(2.5)
+        gauge.inc(0.5)
+        assert registry.gauge("g").value == 3.0
+
+    def test_histogram_buckets_and_stats(self, registry):
+        hist = registry.histogram("h", bounds=(1.0, 10.0))
+        for value in (0.5, 5.0, 50.0):
+            hist.observe(value)
+        assert hist.count == 3
+        assert hist.total == 55.5
+        assert hist.vmin == 0.5 and hist.vmax == 50.0
+        assert hist.counts == [1, 1, 1]  # <=1, <=10, overflow
+
+    def test_snapshot_shape(self, registry):
+        registry.counter("c").inc(2)
+        registry.histogram("h", bounds=(1.0,)).observe(0.3)
+        snap = registry.snapshot()
+        assert snap["counters"] == {"c": 2}
+        assert snap["histograms"]["h"]["count"] == 1
+        assert snap["histograms"]["h"]["bounds"] == [1.0]
+
+    def test_reset_zeroes_in_place(self, registry):
+        counter = registry.counter("c")
+        counter.inc(7)
+        registry.reset()
+        assert counter.value == 0  # same object, zeroed
+        assert registry.counter("c") is counter
+
+
+class TestSnapshotAlgebra:
+    def test_diff_then_merge_roundtrip(self, registry):
+        registry.counter("c").inc(3)
+        before = registry.snapshot()
+        registry.counter("c").inc(4)
+        registry.histogram("h").observe(0.01)
+        delta = snapshot_diff(before, registry.snapshot())
+        assert delta["counters"]["c"] == 4
+        assert delta["histograms"]["h"]["count"] == 1
+
+        acc = empty_snapshot()
+        merge_snapshots(acc, delta)
+        merge_snapshots(acc, delta)
+        assert acc["counters"]["c"] == 8
+        assert acc["histograms"]["h"]["count"] == 2
+
+    def test_merge_combines_min_max(self):
+        a = empty_snapshot()
+        merge_snapshots(
+            a,
+            {
+                "counters": {},
+                "gauges": {},
+                "histograms": {
+                    "h": {"bounds": [1.0], "counts": [1, 0], "count": 1,
+                          "sum": 0.5, "min": 0.5, "max": 0.5}
+                },
+            },
+        )
+        merge_snapshots(
+            a,
+            {
+                "counters": {},
+                "gauges": {},
+                "histograms": {
+                    "h": {"bounds": [1.0], "counts": [0, 1], "count": 1,
+                          "sum": 3.0, "min": 3.0, "max": 3.0}
+                },
+            },
+        )
+        hist = a["histograms"]["h"]
+        assert hist["count"] == 2 and hist["min"] == 0.5 and hist["max"] == 3.0
+
+    def test_module_registry_delta_helpers(self):
+        baseline = registry_baseline()
+        obs_metrics.counter("test.delta.helper").inc(5)
+        delta = registry_delta(baseline)
+        assert delta["counters"]["test.delta.helper"] == 5
+
+
+class TestSpans:
+    def test_span_records_histogram_always(self):
+        baseline = registry_baseline()
+        with span("unit.test.phase"):
+            time.sleep(0.001)
+        delta = registry_delta(baseline)
+        hist = delta["histograms"]["span.unit.test.phase.s"]
+        assert hist["count"] == 1
+
+    def test_span_exposes_duration(self):
+        with span("unit.test.duration") as s:
+            time.sleep(0.001)
+        assert s.duration_s > 0
+
+    def test_trace_events_only_when_enabled(self):
+        drain_trace_events()
+        previous = set_tracing(False)
+        try:
+            with span("unit.test.quiet"):
+                pass
+            assert all(
+                e["name"] != "unit.test.quiet" for e in obs_trace.trace_events()
+            )
+            set_tracing(True)
+            with span("unit.test.loud", scenario="s1"):
+                pass
+            events = [
+                e for e in drain_trace_events() if e["name"] == "unit.test.loud"
+            ]
+            assert len(events) == 1
+            assert events[0]["attrs"] == {"scenario": "s1"}
+            assert events[0]["duration_s"] >= 0
+        finally:
+            set_tracing(previous)
+            drain_trace_events()
+
+    def test_span_records_error_type(self):
+        previous = set_tracing(True)
+        try:
+            drain_trace_events()
+            with pytest.raises(ValueError):
+                with span("unit.test.boom"):
+                    raise ValueError("x")
+            events = drain_trace_events()
+            assert events[-1]["error"] == "ValueError"
+        finally:
+            set_tracing(previous)
+            drain_trace_events()
+
+    def test_event_buffer_is_bounded(self, monkeypatch):
+        previous = set_tracing(True)
+        monkeypatch.setattr(obs_trace, "TRACE_EVENT_LIMIT", 5)
+        try:
+            drain_trace_events()
+            for _ in range(8):
+                with span("unit.test.flood"):
+                    pass
+            assert len(obs_trace.trace_events()) == 5
+            assert obs_trace.dropped_trace_events() == 3
+        finally:
+            set_tracing(previous)
+            drain_trace_events()
+
+
+class TestCollector:
+    def test_collector_merges_and_counts_payloads(self):
+        collector = Collector()
+        snap = empty_snapshot()
+        snap["counters"]["c"] = 2
+        collector.add_metrics(snap)
+        collector.add_metrics(snap)
+        collector.add_metrics(None)  # ignored
+        assert collector.merged["counters"]["c"] == 4
+        assert collector.worker_payloads == 2
+
+    def test_collector_shard_meta(self):
+        collector = Collector()
+        collector.add_shard(10, 2.0)
+        collector.add_shard(4, 0.0, in_process=True)
+        assert collector.shards[0]["cells_per_s"] == 5.0
+        assert collector.shards[1]["cells_per_s"] is None
+        assert collector.shards[1]["in_process"] is True
+        assert collector.worker_wall_s() == 2.0

@@ -1,0 +1,124 @@
+"""Unit tests for report aggregation: non-numeric fields must survive."""
+
+import json
+
+import pytest
+
+from repro.experiments.cli import main as cli_main
+from repro.experiments.reporting import (
+    aggregate_metric,
+    discover_metrics,
+    flatten_scalars,
+    format_aggregate,
+    group_records,
+)
+
+
+class TestFlattenScalars:
+    def test_numbers_become_floats(self):
+        flat = flatten_scalars({"a": 1, "b": {"c": 2.5}})
+        assert flat == {"a": 1.0, "b.c": 2.5}
+
+    def test_booleans_survive_as_booleans(self):
+        flat = flatten_scalars({"applicable": True, "nested": {"ok": False}})
+        assert flat["applicable"] is True
+        assert flat["nested.ok"] is False
+
+    def test_strings_and_none_survive(self):
+        flat = flatten_scalars({"go_sender": "C", "actor_b": None})
+        assert flat["go_sender"] == "C"
+        assert flat["actor_b"] is None
+
+    def test_lists_flatten_by_index(self):
+        flat = flatten_scalars({"path": ["A", "B"], "weights": [1, 2]})
+        assert flat == {"path.0": "A", "path.1": "B",
+                        "weights.0": 1.0, "weights.1": 2.0}
+
+    def test_unknown_leaves_degrade_to_repr(self):
+        flat = flatten_scalars({"odd": {1, 2} and frozenset([3])})
+        assert "frozenset" in flat["odd"]
+
+
+class TestAggregateMetric:
+    def test_numeric_column(self):
+        rows = [{"m": 1.0}, {"m": 3.0}, {}]
+        summary = aggregate_metric(rows, "m")
+        assert summary == {"mean": 2.0, "min": 1.0, "max": 3.0, "n": 2}
+        assert format_aggregate(summary) == "2.00/1/3"
+
+    def test_boolean_column_counts(self):
+        rows = [{"ok": True}, {"ok": True}, {"ok": False}]
+        summary = aggregate_metric(rows, "ok")
+        assert summary == {"counts": {"False": 1, "True": 2}, "n": 3}
+        assert format_aggregate(summary) == "False:1 True:2"
+
+    def test_label_column_counts(self):
+        rows = [{"who": "C"}, {"who": "A"}, {"who": "C"}]
+        assert aggregate_metric(rows, "who") == {
+            "counts": {"A": 1, "C": 2}, "n": 3,
+        }
+
+    def test_mixed_column_is_categorical(self):
+        rows = [{"m": 1.0}, {"m": "n/a"}]
+        assert "counts" in aggregate_metric(rows, "m")
+
+    def test_absent_metric(self):
+        assert aggregate_metric([{"x": 1.0}], "y") is None
+        assert format_aggregate(None) == "-"
+
+
+class TestGrouping:
+    RECORDS = [
+        {"scenario": "s1", "adversary": "earliest",
+         "analyses": {"coordination": {"satisfied": True, "margin": 2}}},
+        {"scenario": "s1", "adversary": "latest",
+         "analyses": {"coordination": {"satisfied": False, "margin": 0}}},
+    ]
+
+    def test_group_records(self):
+        groups = group_records(self.RECORDS, ["scenario", "adversary"])
+        assert set(groups) == {("s1", "earliest"), ("s1", "latest")}
+        rows = groups[("s1", "earliest")]
+        assert rows[0]["coordination.satisfied"] is True
+
+    def test_discover_metrics(self):
+        groups = group_records(self.RECORDS, ["scenario"])
+        assert discover_metrics(groups) == [
+            "coordination.margin", "coordination.satisfied",
+        ]
+
+
+class TestReportCliSurfacesNonNumeric:
+    """End-to-end: booleans and labels appear in `repro report` output."""
+
+    @pytest.fixture()
+    def store_path(self, tmp_path):
+        path = str(tmp_path / "results.jsonl")
+        assert cli_main(
+            ["sweep", "--scenario", "figure1", "--adversary", "earliest",
+             "--seeds", "1", "--workers", "1", "--store", path]
+        ) == 0
+        return path
+
+    def test_text_report_shows_booleans_and_labels(self, store_path, capsys):
+        capsys.readouterr()
+        assert cli_main(["report", "--store", store_path]) == 0
+        out = capsys.readouterr().out
+        # coordination.applicable is a boolean, go_sender a process label;
+        # both were dropped by the old numeric-only flattening.
+        assert "True:1" in out
+        assert "C:1" in out
+
+    def test_json_report_contains_categorical_summaries(self, store_path, capsys):
+        capsys.readouterr()
+        assert cli_main(
+            ["report", "--store", store_path, "--json",
+             "--metric", "coordination.applicable",
+             "--metric", "coordination.go_sender",
+             "--metric", "summary.sends"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        entry = payload[0]
+        assert entry["coordination.applicable"] == {"counts": {"True": 1}, "n": 1}
+        assert entry["coordination.go_sender"] == {"counts": {"C": 1}, "n": 1}
+        assert entry["summary.sends"]["n"] == 1  # numeric path unchanged

@@ -1,0 +1,129 @@
+"""Structural tests for the viz renderers: deterministic, parseable output."""
+
+import pytest
+
+from repro.core.bounds_graph import basic_bounds_graph
+from repro.core.extended_graph import ExtendedBoundsGraph
+from repro.experiments.runner import build_cell_scenario, make_cell
+from repro.viz.graphs import extended_graph_listing, graph_listing, path_listing
+from repro.viz.html_report import render_html_report
+from repro.viz.spacetime import action_table, message_table, spacetime_diagram
+
+
+@pytest.fixture(scope="module")
+def run():
+    return build_cell_scenario(make_cell("figure1")).run()
+
+
+class TestGraphListing:
+    def test_deterministic(self, run):
+        graph = basic_bounds_graph(run)
+        assert graph_listing(graph, run) == graph_listing(graph, run)
+
+    def test_header_counts_match_graph(self, run):
+        graph = basic_bounds_graph(run)
+        listing = graph_listing(graph, run)
+        header = listing.splitlines()[0]
+        assert header == f"nodes: {len(graph)}, edges: {graph.edge_count()}"
+        # one line per edge after the header
+        assert len(listing.splitlines()) == 1 + graph.edge_count()
+
+    def test_edges_sorted_by_label_then_endpoints(self, run):
+        graph = basic_bounds_graph(run)
+        lines = graph_listing(graph, run).splitlines()[1:]
+        labels = [line.split("]")[0].strip(" [") for line in lines]
+        assert labels == sorted(labels)
+
+    def test_label_filter(self, run):
+        graph = basic_bounds_graph(run)
+        listing = graph_listing(graph, run, labels=["succ"])
+        body = listing.splitlines()[1:]
+        assert body and all("succ" in line for line in body)
+
+    def test_every_edge_line_carries_weight_arrow(self, run):
+        graph = basic_bounds_graph(run)
+        for line in graph_listing(graph, run).splitlines()[1:]:
+            assert "--(" in line and ")-->" in line
+
+    def test_extended_listing_reports_edge_sets(self, run):
+        sigma = run.final_node(run.processes[0])
+        extended = ExtendedBoundsGraph(sigma, run.timed_network)
+        listing = extended_graph_listing(extended, run)
+        assert "edge sets:" in listing
+        assert "psi(" in listing
+
+    def test_path_listing(self, run):
+        graph = basic_bounds_graph(run)
+        edges = list(graph.edges)[:2]
+        listing = path_listing(edges, run)
+        total = sum(edge.weight for edge in edges)
+        assert listing.splitlines()[0] == f"path weight {total:+d}:"
+        assert len(listing.splitlines()) == 1 + len(edges)
+        assert path_listing([], run) == "(empty path, weight 0)"
+
+
+class TestSpacetime:
+    def test_deterministic(self, run):
+        assert spacetime_diagram(run) == spacetime_diagram(run)
+
+    def test_row_and_column_structure(self, run):
+        lines = spacetime_diagram(run).splitlines()
+        # Header row "t" plus one row per process, in network order.
+        assert lines[0].split()[0] == "t"
+        assert [line.split()[0] for line in lines[1:]] == list(run.processes)
+        # The header enumerates every instant of the horizon.
+        assert lines[0].split()[1:] == [str(t) for t in range(run.horizon + 1)]
+
+    def test_window_bounds_columns(self, run):
+        lines = spacetime_diagram(run, start=2, end=4).splitlines()
+        assert lines[0].split()[1:] == ["2", "3", "4"]
+
+    def test_message_table_rows_match_deliveries(self, run):
+        lines = message_table(run).splitlines()
+        assert len(lines) == 2 + len(run.deliveries)
+        assert lines[0].split() == ["from", "to", "sent", "recv", "delay", "window"]
+        assert message_table(run, limit=1).splitlines()[2:] == lines[2:3]
+
+    def test_action_table_sorted_by_time(self, run):
+        lines = action_table(run).splitlines()[2:]
+        times = [int(line.split()[-1]) for line in lines]
+        assert times == sorted(times)
+        assert len(lines) == len(run.actions())
+
+
+class TestHtmlReport:
+    def test_deterministic_without_timestamp(self):
+        args = (["scenario", "cells"], [["figure1", "2"]], 2, "store.jsonl")
+        assert render_html_report(*args) == render_html_report(*args)
+
+    def test_escapes_content(self):
+        html = render_html_report(
+            ["<th>"], [["<script>alert(1)</script>"]], 1, "a&b.jsonl"
+        )
+        assert "<script>alert" not in html
+        assert "&lt;script&gt;" in html
+
+    def test_sections_render(self):
+        telemetry = {
+            "backend": "sharded",
+            "workers": 2,
+            "cells": {"total": 4, "executed": 4, "cached": 0, "errors": 0},
+            "timings": {"scan_s": 0.001, "execute_s": 0.5, "total_s": 0.51},
+            "worker_wall_s": 0.9,
+            "worker_utilization": 0.9,
+            "worker_payloads": 2,
+            "derived": {"engine_row_hit_rate": 0.25},
+            "metrics": {"counters": {"engine.queries": 12}},
+            "shards": [{"cells": 2, "wall_s": 0.4, "cells_per_s": 5.0}],
+        }
+        html = render_html_report(
+            ["scenario"], [["figure1"]], 4, "s.jsonl",
+            telemetry=telemetry,
+            diagrams=[("figure1 cell", "t  0 1\nA  . .")],
+            generated_at="2026-08-08",
+        )
+        assert "<h2>Sweep telemetry</h2>" in html
+        assert "engine.queries" in html
+        assert "<h3>Shards</h3>" in html
+        assert "<h2>Space-time diagrams</h2>" in html
+        assert "generated 2026-08-08" in html
