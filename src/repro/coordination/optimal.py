@@ -25,7 +25,7 @@ and is therefore sometimes strictly slower to act.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Optional, Sequence, Tuple
 
 from ..core.knowledge_session import KnowledgeSession
 from ..core.nodes import BasicNode, general
@@ -72,11 +72,19 @@ class _SessionHolder:
     def _session_at(
         self, sigma: BasicNode, timed_network: TimedNetwork
     ) -> KnowledgeSession:
-        """The session advanced to ``sigma``, recreated on a network change.
+        """The session advanced to ``sigma``, recreated on a network change."""
+        return self._session_over((sigma,), timed_network)
 
-        Run/observer/pool changes are handled inside
-        :meth:`KnowledgeSession.advance` (it resets itself); only a different
-        timed network requires a new session object.
+    def _session_over(
+        self, sigmas: Sequence[BasicNode], timed_network: TimedNetwork
+    ) -> KnowledgeSession:
+        """The session advanced through a chunk ending at ``sigmas[-1]``.
+
+        Every consumer routes through :meth:`KnowledgeSession.advance_many`
+        here -- the per-step protocol with one-node chunks, the offline probe
+        with whole timeline chunks.  Run/observer/pool changes are handled
+        inside the session (it resets itself); only a different timed network
+        requires a new session object.
         """
         session = self._session
         if session is None or session.timed_network is not timed_network:
@@ -84,7 +92,7 @@ class _SessionHolder:
                 timed_network, include_auxiliary=self.include_auxiliary
             )
             self._session = session
-        return session.advance(sigma)
+        return session.advance_many(sigmas)
 
     def _guard_holds(self, session: KnowledgeSession, sigma: BasicNode) -> bool:
         """Protocol 2's knowledge condition at the session's current node."""
@@ -130,33 +138,76 @@ class OptimalCoordinationProtocol(_SessionHolder, Protocol):
         return StepDecision.flood()
 
 
+#: Timeline steps absorbed per session chunk during offline probe replays.
+PROBE_CHUNK_STEPS = 8
+
+
 class EagerKnowledgeProbe(_SessionHolder):
     """Offline analysis helper: when along a run would B first have been able to act?
 
     Useful for benchmarks: given a finished run (e.g. produced with a plain
     FFIP everywhere), replay B's timeline and report the first node at which
     Protocol 2's guard holds, without re-simulating.  The replay advances one
-    knowledge session along the timeline, so the whole probe costs O(run)
-    graph work rather than O(run * past).
+    knowledge session along the timeline in *chunks*
+    (:meth:`KnowledgeSession.advance_many`), so most steps pay neither
+    per-step bookkeeping nor an overlay install:
+
+    * while the go node is not yet visible at a chunk's end it is not
+      visible anywhere in the chunk (pasts are nested along a timeline), so
+      the chunk is skipped wholesale for any task;
+    * for ``Late`` tasks the whole guard is monotone along the timeline (the
+      precedence being established is fixed and the observer's margin only
+      grows with its past), so a chunk whose *end* fails the guard is also
+      skipped wholesale;
+    * once the guard can first hold inside a chunk, the replay descends to
+      per-step evaluation (the session transparently resets on the one
+      backward advance) and returns the first holding node -- ``Early``
+      guards are not monotone (the margin shrinks as sigma approaches
+      ``theta_a``), so after go-visibility they always replay per step.
+
+    The chunked replay is pinned equal to the per-step replay by the
+    property-test suite across scenario families, adversaries and chunk
+    sizes.
     """
 
-    def first_actionable_node(self, run) -> Optional[Tuple[BasicNode, int]]:
+    def first_actionable_node(
+        self, run, chunk_steps: int = PROBE_CHUNK_STEPS
+    ) -> Optional[Tuple[BasicNode, int]]:
         """The first B-node (and its time) at which the knowledge condition holds."""
         theta_a = self.task.action_node_a(run)
         if theta_a is None:
             return None
         net = run.timed_network
-        for time, node in run.timelines[self.task.actor_b]:
-            if node.is_initial:
-                continue
-            session = self._session_at(node, net)
+
+        def knows_at(session: KnowledgeSession, node: BasicNode) -> bool:
+            if session.find_go_node(self.task.go_sender, self.task.go_trigger) is None:
+                return False
+            if self.task.is_late:
+                return session.knows(theta_a, node, self.task.margin)
+            return session.knows(node, theta_a, self.task.margin)
+
+        timeline = [
+            (time, node)
+            for time, node in run.timelines[self.task.actor_b]
+            if not node.is_initial
+        ]
+        chunk_steps = max(1, chunk_steps)
+        position = 0
+        while position < len(timeline):
+            chunk = timeline[position : position + chunk_steps]
+            session = self._session_over([node for _, node in chunk], net)
             go_node = session.find_go_node(self.task.go_sender, self.task.go_trigger)
             if go_node is None:
+                position += len(chunk)
                 continue
-            if self.task.is_late:
-                knows = session.knows(theta_a, node, self.task.margin)
-            else:
-                knows = session.knows(node, theta_a, self.task.margin)
-            if knows:
-                return node, time
+            if self.task.is_late and not knows_at(session, chunk[-1][1]):
+                position += len(chunk)
+                continue
+            # The first actionable node lies at or after this chunk's start:
+            # descend to the per-step replay from here.
+            for time, node in timeline[position:]:
+                session = self._session_at(node, net)
+                if knows_at(session, node):
+                    return node, time
+            return None
         return None

@@ -22,17 +22,46 @@ Nodes interned in a *different* pool (after a pool swap or a process
 boundary) are transparently re-canonicalised into the current pool before
 their uid is used, so all entry points stay correct across pools -- only the
 caches are per-pool.
+
+When numpy is available, the bitset operations go vectorized over the dense
+uid space for large masks: a past bitset unpacks into a boolean array in one
+``numpy.unpackbits`` call, membership scans (:func:`mask_members` and the
+past-delta scans built on it) become a ``nonzero`` gather instead of
+per-member bit twiddling, and :func:`in_past_many` answers a whole batch of
+probes against one unpacked view.  Small masks and numpy-free installs take
+the pure-Python bit-probe path -- results are identical.
 """
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, Optional, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
 
 from ..simulation import interning as _interning
 from ..simulation.interning import InternPool
 from ..simulation.messages import MessageReceipt
 from ..simulation.network import Process
 from .nodes import BasicNode, GeneralNode
+
+try:  # numpy is an optional accelerator; every path has a bit-probe fallback.
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised on numpy-free installs
+    _np = None
+
+#: Masks with fewer bits than this stay on the pure-Python path: unpacking a
+#: tiny bitset into arrays costs more than a handful of bit probes.
+_VECTOR_MIN_BITS = 2048
+
+
+def _mask_uid_array(mask: int):
+    """The uids set in ``mask`` as an int64 array (numpy path only).
+
+    One ``to_bytes`` (C-speed on the big int) + ``unpackbits`` + ``nonzero``
+    replaces the per-member ``mask & -mask`` peeling loop, which is
+    O(members * words) on Python ints.
+    """
+    data = mask.to_bytes((mask.bit_length() + 7) // 8, "little")
+    bits = _np.unpackbits(_np.frombuffer(data, dtype=_np.uint8), bitorder="little")
+    return _np.nonzero(bits)[0]
 
 
 def _canonical_uid(pool: InternPool, node: BasicNode) -> int:
@@ -102,6 +131,8 @@ def _past_mask(pool: InternPool, node: BasicNode) -> int:
 
 def _mask_members(pool: InternPool, mask: int) -> FrozenSet[BasicNode]:
     """Materialise a past bitset back into its set of basic nodes."""
+    if _np is not None and mask.bit_length() > _VECTOR_MIN_BITS:
+        return frozenset(pool.nodes_for_uids(_mask_uid_array(mask).tolist()))
     table = pool.node_by_uid
     members = []
     remaining = mask
@@ -154,6 +185,30 @@ def in_past(node: BasicNode, sigma: BasicNode) -> bool:
     pool = _interning._POOL
     mask = _past_mask(pool, sigma)
     return bool(mask >> _canonical_uid(pool, node) & 1)
+
+
+def in_past_many(nodes: Sequence[BasicNode], sigma: BasicNode) -> List[bool]:
+    """Batched :func:`in_past`: ``[node in past(sigma) for node in nodes]``.
+
+    Sigma's mask is fetched (or built) once for the whole batch.  For large
+    pasts the probes are one vectorized gather over the unpacked boolean view
+    of the bitset; small masks and numpy-free installs loop bit probes.  The
+    result list is index-aligned with ``nodes``.
+    """
+    pool = _interning._POOL
+    mask = _past_mask(pool, sigma)
+    uids = [_canonical_uid(pool, node) for node in nodes]
+    if _np is not None and mask.bit_length() > _VECTOR_MIN_BITS and len(uids) > 1:
+        data = mask.to_bytes((mask.bit_length() + 7) // 8, "little")
+        bits = _np.unpackbits(
+            _np.frombuffer(data, dtype=_np.uint8), bitorder="little"
+        )
+        uid_array = _np.asarray(uids, dtype=_np.int64)
+        inside = uid_array < bits.size
+        result = _np.zeros(len(uids), dtype=bool)
+        result[inside] = bits[uid_array[inside]].astype(bool)
+        return result.tolist()
+    return [bool(mask >> uid & 1) for uid in uids]
 
 
 def happens_before(earlier: BasicNode, later: BasicNode, strict: bool = False) -> bool:

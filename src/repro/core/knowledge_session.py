@@ -72,6 +72,7 @@ __all__ = ["KnowledgeSession"]
 
 # Process-wide session counters (every session feeds the same set).
 _C_ADVANCES = _metrics.counter("session.advances")
+_C_CHUNK_ADVANCES = _metrics.counter("session.chunk_advances")
 _C_RESETS = _metrics.counter("session.resets")
 _C_NODES_APPENDED = _metrics.counter("session.nodes_appended")
 _C_PSI_REINSTALLS = _metrics.counter("session.psi_reinstalls")
@@ -97,6 +98,7 @@ class KnowledgeSession:
         self.timed_network = timed_network
         self.include_auxiliary = include_auxiliary
         self.advances = 0
+        self.chunk_advances = 0
         self.resets = 0
         self.nodes_appended = 0
         self._cold_start()
@@ -191,6 +193,31 @@ class KnowledgeSession:
         _C_ADVANCES.value += 1
         _C_NODES_APPENDED.value += len(ordered)
         return self
+
+    def advance_many(self, sigmas: Sequence[BasicNode]) -> "KnowledgeSession":
+        """Advance through a whole chunk of timeline nodes in one absorption.
+
+        Equivalent in final state to ``for sigma in sigmas: advance(sigma)``,
+        but the intermediate nodes pay no per-step bookkeeping at all: the
+        chunk contributes *one* causal-past delta (``past(last) & ~previous``
+        subsumes every step in between on a timeline), one ordered
+        materialisation, one core-graph append and -- because the auxiliary
+        overlay installs lazily, on the first query -- at most one engine
+        overlay install.  This is the "one engine pass per chunk" contract
+        the coordination replays and the sweep analysis passes batch against.
+
+        Queries after the call are answered at the chunk's *last* node; a
+        consumer that must observe an intermediate node ends a chunk at it.
+        An empty chunk is a no-op.
+        """
+        last: Optional[BasicNode] = None
+        for sigma in sigmas:
+            last = sigma
+        if last is None:
+            return self
+        self.chunk_advances += 1
+        _C_CHUNK_ADVANCES.value += 1
+        return self.advance(last)
 
     # -- the auxiliary overlay -----------------------------------------------------
 

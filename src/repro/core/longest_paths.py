@@ -47,18 +47,52 @@ sources from which the naive relaxation raises, and agrees with it on every
 weight.  The naive relaxation is retained on :class:`WeightedGraph` behind
 ``reference=True`` and the property-test suite cross-validates the two on
 random DAGs, random cyclic graphs, and real scenario graphs.
+
+**Vectorized kernels.**  When numpy is importable and the graph is large
+enough for array dispatch to pay (or the engine is constructed with
+``vectorized=True``), every relaxation above runs as dense array sweeps
+instead of per-edge Python loops: edges are kept as dst-sorted parallel
+``int64``/``float64`` blocks (globally, and per SCC for the topological DP),
+and one Jacobi sweep is a gather + segment-max (``numpy.maximum.reduceat``)
++ compare-and-store — no per-edge interpreter work at all.  Batched queries
+(:meth:`rows`, :meth:`all_pairs`) relax *all* requested sources
+simultaneously against an ``(nodes, sources)`` distance matrix.  The
+list-based kernels remain byte-for-byte in place as the fallback when numpy
+is absent (and for small graphs, where they win), and the property suite
+cross-validates the two paths — including ``PositiveCycleError`` source-set
+agreement.
 """
 
 from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Dict, Generic, Iterable, List, Optional, Tuple
+from typing import Dict, Generic, Iterable, List, Optional, Sequence, Tuple
 
 from ..obs import metrics as _metrics
 from .graph import NEG_INF, NodeT, PositiveCycleError, WeightedGraph
 
+try:  # numpy is an optional accelerator; every kernel has a list fallback.
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised on numpy-free installs
+    _np = None
+
 __all__ = ["EngineStats", "LongestPathEngine"]
+
+_POSITIVE_CYCLE_MESSAGE = (
+    "positive-weight cycle reachable from the source; the "
+    "constraint system is infeasible"
+)
+
+#: Below this many edges the list kernels beat array dispatch overhead, so
+#: auto mode (``vectorized=None``) stays on the pure-Python path.  Forcing
+#: ``vectorized=True`` bypasses the threshold (benchmarks and property tests
+#: do, to cross-validate both paths on graphs of every size).
+VECTOR_MIN_EDGES = 4096
+
+#: Sources per multi-source relaxation block: bounds peak memory of the
+#: ``(edges, sources)`` candidate matrix without limiting batch size.
+_ROWS_BLOCK = 256
 
 # Process-wide engine counters (every engine instance feeds the same set);
 # bound once so one metric event is a single attribute add on the hot path.
@@ -71,6 +105,103 @@ _C_SCC_RECOMPUTES = _metrics.counter("engine.scc_recomputes")
 _C_OVERLAY_INSTALLS = _metrics.counter("engine.overlay_installs")
 _C_OVERLAY_ROWS = _metrics.counter("engine.overlay_rows_computed")
 _C_OVERLAY_HITS = _metrics.counter("engine.overlay_row_cache_hits")
+
+
+def _np_edge_block(src_ids, dst_ids, weights):
+    """Dst-sorted parallel arrays plus segment starts for ``maximum.reduceat``.
+
+    Sorting by destination turns the scatter-max of one relaxation sweep into
+    a contiguous segment reduction: duplicate destinations (the case plain
+    fancy-index assignment silently gets wrong) collapse into one
+    ``reduceat`` segment, and :func:`numpy.maximum.at`'s slow unbuffered path
+    is avoided entirely.
+    """
+    src = _np.asarray(src_ids, dtype=_np.int64)
+    dst = _np.asarray(dst_ids, dtype=_np.int64)
+    weight = _np.asarray(weights, dtype=_np.float64)
+    order = _np.argsort(dst, kind="stable")
+    src, dst, weight = src[order], dst[order], weight[order]
+    uniq_dst, starts = _np.unique(dst, return_index=True)
+    return src, weight, uniq_dst, starts
+
+
+def _relax_block(dist, block) -> bool:
+    """One Jacobi sweep of a dst-sorted edge block; True iff any value grew.
+
+    Works against a 1-D distance row or an ``(nodes, sources)`` matrix (the
+    multi-source batch path) -- the weight vector broadcasts over columns.
+    Candidates are gathered before the store, so one call never propagates a
+    value through two edges; callers iterate to a fixpoint with the same
+    sweep caps the list kernels use as positive-cycle detectors.
+    """
+    src, weight, uniq_dst, starts = block
+    if dist.ndim == 2:
+        weight = weight[:, None]
+    segment_max = _np.maximum.reduceat(dist[src] + weight, starts, axis=0)
+    old = dist[uniq_dst]
+    new = _np.maximum(old, segment_max)
+    if (new > old).any():
+        dist[uniq_dst] = new
+        return True
+    return False
+
+
+#: Target edge count per sub-block of a chunked sweep, and the cap on how
+#: many sub-blocks one edge list is split into.  Sub-blocks are relaxed *in
+#: sequence* within a sweep (block-level Gauss-Seidel), so a value can hop
+#: through several edges per sweep -- alternating the block order between
+#: sweeps propagates both forward and backward chains, which cuts the sweep
+#: count sharply on the zigzag-shaped SCCs of bounds graphs.
+_SWEEP_CHUNK_EDGES = 256
+_SWEEP_CHUNKS_MAX = 16
+
+
+def _np_edge_chunks(src_ids, dst_ids, weights):
+    """Dst-contiguous sub-blocks (see :func:`_np_edge_block`) covering an edge list.
+
+    Splitting the dst-sorted edge array into contiguous slices keeps every
+    slice a valid reduceat block (a destination straddling a boundary simply
+    appears in both slices; scatter-max is order-insensitive) while enabling
+    within-sweep propagation across slices.
+    """
+    src = _np.asarray(src_ids, dtype=_np.int64)
+    dst = _np.asarray(dst_ids, dtype=_np.int64)
+    weight = _np.asarray(weights, dtype=_np.float64)
+    order = _np.argsort(dst, kind="stable")
+    src, dst, weight = src[order], dst[order], weight[order]
+    total = len(src)
+    chunks = max(1, min(_SWEEP_CHUNKS_MAX, total // _SWEEP_CHUNK_EDGES))
+    size = -(-total // chunks)
+    blocks = []
+    for start in range(0, total, size):
+        segment = dst[start : start + size]
+        uniq_dst, starts = _np.unique(segment, return_index=True)
+        blocks.append(
+            (src[start : start + size], weight[start : start + size], uniq_dst, starts)
+        )
+    return tuple(blocks)
+
+
+def _sweep_blocks(dist, blocks, forward: bool) -> bool:
+    """One full sweep over chunked blocks; True iff any value grew.
+
+    Every edge is relaxed exactly once per sweep regardless of direction, so
+    the ``k + 1``-sweep positive-cycle caps of the list kernels carry over
+    unchanged: after ``k`` full sweeps every simple path of ``<= k`` edges is
+    realised, and only a positive cycle can keep values growing past that.
+    """
+    changed = False
+    for block in blocks if forward else reversed(blocks):
+        if _relax_block(dist, block):
+            changed = True
+    return changed
+
+
+def _as_float_list(dist) -> List[float]:
+    """A plain float list from either row representation (no numpy leakage)."""
+    if isinstance(dist, list):
+        return dist
+    return dist.tolist()
 
 
 @dataclass
@@ -108,8 +239,13 @@ class LongestPathEngine(Generic[NodeT]):
     and extends every cached row incrementally.
     """
 
-    def __init__(self, graph: WeightedGraph[NodeT]):
+    def __init__(
+        self, graph: WeightedGraph[NodeT], vectorized: Optional[bool] = None
+    ):
         self._graph = graph
+        #: ``None`` = auto (numpy present and the graph is large enough),
+        #: ``True``/``False`` force the numpy / list kernels respectively.
+        self._vectorized = vectorized if _np is not None else False
         self._synced_version = -1
         self._synced_edge_count = 0
         # Index-mapped representation.
@@ -126,7 +262,16 @@ class LongestPathEngine(Generic[NodeT]):
         self._scc_intra: List[List[int]] = []
         self._scc_cross: List[List[int]] = []
         self._scc_version = -1
-        # Memoized state.
+        # Vectorized mirrors, rebuilt lazily per synced version: the whole
+        # edge list and the per-SCC intra/cross edges as dst-sorted blocks.
+        self._np_block = None
+        self._np_version = -2
+        self._scc_members_np: List = []
+        self._scc_intra_np: List = []
+        self._scc_cross_np: List = []
+        self._overlay_block = None
+        # Memoized state.  Rows are plain lists on the fallback path and 1-D
+        # float64 arrays on the vectorized path; the public dict views convert.
         self._rows: Dict[int, List[float]] = {}
         self._positive_cycle: Optional[bool] = None
         # Volatile overlay: a replaceable edge layer next to the base graph.
@@ -165,7 +310,7 @@ class LongestPathEngine(Generic[NodeT]):
         if self._rows:
             for source_index, dist in list(self._rows.items()):
                 try:
-                    self._extend_row(dist, new_edge_start)
+                    self._rows[source_index] = self._extend_row(dist, new_edge_start)
                 except PositiveCycleError:
                     # The growth made a positive cycle reachable from this
                     # row's source.  Queries from *other* sources must not be
@@ -175,6 +320,26 @@ class LongestPathEngine(Generic[NodeT]):
                 else:
                     self.stats.rows_extended += 1
                     _C_ROWS_EXTENDED.value += 1
+
+    def _use_numpy(self) -> bool:
+        """Whether relaxations dispatch to the numpy kernels (call post-sync)."""
+        if _np is None:
+            return False
+        if self._vectorized is not None:
+            return self._vectorized
+        return len(self._edge_src) >= VECTOR_MIN_EDGES
+
+    def _np_base_blocks(self):
+        """The whole edge list as chunked dst-sorted blocks (rebuilt per version)."""
+        if self._np_version != self._synced_version:
+            if self._edge_src:
+                self._np_block = _np_edge_chunks(
+                    self._edge_src, self._edge_dst, self._edge_weight
+                )
+            else:
+                self._np_block = None
+            self._np_version = self._synced_version
+        return self._np_block
 
     def _ensure_sccs(self) -> None:
         """Recompute the condensation only when a fresh DP sweep needs it."""
@@ -249,12 +414,36 @@ class LongestPathEngine(Generic[NodeT]):
         self._scc_members = members_topo
         self._scc_intra = intra
         self._scc_cross = cross
+        self._scc_members_np = []
+        self._scc_intra_np = []
+        self._scc_cross_np = []
+        if self._use_numpy():
+            raw_src = _np.asarray(self._edge_src, dtype=_np.int64)
+            raw_dst = _np.asarray(self._edge_dst, dtype=_np.int64)
+            raw_w = _np.asarray(self._edge_weight, dtype=_np.float64)
+            for component in range(count):
+                self._scc_members_np.append(
+                    _np.asarray(members_topo[component], dtype=_np.int64)
+                )
+                for edge_ids, blocks, builder in (
+                    # Intra blocks are swept to a fixpoint -> chunked for
+                    # within-sweep propagation; cross blocks relax once.
+                    (intra[component], self._scc_intra_np, _np_edge_chunks),
+                    (cross[component], self._scc_cross_np, _np_edge_block),
+                ):
+                    if edge_ids:
+                        ids = _np.asarray(edge_ids, dtype=_np.intp)
+                        blocks.append(builder(raw_src[ids], raw_dst[ids], raw_w[ids]))
+                    else:
+                        blocks.append(None)
 
     # -- row computation ----------------------------------------------------------
 
-    def _compute_row(self, source: int) -> List[float]:
+    def _compute_row(self, source: int):
         """One topologically-ordered DP sweep from ``source``."""
         self._ensure_sccs()
+        if self._use_numpy():
+            return self._compute_row_np(source)
         dist: List[float] = [NEG_INF] * len(self._nodes)
         dist[source] = 0
         edge_src = self._edge_src
@@ -292,13 +481,143 @@ class LongestPathEngine(Generic[NodeT]):
                     dist[edge_dst[edge_id]] = candidate
         return dist
 
-    def _extend_row(self, dist: List[float], new_edge_start: int) -> None:
-        """Grow a cached row in place after the graph gained nodes/edges.
+    def _compute_row_np(self, source: int):
+        """Vectorized :meth:`_compute_row`: per-SCC Jacobi sweeps over blocks.
+
+        Identical topological structure and sweep caps as the list kernel --
+        per component at most ``len(members) + 1`` sweeps (inside a
+        component every optimum is realised by a simple path, so a Jacobi
+        iteration converges within ``len(members)`` value-changing sweeps
+        unless a positive cycle keeps pumping values), cross edges relaxed
+        exactly once -- hence exact :class:`PositiveCycleError` agreement.
+        """
+        dist = _np.full(len(self._nodes), NEG_INF)
+        dist[source] = 0.0
+        for component in range(self._comp[source], len(self._scc_members)):
+            members = self._scc_members_np[component]
+            if not (dist[members] != NEG_INF).any():
+                continue
+            intra = self._scc_intra_np[component]
+            if intra is not None:
+                for sweep in range(members.size + 1):
+                    if not _sweep_blocks(dist, intra, sweep % 2 == 0):
+                        break
+                else:
+                    raise PositiveCycleError(_POSITIVE_CYCLE_MESSAGE)
+            cross = self._scc_cross_np[component]
+            if cross is not None:
+                _relax_block(dist, cross)
+        return dist
+
+    def _compute_rows_block_np(self, indices: List[int]) -> bool:
+        """Relax a whole batch of sources against an ``(n, S)`` matrix.
+
+        All sources share every sweep: one gather/segment-max pass per SCC
+        block relaxes every column simultaneously, walking the condensation
+        in the same topological order (and with the same per-component sweep
+        caps) as the per-source kernels.  Returns ``False`` (caching
+        nothing) when the relaxation diverges -- some batched source reaches
+        a positive cycle -- so the caller can fall back to per-source
+        computation and raise from the first offending source in order.
+        """
+        self._ensure_sccs()
+        n = len(self._nodes)
+        dist = _np.full((n, len(indices)), NEG_INF)
+        dist[indices, _np.arange(len(indices))] = 0.0
+        for component in range(len(self._scc_members)):
+            members = self._scc_members_np[component]
+            if not (dist[members] != NEG_INF).any():
+                continue
+            intra = self._scc_intra_np[component]
+            if intra is not None:
+                for sweep in range(members.size + 1):
+                    if not _sweep_blocks(dist, intra, sweep % 2 == 0):
+                        break
+                else:
+                    return False
+            cross = self._scc_cross_np[component]
+            if cross is not None:
+                _relax_block(dist, cross)
+        for position, source in enumerate(indices):
+            self._rows[source] = _np.ascontiguousarray(dist[:, position])
+        return True
+
+    def _materialize_rows(self, indices: Iterable[int]) -> int:
+        """Compute and cache every uncached row in ``indices``.
+
+        The vectorized path batches them ``_ROWS_BLOCK`` sources at a time
+        through :meth:`_compute_rows_block_np`; the fallback (and any batch
+        containing a positive-cycle source) computes per source in caller
+        order, preserving the exact raise order of a sequential loop.
+        """
+        pending: List[int] = []
+        seen = set()
+        for index in indices:
+            if index not in self._rows and index not in seen:
+                seen.add(index)
+                pending.append(index)
+        if not pending:
+            return 0
+        position = 0
+        if len(pending) > 1 and self._use_numpy():
+            while position < len(pending):
+                batch = pending[position : position + _ROWS_BLOCK]
+                if not self._compute_rows_block_np(batch):
+                    break
+                self.stats.rows_computed += len(batch)
+                _C_ROWS_COMPUTED.value += len(batch)
+                position += len(batch)
+        for index in pending[position:]:
+            self._rows[index] = self._compute_row(index)
+            self.stats.rows_computed += 1
+            _C_ROWS_COMPUTED.value += 1
+        return len(pending)
+
+    def _extend_row(self, dist, new_edge_start: int):
+        """Grow a cached row after the graph gained nodes/edges.
 
         Longest-path weights are monotone under edge insertion, so the old
-        values are a valid lower seed; a worklist relaxation rooted at the
-        new edges converges to the exact new fixpoint without touching the
-        untouched bulk of the graph.
+        values are a valid lower seed.  Returns the (possibly reallocated)
+        row; the list kernel grows in place, the numpy kernel concatenates.
+        """
+        if _np is not None and not isinstance(dist, list):
+            return self._extend_row_np(dist, new_edge_start)
+        self._extend_row_list(dist, new_edge_start)
+        return dist
+
+    def _extend_row_np(self, dist, new_edge_start: int):
+        """Vectorized :meth:`_extend_row`: new-edge pass, then full sweeps.
+
+        One pass over just the new edges detects the common no-op case; when
+        it does change something, full-graph Jacobi sweeps (capped at
+        ``n + 1`` -- a seeded relaxation converges within ``n`` sweeps
+        unless a positive cycle pumps values) settle the new fixpoint.
+        """
+        node_count = len(self._nodes)
+        if dist.shape[0] < node_count:
+            dist = _np.concatenate(
+                [dist, _np.full(node_count - dist.shape[0], NEG_INF)]
+            )
+        if new_edge_start < len(self._edge_src):
+            tail_block = _np_edge_block(
+                self._edge_src[new_edge_start:],
+                self._edge_dst[new_edge_start:],
+                self._edge_weight[new_edge_start:],
+            )
+            if _relax_block(dist, tail_block):
+                base = self._np_base_blocks()
+                for sweep in range(node_count + 1):
+                    if not _sweep_blocks(dist, base, sweep % 2 == 0):
+                        break
+                else:
+                    raise PositiveCycleError(_POSITIVE_CYCLE_MESSAGE)
+        return dist
+
+    def _extend_row_list(self, dist: List[float], new_edge_start: int) -> None:
+        """Grow a cached row in place after the graph gained nodes/edges.
+
+        A worklist relaxation rooted at the new edges converges to the exact
+        new fixpoint without touching the untouched bulk of the graph.
         """
         node_count = len(self._nodes)
         if len(dist) < node_count:
@@ -339,7 +658,7 @@ class LongestPathEngine(Generic[NodeT]):
                         queued[target] = True
                         pending.append(target)
 
-    def _row(self, source_index: int) -> List[float]:
+    def _row(self, source_index: int):
         row = self._rows.get(source_index)
         if row is not None:
             self.stats.row_cache_hits += 1
@@ -371,7 +690,34 @@ class LongestPathEngine(Generic[NodeT]):
         self.stats.queries += 1
         _C_QUERIES.value += 1
         dist = self._row(self._source_index(source))
-        return dict(zip(self._nodes, dist))
+        return dict(zip(self._nodes, _as_float_list(dist)))
+
+    def rows(self, sources: Sequence[NodeT]) -> List[Dict[NodeT, float]]:
+        """Memoized rows for a batch of sources, index-aligned with ``sources``.
+
+        Equivalent to ``[self.row(s) for s in sources]`` -- same memoization,
+        same stats accounting, and the same :class:`PositiveCycleError`
+        behaviour (the first offending source in ``sources`` order raises) --
+        but on the vectorized path all uncached rows are settled together by
+        multi-source relaxation sweeps over one ``(nodes, sources)`` matrix.
+        """
+        self._sync()
+        indices = [self._source_index(source) for source in sources]
+        self.stats.queries += len(indices)
+        _C_QUERIES.value += len(indices)
+        cached = set(self._rows)
+        self._materialize_rows(indices)
+        out: List[Dict[NodeT, float]] = []
+        for index in indices:
+            if index in cached:
+                self.stats.row_cache_hits += 1
+                _C_ROW_HITS.value += 1
+            else:
+                # Later duplicates of a just-computed source are cache hits,
+                # exactly as they would be in a sequential row() loop.
+                cached.add(index)
+            out.append(dict(zip(self._nodes, _as_float_list(self._rows[index]))))
+        return out
 
     def weight(self, source: NodeT, target: NodeT) -> Optional[int]:
         """Longest-path weight between two nodes, ``None`` when unreachable."""
@@ -395,12 +741,7 @@ class LongestPathEngine(Generic[NodeT]):
         are reused, so calling :meth:`all_pairs` repeatedly is idempotent).
         """
         self._sync()
-        computed = 0
-        for index in range(len(self._nodes)):
-            if index not in self._rows:
-                self._row(index)
-                computed += 1
-        return computed
+        return self._materialize_rows(range(len(self._nodes)))
 
     def reachable_from(self, source: NodeT) -> frozenset:
         """Nodes reachable from ``source`` (including itself), off the cached row."""
@@ -443,6 +784,9 @@ class LongestPathEngine(Generic[NodeT]):
         overlay_nodes: List[NodeT] = []
         overlay_index: Dict[NodeT, int] = {}
         out: Dict[int, List[Tuple[int, int]]] = {}
+        flat_src: List[int] = []
+        flat_dst: List[int] = []
+        flat_weight: List[int] = []
         base_index = self._index
         for source, target, weight in self._overlay_edges:
             source_id = base_index.get(source)
@@ -463,9 +807,16 @@ class LongestPathEngine(Generic[NodeT]):
             if bucket is None:
                 out[source_id] = bucket = []
             bucket.append((target_id, weight))
+            flat_src.append(source_id)
+            flat_dst.append(target_id)
+            flat_weight.append(weight)
         self._overlay_nodes = overlay_nodes
         self._overlay_index = overlay_index
         self._overlay_out = out
+        if flat_src and self._use_numpy():
+            self._overlay_block = _np_edge_chunks(flat_src, flat_dst, flat_weight)
+        else:
+            self._overlay_block = None
         self._overlay_rows.clear()
         self._overlay_mapped_version = self._synced_version
 
@@ -477,7 +828,7 @@ class LongestPathEngine(Generic[NodeT]):
             raise KeyError(f"{role} {node!r} is not a node of the graph or overlay")
         return index
 
-    def _compute_overlay_row(self, source: int) -> List[float]:
+    def _compute_overlay_row(self, source: int):
         """Base row (memoized) extended to a base+overlay fixpoint.
 
         Longest-path weights only grow when edges are added, so the settled
@@ -486,10 +837,12 @@ class LongestPathEngine(Generic[NodeT]):
         combined fixpoint, exactly like :meth:`_extend_row` does for base
         growth.
         """
+        if self._overlay_block is not None:
+            return self._compute_overlay_row_np(source)
         base_count = len(self._nodes)
         total = base_count + len(self._overlay_nodes)
         if source < base_count:
-            dist = self._row(source) + [NEG_INF] * (total - base_count)
+            dist = list(self._row(source)) + [NEG_INF] * (total - base_count)
         else:
             dist = [NEG_INF] * total
             dist[source] = 0
@@ -541,7 +894,35 @@ class LongestPathEngine(Generic[NodeT]):
                         pending.append(target)
         return dist
 
-    def _overlay_row_values(self, source: int) -> List[float]:
+    def _compute_overlay_row_np(self, source: int):
+        """Vectorized :meth:`_compute_overlay_row`: alternating block sweeps.
+
+        Each sweep relaxes the overlay block then the base block against the
+        combined ``base+overlay`` index space; seeded from the memoized base
+        row, the iteration settles within ``total`` sweeps unless a positive
+        cycle through the overlay keeps pumping values (the ``total + 1``
+        cap, matching the worklist kernel's budget-based detector).
+        """
+        base_count = len(self._nodes)
+        total = base_count + len(self._overlay_nodes)
+        if source < base_count:
+            seed = _np.asarray(self._row(source), dtype=_np.float64)
+            dist = _np.concatenate([seed, _np.full(total - base_count, NEG_INF)])
+        else:
+            dist = _np.full(total, NEG_INF)
+            dist[source] = 0.0
+        base_blocks = self._np_base_blocks()
+        overlay_blocks = self._overlay_block
+        for sweep in range(total + 1):
+            forward = sweep % 2 == 0
+            changed = _sweep_blocks(dist, overlay_blocks, forward)
+            if base_blocks is not None and _sweep_blocks(dist, base_blocks, forward):
+                changed = True
+            if not changed:
+                return dist
+        raise PositiveCycleError(_POSITIVE_CYCLE_MESSAGE)
+
+    def _overlay_row_values(self, source: int):
         row = self._overlay_rows.get(source)
         if row is not None:
             self.stats.overlay_row_cache_hits += 1
@@ -574,7 +955,7 @@ class LongestPathEngine(Generic[NodeT]):
         self.stats.queries += 1
         _C_QUERIES.value += 1
         dist = self._overlay_row_values(self._combined_index(source, "source"))
-        return dict(zip(list(self._nodes) + self._overlay_nodes, dist))
+        return dict(zip(list(self._nodes) + self._overlay_nodes, _as_float_list(dist)))
 
     def has_positive_cycle(self) -> bool:
         """Whether any positive-weight cycle exists anywhere in the graph.
@@ -587,6 +968,29 @@ class LongestPathEngine(Generic[NodeT]):
         if self._positive_cycle is not None:
             return self._positive_cycle
         self._ensure_sccs()
+        if self._use_numpy():
+            # Cycles are confined to components, so one zero-initialised
+            # relaxation over *all* intra-component edges at once detects a
+            # positive cycle anywhere: without one it settles within ``n``
+            # sweeps (optima are simple paths inside components).
+            intra_ids = [
+                edge_id for intra in self._scc_intra for edge_id in intra
+            ]
+            result = False
+            if intra_ids:
+                blocks = _np_edge_chunks(
+                    [self._edge_src[i] for i in intra_ids],
+                    [self._edge_dst[i] for i in intra_ids],
+                    [self._edge_weight[i] for i in intra_ids],
+                )
+                dist = _np.zeros(len(self._nodes))
+                for sweep in range(len(self._nodes) + 1):
+                    if not _sweep_blocks(dist, blocks, sweep % 2 == 0):
+                        break
+                else:
+                    result = True
+            self._positive_cycle = result
+            return result
         edge_src = self._edge_src
         edge_dst = self._edge_dst
         edge_weight = self._edge_weight
@@ -624,8 +1028,9 @@ class LongestPathEngine(Generic[NodeT]):
     def describe(self) -> str:
         self._sync()
         self._ensure_sccs()
+        kernel = "numpy" if self._use_numpy() else "list"
         return (
             f"LongestPathEngine(nodes={len(self._nodes)}, "
             f"edges={len(self._edge_src)}, sccs={len(self._scc_members)}, "
-            f"rows={len(self._rows)})"
+            f"rows={len(self._rows)}, kernel={kernel})"
         )

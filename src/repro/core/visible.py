@@ -21,7 +21,7 @@ from __future__ import annotations
 
 from typing import List, Optional, Tuple, TYPE_CHECKING
 
-from .causality import in_past
+from .causality import in_past_many
 from .forks import TwoLeggedFork
 from .nodes import BasicNode, GeneralNode
 from .zigzag import ZigzagPattern
@@ -33,19 +33,24 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 def is_visible_zigzag(pattern: ZigzagPattern, sigma: BasicNode, run: "Run") -> bool:
     """Whether ``pattern`` is a sigma-visible zigzag pattern of ``run``.
 
-    Recognition checks are single bit probes against sigma's cached past
-    bitset (pasts include the full local timeline prefix, so ``in_past`` is
-    exactly happens-before here).
+    Recognition checks are probes against sigma's cached past bitset (pasts
+    include the full local timeline prefix, so past membership is exactly
+    happens-before here).  All of the pattern's probes -- every non-final
+    fork head plus the last fork's base -- go through one batched
+    :func:`in_past_many` call, which on large pasts is a single vectorized
+    gather instead of per-fork bit probes.
     """
     if not pattern.is_valid_in(run):
         return False
     forks = pattern.forks
+    probes: List[BasicNode] = []
     for fork in forks[:-1]:
         head = run.resolve(fork.head)
-        if head is None or not in_past(head, sigma):
+        if head is None:
             return False
-    last_base = forks[-1].base.base
-    return in_past(last_base, sigma)
+        probes.append(head)
+    probes.append(forks[-1].base.base)
+    return all(in_past_many(probes, sigma))
 
 
 def visible_weight(pattern: ZigzagPattern, sigma: BasicNode, run: "Run") -> Optional[int]:

@@ -45,6 +45,7 @@ from .golden import (
 )
 from .reporting import (
     aggregate_metric,
+    cell_records,
     discover_metrics,
     flatten_scalars,
     format_aggregate,
@@ -102,6 +103,7 @@ __all__ = [
     "aggregate_metric",
     "analysis_versions",
     "build_base_scenario",
+    "cell_records",
     "build_cell_scenario",
     "canonical_json",
     "cell_key",

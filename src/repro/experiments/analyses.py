@@ -197,9 +197,11 @@ def bounds_stats_pass(run: "Run") -> Dict[str, Any]:
     """All-pairs longest-path statistics of ``GB(r)`` over final nodes.
 
     Every ordered pair of per-process final nodes is queried through the
-    batched longest-path engine, so the relaxation cost is paid once per
-    source row rather than once per pair; ``rows_computed`` records exactly
-    how many relaxations the whole cell needed.
+    batched longest-path engine's :meth:`LongestPathEngine.rows` -- one call
+    for all sources, which the vectorized kernels settle in a single
+    multi-source relaxation -- so the relaxation cost is paid once per source
+    row rather than once per pair; ``rows_computed`` records exactly how many
+    relaxations the whole cell needed.
     """
     graph = basic_bounds_graph(run)
     engine = graph.engine
@@ -211,8 +213,7 @@ def bounds_stats_pass(run: "Run") -> Dict[str, Any]:
     reachable = 0
     max_gap: Optional[int] = None
     min_gap: Optional[int] = None
-    for source in finals:
-        row = engine.row(source)
+    for source, row in zip(finals, engine.rows(finals)):
         for target in finals:
             if target is source:
                 continue
@@ -292,7 +293,9 @@ def knowledge_pass(run: "Run") -> Dict[str, Any]:
     if not run.timed_network.is_path((roles["go_sender"], roles["actor_a"])):
         return {"applicable": False, **roles, "reason": "no C->A channel"}
     theta_a = general(go_node, (roles["go_sender"], roles["actor_a"]))
-    session = KnowledgeSession(run.timed_network).advance(sigma_b)
+    # A one-node chunk through the batch entry point: analysis passes share
+    # the advance_many contract with the coordination replays.
+    session = KnowledgeSession(run.timed_network).advance_many((sigma_b,))
     try:
         known_gap, reverse_gap = session.max_known_gaps(
             [(theta_a, sigma_b), (sigma_b, theta_a)]

@@ -37,7 +37,12 @@ from .analyses import (
     list_analyses,
 )
 from .executors import BACKENDS
-from .reporting import aggregate_metric, format_aggregate, group_records
+from .reporting import (
+    aggregate_metric,
+    cell_records,
+    format_aggregate,
+    group_records,
+)
 from .runner import (
     ADVERSARIES,
     TELEMETRY_KIND,
@@ -203,9 +208,17 @@ def _cmd_sweep(args: argparse.Namespace, out) -> int:
         raise CliError("--force and --resume are mutually exclusive")
     scenarios = _csv(args.scenario) if args.scenario else list(DEFAULT_SWEEP_SCENARIOS)
     adversaries = _csv(args.adversary) if args.adversary else list(ADVERSARIES)
-    if args.seed_list:
+    if args.seed_list is not None:
+        # Validate before parsing: an empty value (or one that is all commas)
+        # must not silently fall back to the default seed range or expand to
+        # a zero-cell sweep.
+        parts = _csv(args.seed_list)
+        if not parts:
+            raise CliError(
+                f"--seed-list needs at least one seed, got {args.seed_list!r}"
+            )
         try:
-            seeds = [int(part) for part in _csv(args.seed_list)]
+            seeds = [int(part) for part in parts]
         except ValueError:
             raise CliError(f"--seed-list expects integers, got {args.seed_list!r}")
     else:
@@ -267,7 +280,7 @@ def _record_run(record: Dict[str, Any]):
 def _cmd_report(args: argparse.Namespace, out) -> int:
     store = ResultStore(args.store)
     all_records = store.records()
-    records = [r for r in all_records if r.get("status") == "ok"]
+    records = cell_records(all_records)
     telemetry_records = [r for r in all_records if r.get("kind") == TELEMETRY_KIND]
 
     if args.telemetry:
@@ -277,6 +290,13 @@ def _cmd_report(args: argparse.Namespace, out) -> int:
 
     if args.viz:
         record = store.get(args.viz)
+        if record is not None and record.get("kind") == TELEMETRY_KIND:
+            # An exact telemetry key must not reach _record_run (telemetry
+            # records carry no scenario/params to re-simulate).
+            raise CliError(
+                f"key {args.viz!r} is a sweep-telemetry record, not a cell; "
+                "inspect it with --telemetry instead"
+            )
         if record is None:
             matches = [r for r in records if r["key"].startswith(args.viz)]
             if len(matches) != 1:

@@ -12,19 +12,48 @@ module is the fix and the single source of truth for all report formats:
   numerically (``mean/min/max/n``) when every observed value is a number,
   categorically (value counts) otherwise, so a boolean or label column
   reports ``True:3 False:1`` instead of disappearing.
+
+The store holds more than cells: per-sweep telemetry records ride in the
+same JSONL file (``kind="sweep_telemetry"``), and the invariant is that they
+never masquerade as cells in any aggregate.  :func:`cell_records` is the one
+place the filter lives for the report surfaces, and :func:`group_records`
+additionally drops telemetry defensively so no direct caller can regress the
+invariant by skipping the pre-filter.
 """
 
 from __future__ import annotations
 
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
+from .runner import TELEMETRY_KIND
+
 __all__ = [
     "aggregate_metric",
+    "cell_records",
     "discover_metrics",
     "flatten_scalars",
     "format_aggregate",
     "group_records",
 ]
+
+
+def cell_records(
+    records: Sequence[Mapping[str, Any]], require_ok: bool = True
+) -> List[Mapping[str, Any]]:
+    """Only the sweep *cells* of a store scan: telemetry records never pass.
+
+    With ``require_ok`` (the default for report tables) error cells are
+    dropped too; ``require_ok=False`` keeps them for surfaces that show
+    failures but must still exclude telemetry.
+    """
+    out: List[Mapping[str, Any]] = []
+    for record in records:
+        if record.get("kind") == TELEMETRY_KIND:
+            continue
+        if require_ok and record.get("status") != "ok":
+            continue
+        out.append(record)
+    return out
 
 
 def flatten_scalars(value: Any, prefix: str = "") -> Dict[str, Any]:
@@ -60,9 +89,16 @@ def group_records(
     group_fields: Sequence[str],
     source: str = "analyses",
 ) -> Dict[Tuple[str, ...], List[Dict[str, Any]]]:
-    """Bucket records by their group-field values; rows are flattened leaves."""
+    """Bucket records by their group-field values; rows are flattened leaves.
+
+    Telemetry records are skipped even if a caller forgot
+    :func:`cell_records`: a ``sweep_telemetry`` record carries no analyses,
+    and counting it as a cell would corrupt every ``cells`` column.
+    """
     groups: Dict[Tuple[str, ...], List[Dict[str, Any]]] = {}
     for record in records:
+        if record.get("kind") == TELEMETRY_KIND:
+            continue
         group = tuple(str(record.get(field, "?")) for field in group_fields)
         groups.setdefault(group, []).append(flatten_scalars(record.get(source, {})))
     return groups

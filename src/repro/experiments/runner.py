@@ -20,6 +20,7 @@ crash left behind, then skips exactly the cells that already completed.
 from __future__ import annotations
 
 import hashlib
+import math
 import time
 from dataclasses import dataclass, field
 from typing import (
@@ -266,6 +267,25 @@ def build_cell_scenario(cell: SweepCell) -> Scenario:
     return decorate_scenario(cell, build_base_scenario(cell))
 
 
+def sanitize_non_finite(value: Any) -> Any:
+    """Replace non-finite floats (``nan``/``inf``) with ``None``, recursively.
+
+    Applied to analysis outputs at the record boundary: the store's
+    ``canonical_json(allow_nan=False)`` would otherwise raise on the append,
+    aborting the sweep mid-flight and losing the cell.  JSON has no
+    ``NaN``/``Infinity`` anyway, so ``None`` (= ``null``) is the faithful
+    wire value; tuples normalise to lists exactly as JSON round-tripping
+    already does.
+    """
+    if isinstance(value, float) and not math.isfinite(value):
+        return None
+    if isinstance(value, dict):
+        return {key: sanitize_non_finite(inner) for key, inner in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [sanitize_non_finite(inner) for inner in value]
+    return value
+
+
 def execute_cell_inline(
     cell: SweepCell,
     base_cache: Optional[Dict[Tuple[str, Tuple[Tuple[str, Any], ...]], Scenario]] = None,
@@ -292,7 +312,7 @@ def execute_cell_inline(
         else:
             _C_BASE_HITS.value += 1
         run = decorate_scenario(cell, base).run()
-        results = run_analyses(run, cell.analyses)
+        results = sanitize_non_finite(run_analyses(run, cell.analyses))
         _C_INTERNED.value += _interned_objects() - interned_before
         record = {
             "key": cell.key(),
@@ -470,6 +490,11 @@ def run_sweep(
     with span("sweep.scan") as scan_span:
         for index, cell in enumerate(cells):
             cached = store.get(cell.key()) if (store is not None and not force) else None
+            if cached is not None and cached.get("kind") == TELEMETRY_KIND:
+                # Telemetry keys cannot collide with cell keys by
+                # construction, but the invariant is cheap to enforce here
+                # too: a telemetry record is never a cache hit.
+                cached = None
             if cached is not None:
                 records[index] = {**cached, "cached": True}
                 outcome.cached += 1

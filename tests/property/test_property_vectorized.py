@@ -1,0 +1,399 @@
+"""Property tests: vectorized kernels == list kernels on every observable.
+
+The numpy relaxation kernels of :class:`LongestPathEngine` and the
+boolean-array causal-past probes of :mod:`repro.core.causality` are pure
+accelerations: forced on (``vectorized=True``) they must agree with the
+list/bitset paths on weights, reachability, *which sources raise*
+:class:`PositiveCycleError`, membership answers, and chunked coordination
+replays -- on random cyclic digraphs, staged growth, overlays with fresh
+vertices, and real scenario graphs.
+
+Where numpy is absent (the CI tier-1 matrix installs none) the forced
+engines silently degrade to the list kernels, so every comparison still
+runs -- it just pins list == list.  The threshold monkeypatches are no-ops
+there as well; nothing here requires numpy.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import KnowledgeSession, PositiveCycleError, WeightedGraph
+from repro.core import causality
+from repro.core import longest_paths
+from repro.core.bounds_graph import basic_bounds_graph
+from repro.core.causality import boundary_nodes, in_past, in_past_many, past_nodes
+from repro.core.longest_paths import LongestPathEngine
+from repro.coordination import EagerKnowledgeProbe, early_task, late_task
+from repro.scenarios import figure2b_scenario, get_scenario
+from repro.simulation import (
+    Context,
+    ProtocolAssignment,
+    SeededRandomDelivery,
+    go_at,
+    go_sender_protocol,
+    simulate,
+)
+from repro.simulation.network import grid
+from repro.simulation.protocols import relayed_actor_protocol
+
+# Shared replay machinery from the session property suite (pytest puts this
+# directory on sys.path; importing at module scope keeps hypothesis from
+# seeing the sibling module's @given decorations inside a test context).
+from test_property_knowledge_session import (
+    assert_session_matches_checker,
+    observer_timeline,
+)
+
+SMALL = dict(max_examples=10, deadline=None)
+
+
+# ---------------------------------------------------------------------------
+# Strategies and helpers.
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def random_digraphs(draw):
+    """An unconstrained random digraph; positive cycles are allowed."""
+    size = draw(st.integers(2, 9))
+    edge_count = draw(st.integers(0, 3 * size))
+    edges = []
+    for _ in range(edge_count):
+        source = draw(st.integers(0, size - 1))
+        target = draw(st.integers(0, size - 1))
+        weight = draw(st.integers(-4, 4))
+        edges.append((f"n{source}", f"n{target}", weight))
+    return size, edges
+
+
+def build(size, edges):
+    graph = WeightedGraph()
+    for index in range(size):
+        graph.add_node(f"n{index}")
+    for source, target, weight in edges:
+        graph.add_edge(source, target, weight)
+    return graph
+
+
+def row_or_raise(engine, source):
+    try:
+        return engine.row(source), False
+    except PositiveCycleError:
+        return None, True
+
+
+def assert_engines_agree(graph):
+    """Forced-vectorized vs forced-list on every observable of ``graph``."""
+    fast = LongestPathEngine(graph, vectorized=True)
+    slow = LongestPathEngine(graph, vectorized=False)
+    assert fast.has_positive_cycle() == slow.has_positive_cycle()
+    raisers_fast, raisers_slow, clean = set(), set(), []
+    for source in graph.nodes:
+        fast_row, fast_raised = row_or_raise(fast, source)
+        slow_row, slow_raised = row_or_raise(slow, source)
+        if fast_raised:
+            raisers_fast.add(source)
+        if slow_raised:
+            raisers_slow.add(source)
+        if not fast_raised and not slow_raised:
+            assert fast_row == slow_row, f"row mismatch from {source}"
+            # No numpy scalar leakage: rows hold plain Python numbers (the
+            # numpy kernel converts to float; the list kernel may keep
+            # exact ints -- both are fine, np.float64 is not).
+            assert all(type(v) in (int, float) for v in fast_row.values())
+            clean.append(source)
+    # PositiveCycleError source sets must agree exactly.
+    assert raisers_fast == raisers_slow
+    if clean:
+        # The multi-source batch path must match per-source list rows.
+        batch = LongestPathEngine(graph, vectorized=True).rows(clean)
+        for source, row in zip(clean, batch):
+            assert row == slow.row(source)
+    return raisers_fast
+
+
+# ---------------------------------------------------------------------------
+# Engine agreement: static graphs, batches, growth, overlays, scenarios.
+# ---------------------------------------------------------------------------
+
+
+@settings(**SMALL)
+@given(digraph=random_digraphs())
+def test_vectorized_engine_matches_list_engine(digraph):
+    size, edges = digraph
+    assert_engines_agree(build(size, edges))
+
+
+@settings(**SMALL)
+@given(digraph=random_digraphs())
+def test_batched_rows_raise_like_sequential_rows(digraph):
+    size, edges = digraph
+    graph = build(size, edges)
+    raisers = assert_engines_agree(graph)
+    if not raisers:
+        return
+    # A batch containing a raising source raises on both kernels (the
+    # vectorized batch falls back to sequential order to do so).
+    sources = list(graph.nodes)
+    for vectorized in (True, False):
+        engine = LongestPathEngine(graph, vectorized=vectorized)
+        try:
+            engine.rows(sources)
+            raised = False
+        except PositiveCycleError:
+            raised = True
+        assert raised
+
+@settings(**SMALL)
+@given(digraph=random_digraphs(), growth=random_digraphs())
+def test_vectorized_extension_matches_list_extension(digraph, growth):
+    """Both kernels stay exact while the graph grows under live engines."""
+    size, edges = digraph
+    grown_size, grown_edges = growth
+    graph_fast = build(size, edges)
+    graph_slow = build(size, edges)
+    fast = LongestPathEngine(graph_fast, vectorized=True)
+    slow = LongestPathEngine(graph_slow, vectorized=False)
+    # Warm some rows so extension exercises the incremental path.
+    for source in list(graph_fast.nodes)[:3]:
+        fast_row, fast_raised = row_or_raise(fast, source)
+        slow_row, slow_raised = row_or_raise(slow, source)
+        assert fast_raised == slow_raised and fast_row == slow_row
+    for graph in (graph_fast, graph_slow):
+        for index in range(grown_size):
+            graph.add_node(f"g{index}")
+        for source, target, weight in grown_edges:
+            graph.add_edge(f"g{source[1:]}", f"g{target[1:]}", weight)
+        graph.add_edge("n0", "g0", 1)
+    for source in graph_fast.nodes:
+        fast_row, fast_raised = row_or_raise(fast, source)
+        slow_row, slow_raised = row_or_raise(slow, source)
+        assert fast_raised == slow_raised, f"raise mismatch from {source}"
+        if not fast_raised:
+            assert fast_row == slow_row, f"row mismatch from {source}"
+
+
+@settings(**SMALL)
+@given(
+    digraph=random_digraphs(),
+    overlay_edges=st.lists(
+        st.tuples(st.integers(0, 10), st.integers(0, 10), st.integers(-4, 4)),
+        max_size=10,
+    ),
+)
+def test_vectorized_overlay_matches_list_overlay(digraph, overlay_edges):
+    """Overlay rows/weights agree, including psi-style fresh vertices."""
+    size, edges = digraph
+    graph = build(size, edges)
+
+    def endpoint(index):
+        # Indices beyond the base graph become fresh overlay-only vertices.
+        return f"n{index}" if index < size else f"psi{index - size}"
+
+    overlay = [
+        (endpoint(source), endpoint(target), weight)
+        for source, target, weight in overlay_edges
+    ]
+    fast = LongestPathEngine(graph, vectorized=True)
+    slow = LongestPathEngine(graph, vectorized=False)
+    fast.set_overlay(overlay)
+    slow.set_overlay(overlay)
+    nodes = list(graph.nodes) + sorted(
+        {node for edge in overlay for node in edge[:2]} - set(graph.nodes)
+    )
+    for source in nodes:
+        try:
+            expected = slow.overlay_row(source)
+            expected_raised = False
+        except PositiveCycleError:
+            expected, expected_raised = None, True
+        try:
+            actual = fast.overlay_row(source)
+            actual_raised = False
+        except PositiveCycleError:
+            actual, actual_raised = None, True
+        assert actual_raised == expected_raised, f"overlay raise mismatch from {source}"
+        if expected_raised:
+            continue
+        assert actual == expected, f"overlay row mismatch from {source}"
+        for target in nodes[:4]:
+            assert fast.overlay_weight(source, target) == slow.overlay_weight(
+                source, target
+            )
+
+
+@settings(max_examples=6, deadline=None)
+@given(
+    scenario=st.sampled_from(
+        [
+            ("figure2b", {}),
+            ("grid-flood", {"rows": 2, "cols": 3, "horizon": 8}),
+            ("flooding", {"num_processes": 4, "horizon": 8}),
+        ]
+    ),
+    seed=st.integers(0, 4),
+)
+def test_vectorized_engine_on_scenario_graphs(scenario, seed):
+    """Agreement on the real bounds graphs the analyses feed the engine."""
+    name, params = scenario
+    spec = get_scenario(name)
+    build_params = dict(params)
+    if "seed" in {p.name for p in spec.params}:
+        build_params["seed"] = seed
+    run = spec.build(**build_params).run()
+    graph = basic_bounds_graph(run)
+    fast = LongestPathEngine(graph, vectorized=True)
+    slow = LongestPathEngine(graph, vectorized=False)
+    finals = sorted(
+        (run.final_node(process) for process in run.processes),
+        key=lambda node: node.process,
+    )
+    assert fast.rows(finals) == [slow.row(source) for source in finals]
+    assert fast.all_pairs() == slow.all_pairs()
+    assert fast.has_positive_cycle() == slow.has_positive_cycle()
+
+
+# ---------------------------------------------------------------------------
+# Causal pasts: vectorized boolean probes == bitset probes.
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=6, deadline=None)
+@given(seed=st.integers(0, 6))
+def test_in_past_many_matches_in_past(seed):
+    run = (
+        get_scenario("grid-flood")
+        .build(rows=2, cols=3, seed=seed, horizon=8)
+        .with_delivery(SeededRandomDelivery(seed=seed))
+        .run()
+    )
+    probes = [
+        node
+        for timeline in run.timelines.values()
+        for _, node in timeline
+    ]
+    sigmas = [run.final_node(process) for process in sorted(run.processes)]
+    original = causality._VECTOR_MIN_BITS
+    try:
+        # Default threshold first, then forced-vectorized (0 makes every
+        # mask eligible); both must match the single-bit probe loop.
+        for threshold in (original, 0):
+            causality._VECTOR_MIN_BITS = threshold
+            for sigma in sigmas:
+                expected = [in_past(node, sigma) for node in probes]
+                assert in_past_many(probes, sigma) == expected
+    finally:
+        causality._VECTOR_MIN_BITS = original
+
+
+@settings(max_examples=6, deadline=None)
+@given(seed=st.integers(0, 6))
+def test_past_nodes_agree_across_vector_threshold(seed):
+    run = (
+        get_scenario("torus-flood")
+        .build(seed=seed, horizon=6)
+        .with_delivery(SeededRandomDelivery(seed=seed))
+        .run()
+    )
+    sigmas = [run.final_node(process) for process in sorted(run.processes)]
+    original = causality._VECTOR_MIN_BITS
+    try:
+        causality._VECTOR_MIN_BITS = 0
+        forced = [past_nodes(sigma) for sigma in sigmas]
+        forced_boundaries = [boundary_nodes(sigma) for sigma in sigmas]
+    finally:
+        causality._VECTOR_MIN_BITS = original
+    assert forced == [past_nodes(sigma) for sigma in sigmas]
+    assert forced_boundaries == [boundary_nodes(sigma) for sigma in sigmas]
+
+
+# ---------------------------------------------------------------------------
+# Chunked coordination replays and vectorized knowledge sessions.
+# ---------------------------------------------------------------------------
+
+CHUNK_SIZES = (1, 2, 3, 8, 64)
+
+
+@settings(max_examples=6, deadline=None)
+@given(margin=st.integers(0, 4), kind=st.sampled_from(["late", "early"]))
+def test_chunked_probe_matches_per_step_on_figure2b(margin, kind):
+    run = figure2b_scenario(margin=margin).run()
+    task = late_task(margin) if kind == "late" else early_task(margin)
+    results = {
+        EagerKnowledgeProbe(task).first_actionable_node(run, chunk_steps=chunk)
+        for chunk in CHUNK_SIZES
+    }
+    assert len(results) == 1
+
+
+@settings(max_examples=8, deadline=None)
+@given(
+    rows=st.integers(2, 3),
+    cols=st.integers(2, 3),
+    margin=st.integers(0, 3),
+    seed=st.integers(0, 5),
+    kind=st.sampled_from(["late", "early"]),
+)
+def test_chunked_probe_matches_per_step_on_grid_runs(rows, cols, margin, seed, kind):
+    """Chunk boundaries never change which node the probe reports."""
+    net = grid(rows, cols, 1, 2)
+    go_sender = "r0c0"
+    actor = sorted(net.out_neighbors(go_sender))[0]
+    observer = f"r{rows - 1}c{cols - 1}"
+    protocols = ProtocolAssignment()
+    protocols.assign(go_sender, go_sender_protocol())
+    protocols.assign(actor, relayed_actor_protocol("a", go_sender))
+    run = simulate(
+        Context(net),
+        protocols,
+        delivery=SeededRandomDelivery(seed=seed),
+        external_inputs=go_at(1, go_sender),
+        horizon=10,
+    )
+    maker = late_task if kind == "late" else early_task
+    task = maker(margin, go_sender=go_sender, actor_a=actor, actor_b=observer)
+    results = {
+        EagerKnowledgeProbe(task).first_actionable_node(run, chunk_steps=chunk)
+        for chunk in CHUNK_SIZES
+    }
+    assert len(results) == 1
+
+
+@settings(max_examples=6, deadline=None)
+@given(seed=st.integers(0, 5), chunk=st.sampled_from([1, 2, 4]))
+def test_vectorized_session_matches_fresh_checker(seed, chunk):
+    """Session == fresh checker holds with the numpy kernels forced on.
+
+    Dropping the auto threshold to zero routes every session engine (base
+    rows, incremental extension, overlay installs) through the vectorized
+    kernels; chunked ``advance_many`` replays must still answer exactly like
+    a fresh per-sigma checker.
+    """
+    run = (
+        get_scenario("grid-flood")
+        .build(rows=2, cols=3, seed=seed, horizon=8)
+        .with_delivery(SeededRandomDelivery(seed=seed))
+        .run()
+    )
+    original = longest_paths.VECTOR_MIN_EDGES
+    try:
+        longest_paths.VECTOR_MIN_EDGES = 0
+        assert_session_matches_checker(run, include_auxiliary=True)
+        # advance_many chunks answer like the per-step session at chunk ends.
+        nodes = observer_timeline(run)
+        chunked = KnowledgeSession(run.timed_network)
+        stepped = KnowledgeSession(run.timed_network)
+        for start in range(0, len(nodes), chunk):
+            block = nodes[start : start + chunk]
+            chunked.advance_many(block)
+            for node in block:
+                stepped.advance(node)
+            sigma = block[-1]
+            boundary = sorted(
+                boundary_nodes(sigma).values(), key=lambda node: node.process
+            )
+            for theta in boundary:
+                assert chunked.max_known_gap(theta, sigma) == stepped.max_known_gap(
+                    theta, sigma
+                )
+    finally:
+        longest_paths.VECTOR_MIN_EDGES = original

@@ -6,19 +6,23 @@ import pytest
 
 from repro.experiments import (
     DEFAULT_ANALYSES,
+    TELEMETRY_KIND,
     ResultStore,
     SweepError,
     analysis_versions,
     build_cell_scenario,
     cell_key,
+    cell_records,
     expand_grid,
     get_analysis,
+    group_records,
     list_analyses,
     make_cell,
     make_delivery,
     run_analyses,
     run_cell,
     run_sweep,
+    sweep_telemetry_key,
 )
 from repro.experiments.cli import main as cli_main
 from repro.scenarios import (
@@ -437,3 +441,157 @@ class TestCli:
         assert cli_main(["report", "--store", store_path, "--viz", key[:10]]) == 0
         out = capsys.readouterr().out
         assert "figure1" in out and "send_go" in out
+
+
+# ---------------------------------------------------------------------------
+# Hot-path bugfix sweep: seed-list validation, non-finite sanitization, and
+# the telemetry-never-masquerades-as-cells invariant.
+# ---------------------------------------------------------------------------
+
+
+class TestSeedListValidation:
+    def test_empty_seed_list_rejected(self, capsys):
+        assert cli_main(["sweep", "--seed-list", "", "--dry-run"]) == 2
+        assert "--seed-list needs at least one seed" in capsys.readouterr().err
+
+    def test_all_commas_seed_list_rejected(self, capsys):
+        assert cli_main(["sweep", "--seed-list", ",,", "--dry-run"]) == 2
+        assert "--seed-list needs at least one seed" in capsys.readouterr().err
+
+    def test_non_integer_seed_list_rejected(self, capsys):
+        assert cli_main(["sweep", "--seed-list", "1,x", "--dry-run"]) == 2
+        assert "--seed-list expects integers" in capsys.readouterr().err
+
+    def test_trailing_comma_tolerated(self, capsys):
+        code = cli_main(
+            ["sweep", "--scenario", "figure1", "--adversary", "earliest",
+             "--seed-list", "3,7,", "--dry-run"]
+        )
+        assert code == 0
+        assert "-> 2 cells" in capsys.readouterr().out
+
+
+class TestNonFiniteSanitization:
+    def test_sanitize_walks_containers(self):
+        from repro.experiments.runner import sanitize_non_finite
+
+        value = {
+            "nan": float("nan"),
+            "inf": float("inf"),
+            "nested": {"ninf": float("-inf"), "ok": 1.5},
+            "list": [float("nan"), 2.0, (float("inf"),)],
+            "label": "x",
+            "flag": True,
+        }
+        out = sanitize_non_finite(value)
+        assert out["nan"] is None and out["inf"] is None
+        assert out["nested"] == {"ninf": None, "ok": 1.5}
+        assert out["list"] == [None, 2.0, [None]]
+        assert out["label"] == "x" and out["flag"] is True
+
+    def test_nan_producing_analysis_cannot_abort_sweep(self, tmp_path):
+        # Regression: an analysis emitting NaN/inf used to blow up in
+        # canonical_json(allow_nan=False) inside store.put, aborting the
+        # whole sweep mid-flight instead of recording the cell.
+        from repro.experiments.analyses import _ANALYSIS_REGISTRY, register_analysis
+
+        name = "test-nan-prone"
+
+        @register_analysis(name, version=1)
+        def nan_pass(run):
+            return {"ratio": float("nan"), "bound": float("inf"), "n": 3}
+
+        try:
+            store = ResultStore(str(tmp_path / "r.jsonl"))
+            cell = make_cell("figure1", seed=0, analyses=("summary", name))
+            outcome = run_sweep([cell], store=store, workers=1)
+            assert (outcome.executed, outcome.errors) == (1, 0)
+            record = store.get(cell.key())
+            assert record is not None
+            assert record["analyses"][name] == {"ratio": None, "bound": None, "n": 3}
+        finally:
+            _ANALYSIS_REGISTRY.pop(name, None)
+
+
+class TestTelemetryInvariant:
+    """Telemetry records share the store with cells but never count as cells."""
+
+    @staticmethod
+    def _sweep_store(tmp_path):
+        store_path = str(tmp_path / "results.jsonl")
+        store = ResultStore(store_path)
+        cells = expand_grid(["figure1"], adversaries=["earliest"], seeds=[0])
+        outcome = run_sweep(cells, store=store, workers=1)
+        assert outcome.telemetry is not None
+        return store_path, store, cells
+
+    def test_sweep_persists_telemetry_alongside_cells(self, tmp_path):
+        _, store, cells = self._sweep_store(tmp_path)
+        telemetry = store.get(sweep_telemetry_key(cells))
+        assert telemetry is not None and telemetry["kind"] == TELEMETRY_KIND
+        assert len(store.records()) == 2  # one cell + one telemetry record
+
+    def test_cell_records_filters_telemetry(self, tmp_path):
+        _, store, _ = self._sweep_store(tmp_path)
+        records = cell_records(store.records())
+        assert len(records) == 1 and records[0]["status"] == "ok"
+        # Even when error cells are kept, telemetry must not pass.
+        lenient = cell_records(store.records(), require_ok=False)
+        assert all(r.get("kind") != TELEMETRY_KIND for r in lenient)
+        assert len(lenient) == 1
+
+    def test_group_records_drops_telemetry_without_prefilter(self, tmp_path):
+        _, store, _ = self._sweep_store(tmp_path)
+        groups = group_records(store.records(), ["scenario"])
+        assert set(groups) == {("figure1",)}
+        assert len(groups[("figure1",)]) == 1
+
+    def test_report_cell_counts_exclude_telemetry(self, tmp_path, capsys):
+        store_path, _, _ = self._sweep_store(tmp_path)
+        assert cli_main(["report", "--store", store_path, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload) == 1 and payload[0]["cells"] == 1
+
+    def test_html_report_counts_only_cells(self, tmp_path, capsys):
+        store_path, _, _ = self._sweep_store(tmp_path)
+        html_path = str(tmp_path / "report.html")
+        code = cli_main(["report", "--store", store_path, "--html", html_path])
+        assert code == 0
+        assert "(1 records)" in capsys.readouterr().out
+        with open(html_path, encoding="utf-8") as handle:
+            html = handle.read()
+        # The telemetry surfaces in its own section, not as a cell row.
+        assert "Sweep telemetry" in html
+
+    def test_viz_rejects_exact_telemetry_key(self, tmp_path, capsys):
+        store_path, _, cells = self._sweep_store(tmp_path)
+        key = sweep_telemetry_key(cells)
+        assert cli_main(["report", "--store", store_path, "--viz", key]) == 2
+        assert "sweep-telemetry record, not a cell" in capsys.readouterr().err
+
+    def test_viz_prefix_never_matches_telemetry(self, tmp_path, capsys):
+        store_path, _, _ = self._sweep_store(tmp_path)
+        assert cli_main(["report", "--store", store_path, "--viz", "telemetry"]) == 2
+        assert "matches 0 records" in capsys.readouterr().err
+
+    def test_cache_scan_never_reuses_telemetry_under_cell_key(self, tmp_path):
+        _, store, cells = self._sweep_store(tmp_path)
+        cell = cells[0]
+        telemetry = store.get(sweep_telemetry_key(cells))
+        # Adversarial store state: a telemetry record squatting on the cell's
+        # key must not be served as a cache hit.
+        store.put({**telemetry, "key": cell.key()})
+        outcome = run_sweep(cells, store=store, workers=1)
+        assert (outcome.executed, outcome.cached) == (1, 0)
+        assert store.get(cell.key())["status"] == "ok"
+
+    def test_compact_preserves_telemetry(self, tmp_path):
+        _, store, cells = self._sweep_store(tmp_path)
+        # Superseded duplicate lines to give compact something to drop.
+        run_sweep(cells, store=store, workers=1, force=True)
+        dropped = store.compact()
+        assert dropped >= 1
+        reloaded = ResultStore(store.path)
+        telemetry = reloaded.get(sweep_telemetry_key(cells))
+        assert telemetry is not None and telemetry["kind"] == TELEMETRY_KIND
+        assert len(cell_records(reloaded.records())) == 1
