@@ -1,0 +1,145 @@
+"""Benchmarks for the distributed sweep fabric (PR 8).
+
+The remote backend trades per-shard socket round-trips and JSON cell
+encoding for the ability to run workers on other machines and survive their
+deaths.  These benchmarks put numbers on that trade on a single host: the
+coordination overhead of a clean one-worker remote sweep versus serial
+execution, and the wall-clock cost of recovering from a severed worker
+connection mid-sweep (lease expiry + reassignment).
+
+No ``BENCH_remote.baseline.json`` is committed yet, so CI records the
+trajectory in ``BENCH_remote.json`` without gating on it — correctness
+(bit-identical records) is still asserted here.  Once a few runs establish a
+stable envelope, a baseline can be committed to turn the gate on.
+"""
+
+import time
+from pathlib import Path
+
+from _bench_utils import record, report
+
+from repro.experiments import expand_grid, run_sweep
+from repro.experiments.remote import RemoteExecutor, run_worker
+
+ARTIFACT = Path(__file__).resolve().parent / "BENCH_remote.json"
+
+GRID = dict(
+    scenarios=["line-flood"],
+    adversaries=["earliest", "latest"],
+    seeds=range(12),
+    analyses=("summary",),
+)
+
+
+def _grid():
+    return expand_grid(
+        GRID["scenarios"],
+        adversaries=GRID["adversaries"],
+        seeds=GRID["seeds"],
+        analyses=GRID["analyses"],
+        horizon=3,
+    )
+
+
+def _strip(records):
+    return [{k: v for k, v in r.items() if k != "duration_s"} for r in records]
+
+
+def _remote_sweep(cells, **worker_kwargs):
+    import threading
+
+    executor = RemoteExecutor(workers_hint=1, shard_size=4, poll_s=0.02,
+                              **worker_kwargs.pop("executor_kwargs", {}))
+    worker = threading.Thread(
+        target=run_worker,
+        args=(f"{executor.address[0]}:{executor.address[1]}",),
+        kwargs={"heartbeat_s": 0.2, "connect_timeout_s": 15.0, **worker_kwargs},
+        daemon=True,
+    )
+    worker.start()
+    started = time.perf_counter()
+    outcome = run_sweep(cells, store=None, backend=executor)
+    elapsed = time.perf_counter() - started
+    worker.join(timeout=10.0)
+    return elapsed, outcome
+
+
+def test_bench_remote_fabric_overhead():
+    """Coordination cost of a clean one-worker remote sweep vs serial."""
+    from repro.experiments import faults
+
+    cells = _grid()
+    started = time.perf_counter()
+    serial = run_sweep(cells, store=None, backend="serial")
+    serial_s = time.perf_counter() - started
+    assert serial.errors == 0
+
+    try:
+        remote_s, remote = _remote_sweep(cells, worker_id="bench")
+    finally:
+        faults.reset()  # run_worker marks this process; undo for later tests
+    assert remote.errors == 0
+    assert _strip(remote.records) == _strip(serial.records), (
+        "remote backend changed sweep results"
+    )
+
+    overhead = remote_s / serial_s if serial_s > 0 else float("inf")
+    report(
+        "Remote fabric: one local worker vs serial",
+        "no measurement in the paper (harness cost)",
+        f"{len(cells)} cells: serial {serial_s * 1e3:.0f}ms, "
+        f"remote {remote_s * 1e3:.0f}ms ({overhead:.2f}x)",
+    )
+    record(
+        ARTIFACT,
+        "clean-one-worker",
+        {
+            "cells": len(cells),
+            "serial_s": round(serial_s, 6),
+            "remote_s": round(remote_s, 6),
+            "remote_vs_serial": round(overhead, 2),
+        },
+    )
+
+
+def test_bench_remote_drop_recovery():
+    """Wall-clock cost of recovering one severed connection mid-sweep."""
+    from repro.experiments import faults
+
+    cells = _grid()
+    try:
+        clean_s, clean = _remote_sweep(
+            cells,
+            worker_id="bench-clean",
+            executor_kwargs=dict(lease_base_s=1.0, lease_cell_s=0.1),
+        )
+        faults.reset()
+        faulty_s, faulty = _remote_sweep(
+            cells,
+            worker_id="bench-faulty",
+            faults_spec="drop@worker.result:1",
+            executor_kwargs=dict(lease_base_s=1.0, lease_cell_s=0.1),
+        )
+    finally:
+        faults.reset()
+    assert clean.errors == 0 and faulty.errors == 0
+    assert _strip(faulty.records) == _strip(clean.records), (
+        "fault recovery changed sweep results"
+    )
+
+    report(
+        "Remote fabric: dropped-connection recovery cost",
+        "no measurement in the paper (harness cost)",
+        f"{len(cells)} cells: clean {clean_s * 1e3:.0f}ms, "
+        f"one drop {faulty_s * 1e3:.0f}ms (+{(faulty_s - clean_s) * 1e3:.0f}ms)",
+    )
+    record(
+        ARTIFACT,
+        "drop-recovery",
+        {
+            "cells": len(cells),
+            "clean_s": round(clean_s, 6),
+            "with_drop_s": round(faulty_s, 6),
+            "recovery_cost_s": round(max(0.0, faulty_s - clean_s), 6),
+        },
+    )

@@ -7,8 +7,12 @@ adversaries, seeds and parameter values becomes a grid of *cells*; the
 with deterministic per-cell seeding; versioned :mod:`analysis passes
 <repro.experiments.analyses>` turn each run into JSON metrics; and the
 content-addressed :mod:`store <repro.experiments.store>` makes repeated
-sweeps incremental.  The ``repro`` CLI (:mod:`repro.experiments.cli`) wraps
-the whole pipeline.
+sweeps incremental.  Sweeps scale past one machine through the distributed
+fabric (:mod:`repro.experiments.remote`: a lease-and-heartbeat coordinator
+serving ``repro worker`` processes) and survive sick workers everywhere —
+pool supervision in :mod:`repro.experiments.executors`, deterministic fault
+injection in :mod:`repro.experiments.faults`.  The ``repro`` CLI
+(:mod:`repro.experiments.cli`) wraps the whole pipeline.
 """
 
 from .analyses import (
@@ -29,12 +33,22 @@ from .executors import (
     ProcessExecutor,
     SerialExecutor,
     SweepExecutor,
+    WorkerTimeout,
     plan_shards,
     resolve_executor,
     run_cell_monitored,
     run_shard,
     run_shard_monitored,
     shard_signature,
+)
+from .faults import (
+    DEFAULT_CHAOS_PLAN,
+    FAULTS_ENV,
+    DropConnection,
+    FaultError,
+    FaultPlan,
+    FaultRule,
+    parse_plan,
 )
 from .golden import (
     GOLDEN_FORMAT_VERSION,
@@ -71,6 +85,14 @@ from .runner import (
     run_sweep,
     sweep_telemetry_key,
 )
+from .remote import (
+    FabricScheduler,
+    RemoteExecutor,
+    WorkerFailure,
+    cell_from_wire,
+    cell_to_wire,
+    run_worker,
+)
 from .store import (
     DEFAULT_STORE_PATH,
     STORE_FORMAT_VERSION,
@@ -87,9 +109,17 @@ __all__ = [
     "AnalysisPass",
     "ChunkedShardExecutor",
     "DEFAULT_ANALYSES",
+    "DEFAULT_CHAOS_PLAN",
     "DEFAULT_STORE_PATH",
+    "DropConnection",
+    "FAULTS_ENV",
+    "FabricScheduler",
+    "FaultError",
+    "FaultPlan",
+    "FaultRule",
     "GOLDEN_FORMAT_VERSION",
     "ProcessExecutor",
+    "RemoteExecutor",
     "ResultStore",
     "STORE_FORMAT_VERSION",
     "SerialExecutor",
@@ -100,13 +130,17 @@ __all__ = [
     "SweepOutcome",
     "TELEMETRY_KIND",
     "TELEMETRY_STATUS",
+    "WorkerFailure",
+    "WorkerTimeout",
     "aggregate_metric",
     "analysis_versions",
     "build_base_scenario",
     "cell_records",
     "build_cell_scenario",
     "canonical_json",
+    "cell_from_wire",
     "cell_key",
+    "cell_to_wire",
     "check_corpus",
     "decorate_scenario",
     "discover_metrics",
@@ -125,6 +159,7 @@ __all__ = [
     "main",
     "make_cell",
     "make_delivery",
+    "parse_plan",
     "plan_shards",
     "register_analysis",
     "resolve_executor",
@@ -134,6 +169,7 @@ __all__ = [
     "run_shard",
     "run_shard_monitored",
     "run_sweep",
+    "run_worker",
     "shard_signature",
     "sweep_telemetry_key",
     "write_corpus",

@@ -10,7 +10,10 @@
   diagrams, persisted sweep telemetry (``--telemetry``), and a static HTML
   dashboard (``--html``);
 * ``repro export`` — GraphML / DOT dumps of a cell's bounds graph, extended
-  bounds graph ``GE(r, sigma)``, or causal-past DAG.
+  bounds graph ``GE(r, sigma)``, or causal-past DAG;
+* ``repro worker`` — join a ``repro sweep --backend remote`` coordinator as
+  a remote worker (heartbeats, lease-based shard execution, optional
+  deterministic fault injection via ``--faults``).
 
 Installed as a console script via ``pip install -e .`` or reachable as
 ``python -m repro``.
@@ -37,6 +40,7 @@ from .analyses import (
     list_analyses,
 )
 from .executors import BACKENDS
+from .faults import DEFAULT_CHAOS_PLAN, FAULTS_ENV, FaultError, parse_plan
 from .reporting import (
     aggregate_metric,
     cell_records,
@@ -202,10 +206,32 @@ def _cmd_sweep(args: argparse.Namespace, out) -> int:
     if args.shard_size is not None:
         if args.shard_size < 1:
             raise CliError(f"--shard-size must be >= 1, got {args.shard_size}")
-        if args.backend != "sharded":
-            raise CliError("--shard-size requires --backend sharded")
+        if args.backend not in ("sharded", "remote"):
+            raise CliError("--shard-size requires --backend sharded or remote")
+    if args.cell_timeout is not None and args.cell_timeout <= 0:
+        raise CliError(f"--cell-timeout must be > 0, got {args.cell_timeout}")
+    if args.listen is not None and args.backend != "remote":
+        raise CliError("--listen requires --backend remote")
     if args.force and args.resume:
         raise CliError("--force and --resume are mutually exclusive")
+    chaos_plan: Optional[str] = None
+    if args.chaos or args.chaos_plan:
+        chaos_plan = args.chaos_plan or DEFAULT_CHAOS_PLAN
+        try:
+            parse_plan(chaos_plan)
+        except FaultError as exc:
+            raise CliError(f"--chaos-plan: {exc}")
+        if args.backend == "remote":
+            raise CliError(
+                "--chaos scripts faults into this process's pool workers; remote "
+                "workers are separate processes — start them with "
+                "`repro worker --faults SPEC` instead"
+            )
+        if args.backend == "serial" or args.workers < 2:
+            raise CliError(
+                "--chaos needs a pool backend with --workers >= 2: faults only "
+                "fire in worker processes, never in the coordinator"
+            )
     scenarios = _csv(args.scenario) if args.scenario else list(DEFAULT_SWEEP_SCENARIOS)
     adversaries = _csv(args.adversary) if args.adversary else list(ADVERSARIES)
     if args.seed_list is not None:
@@ -245,16 +271,58 @@ def _cmd_sweep(args: argparse.Namespace, out) -> int:
         return 0
     store = ResultStore(args.store)
     progress = (lambda message: print(f"  {message}", file=out)) if args.verbose else None
-    outcome = run_sweep(
-        cells,
-        store=store,
-        workers=args.workers,
-        force=args.force,
-        progress=progress,
-        backend=args.backend,
-        resume=args.resume,
-        shard_size=args.shard_size,
-    )
+    backend: Any = args.backend
+    if args.backend == "remote":
+        from .remote import RemoteExecutor
+
+        host, _, port_text = (args.listen or "127.0.0.1:0").rpartition(":")
+        try:
+            port = int(port_text)
+        except ValueError:
+            raise CliError(f"--listen expects HOST:PORT, got {args.listen!r}")
+        backend = RemoteExecutor(
+            host or "127.0.0.1",
+            port,
+            workers_hint=args.workers,
+            shard_size=args.shard_size,
+            lease_base_s=args.lease_base_s,
+            lease_cell_s=args.lease_cell_s,
+            heartbeat_timeout_s=args.heartbeat_timeout_s,
+            local_fallback_after_s=args.local_fallback_s,
+        )
+        # Parse-friendly and flushed before blocking: worker launchers (and
+        # the CI smoke) scrape the port from this line.
+        print(
+            f"coordinator: listening on {backend.address[0]}:{backend.address[1]}",
+            file=out,
+            flush=True,
+        )
+    if chaos_plan is not None:
+        print(f"chaos: injecting {chaos_plan!r} into pool workers", file=out)
+    previous_faults = os.environ.get(FAULTS_ENV)
+    try:
+        if chaos_plan is not None:
+            # Pool workers inherit the environment at fork and mark
+            # themselves via the pool initializer; this process never marks
+            # itself, so the plan cannot fire in the coordinator.
+            os.environ[FAULTS_ENV] = chaos_plan
+        outcome = run_sweep(
+            cells,
+            store=store,
+            workers=args.workers,
+            force=args.force,
+            progress=progress,
+            backend=backend,
+            resume=args.resume,
+            shard_size=args.shard_size,
+            cell_timeout=args.cell_timeout,
+        )
+    finally:
+        if chaos_plan is not None:
+            if previous_faults is None:
+                os.environ.pop(FAULTS_ENV, None)
+            else:
+                os.environ[FAULTS_ENV] = previous_faults
     print(f"{outcome.describe()} [backend={outcome.backend}]", file=out)
     if outcome.recovered_lines:
         print(
@@ -263,6 +331,27 @@ def _cmd_sweep(args: argparse.Namespace, out) -> int:
         )
     print(f"store: {store.path} ({len(store)} records)", file=out)
     return 1 if outcome.errors else 0
+
+
+def _cmd_worker(args: argparse.Namespace, out) -> int:
+    if args.heartbeat_s <= 0:
+        raise CliError(f"--heartbeat-s must be > 0, got {args.heartbeat_s}")
+    if args.faults is not None:
+        try:
+            parse_plan(args.faults)
+        except FaultError as exc:
+            raise CliError(f"--faults: {exc}")
+    from .remote import run_worker
+
+    notify = (lambda message: print(message, file=out, flush=True)) if args.verbose else None
+    return run_worker(
+        args.connect,
+        worker_id=args.id,
+        heartbeat_s=args.heartbeat_s,
+        faults_spec=args.faults,
+        connect_timeout_s=args.connect_timeout_s,
+        log=notify,
+    )
 
 
 def _record_run(record: Dict[str, Any]):
@@ -511,6 +600,66 @@ def build_parser() -> argparse.ArgumentParser:
         "the store: at most one in-flight cell per worker, or one in-flight "
         "shard with --backend sharded)",
     )
+    sweep_parser.add_argument(
+        "--cell-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="max seconds one cell (sharded: one shard) may run in a pool "
+        "worker; violators restart the pool and repeat offenders are "
+        "quarantined as error records",
+    )
+    sweep_parser.add_argument(
+        "--chaos",
+        action="store_true",
+        help="smoke mode: inject the default deterministic fault plan "
+        f"({DEFAULT_CHAOS_PLAN!r}) into pool workers; the sweep must still "
+        "complete with results identical to a serial run",
+    )
+    sweep_parser.add_argument(
+        "--chaos-plan",
+        default=None,
+        metavar="SPEC",
+        help="custom fault plan (KIND@POINT:WHEN[:ARG], comma-separated); "
+        "implies --chaos",
+    )
+    sweep_parser.add_argument(
+        "--listen",
+        default=None,
+        metavar="HOST:PORT",
+        help="with --backend remote: bind the coordinator here "
+        "(default 127.0.0.1:0, an ephemeral port printed at startup)",
+    )
+    sweep_parser.add_argument(
+        "--lease-base-s",
+        type=float,
+        default=10.0,
+        metavar="S",
+        help="remote: base lease budget per shard assignment (default: %(default)s)",
+    )
+    sweep_parser.add_argument(
+        "--lease-cell-s",
+        type=float,
+        default=5.0,
+        metavar="S",
+        help="remote: extra lease budget per cell in the shard (default: %(default)s)",
+    )
+    sweep_parser.add_argument(
+        "--heartbeat-timeout-s",
+        type=float,
+        default=5.0,
+        metavar="S",
+        help="remote: a worker silent this long is declared dead and its "
+        "shards requeued (default: %(default)s)",
+    )
+    sweep_parser.add_argument(
+        "--local-fallback-s",
+        type=float,
+        default=30.0,
+        metavar="S",
+        help="remote: with no live workers for this long, the coordinator "
+        "starts executing shards inline (default: %(default)s)",
+    )
     sweep_parser.add_argument("--horizon", type=int, default=None)
     sweep_parser.add_argument("--analysis", action="append", metavar="NAME")
     sweep_parser.add_argument("--store", default=DEFAULT_STORE_PATH, metavar="PATH")
@@ -595,6 +744,41 @@ def build_parser() -> argparse.ArgumentParser:
     export_parser.add_argument(
         "--output", default=None, metavar="PATH", help="write here instead of stdout"
     )
+
+    worker_parser = sub.add_parser(
+        "worker", help="join a sweep coordinator as a remote worker"
+    )
+    worker_parser.add_argument(
+        "--connect", required=True, metavar="HOST:PORT", help="coordinator address"
+    )
+    worker_parser.add_argument(
+        "--id", default=None, metavar="NAME", help="worker id (default: host-pid)"
+    )
+    worker_parser.add_argument(
+        "--heartbeat-s",
+        type=float,
+        default=1.0,
+        metavar="S",
+        help="heartbeat interval (default: %(default)s)",
+    )
+    worker_parser.add_argument(
+        "--connect-timeout-s",
+        type=float,
+        default=30.0,
+        metavar="S",
+        help="give up when the coordinator stays unreachable this long "
+        "(default: %(default)s)",
+    )
+    worker_parser.add_argument(
+        "--faults",
+        default=None,
+        metavar="SPEC",
+        help="deterministic fault plan for this worker "
+        "(KIND@POINT:WHEN[:ARG], e.g. 'kill@worker.shard:1')",
+    )
+    worker_parser.add_argument(
+        "--verbose", action="store_true", help="log leases and lifecycle events"
+    )
     return parser
 
 
@@ -607,6 +791,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "sweep": _cmd_sweep,
         "report": _cmd_report,
         "export": _cmd_export,
+        "worker": _cmd_worker,
     }
     try:
         return commands[args.command](args, sys.stdout)

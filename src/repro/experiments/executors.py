@@ -6,7 +6,7 @@ is a :class:`SweepExecutor`: it receives the pending ``(index, cell)`` pairs
 and must invoke the result handler exactly once per cell, in completion
 order, with either the cell's result record or an error record.
 
-Three backends ship:
+Four backends ship:
 
 * :class:`SerialExecutor` — in-process, cell by cell.  No pool spawn cost,
   so it is the right choice for single-worker runs and tiny sweeps.
@@ -27,6 +27,19 @@ ProcessPoolExecutor` task per cell (the classic behaviour).  Maximum
   at once, so a sweep killed mid-shard loses that shard's completed-but-
   unreported cells (bounded by the shard size), where the per-cell
   backends lose at most one cell per worker.
+* :class:`~repro.experiments.remote.RemoteExecutor` — serves shards to
+  remote worker processes over a socket wire protocol with heartbeats and
+  lease-based assignment (see :mod:`repro.experiments.remote`).
+
+The pool-backed backends are supervised (:class:`_PoolSupervisor`): a
+worker that dies mid-task (``BrokenProcessPool``) triggers a pool restart
+and resubmission of the lost tasks instead of aborting the sweep; a task
+whose worker exceeds its execution deadline is abandoned (the pool is
+killed and restarted) and, after repeated timeouts, quarantined as an error
+record; and when the pool keeps breaking without making progress, execution
+degrades gracefully to the in-process serial path for whatever remains.  A
+shard that fails as a unit is re-run inline cell by cell, so one poison
+cell costs one error record, not its whole shard.
 
 Every backend produces records identical to the serial one (modulo the
 ``duration_s`` timing field): cells are seeded by their identity, interning
@@ -38,13 +51,17 @@ from __future__ import annotations
 import math
 import time
 from abc import ABC, abstractmethod
+from collections import deque
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
+from ..obs import metrics as _metrics
 from ..obs.collect import Collector, registry_baseline, registry_delta
 from ..obs.trace import trace_events
 from ..scenarios.base import RegistryError, get_scenario
 from ..simulation.interning import intern_pool
+from . import faults
 from .runner import (
     SweepCell,
     SweepError,
@@ -54,7 +71,7 @@ from .runner import (
 )
 
 #: The backend names ``run_sweep``/the CLI accept.
-BACKENDS: Tuple[str, ...] = ("auto", "serial", "process", "sharded")
+BACKENDS: Tuple[str, ...] = ("auto", "serial", "process", "sharded", "remote")
 
 #: Ceiling on *derived* cells per shard: bounds a worker's intern-pool
 #: lifetime (memory) and keeps shards small enough to balance across the
@@ -65,8 +82,31 @@ DEFAULT_MAX_SHARD_CELLS = 32
 #: of oversubscription lets the pool rebalance around slow shards.
 _SHARDS_PER_WORKER = 4
 
+#: Consecutive pool restarts that deliver no result before a supervised
+#: backend stops restarting and degrades to in-process execution.
+DEFAULT_MAX_POOL_RESTARTS = 3
+
+#: Execution-deadline violations (distinct pool incarnations) a single task
+#: survives before it is quarantined as a failed record.
+DEFAULT_MAX_TASK_ATTEMPTS = 3
+
+#: How often the supervision loop wakes to check worker deadlines.
+_SUPERVISE_TICK_S = 0.05
+
 #: ``handle(index, cell, record)`` — invoked exactly once per pending cell.
 ResultHandler = Callable[[int, SweepCell, Dict[str, Any]], None]
+
+_C_POOL_RESTARTS = _metrics.counter("sweep.pool_restarts")
+_C_POOL_BROKEN = _metrics.counter("sweep.pool_broken")
+_C_TASK_TIMEOUTS = _metrics.counter("sweep.task_timeouts")
+_C_TASK_RETRIES = _metrics.counter("sweep.task_retries")
+_C_QUARANTINED = _metrics.counter("sweep.cells_quarantined")
+_C_INLINE_FALLBACK = _metrics.counter("sweep.inline_fallback_cells")
+_C_SHARD_INLINE_RETRY = _metrics.counter("sweep.shard_inline_retries")
+
+
+class WorkerTimeout(RuntimeError):
+    """A task's worker exceeded its execution deadline repeatedly."""
 
 
 class SweepExecutor(ABC):
@@ -100,6 +140,28 @@ class SweepExecutor(ABC):
             self.__dict__["_worker_telemetry"] = collector
         return collector
 
+    @property
+    def fabric(self) -> Dict[str, Any]:
+        """Mutable robustness accounting (restarts, retries, quarantines).
+
+        Persisted into the sweep telemetry record as its ``fabric`` section
+        (see :func:`repro.experiments.runner.run_sweep`); lazily created so
+        executors that never touch it ship nothing.
+        """
+        stats = self.__dict__.get("_fabric")
+        if stats is None:
+            stats = {}
+            self.__dict__["_fabric"] = stats
+        return stats
+
+    def fabric_summary(self) -> Dict[str, Any]:
+        """A JSON-safe copy of the robustness accounting (may be empty)."""
+        return dict(self.__dict__.get("_fabric") or {})
+
+    def _bump(self, key: str, amount: int = 1) -> None:
+        fabric = self.fabric
+        fabric[key] = fabric.get(key, 0) + amount
+
     def _absorb_worker_payload(
         self, payload: Mapping[str, Any], cells: int, **extra: Any
     ) -> None:
@@ -124,38 +186,251 @@ class SerialExecutor(SweepExecutor):
             handle(index, cell, record)
 
 
+# ---------------------------------------------------------------------------
+# Pool supervision: broken-pool recovery, deadlines, graceful degradation.
+# ---------------------------------------------------------------------------
+
+
+def _abandon_pool(executor: ProcessPoolExecutor) -> None:
+    """Tear down a pool that may contain hung or dying workers.
+
+    A graceful ``shutdown(wait=True)`` would block behind a hung task, so
+    queued work is cancelled, the worker processes are SIGKILLed outright,
+    and the join is best-effort.  Private-attribute access is deliberate:
+    :class:`ProcessPoolExecutor` offers no public way to reap a wedged
+    worker, and leaking a process that sleeps for minutes would stall
+    interpreter shutdown.
+    """
+    processes = list(getattr(executor, "_processes", {}).values())
+    executor.shutdown(wait=False, cancel_futures=True)
+    for process in processes:
+        try:
+            process.kill()
+        except Exception:  # noqa: BLE001 - already-dead workers are fine
+            pass
+    for process in processes:
+        try:
+            process.join(timeout=1.0)
+        except Exception:  # noqa: BLE001
+            pass
+
+
+class _PoolSupervisor:
+    """Run payloads through worker pools, surviving sick workers.
+
+    Generic over the payload: ``fn(payload)`` executes in a pool worker and
+    ``on_done(task_id, ("ok", value) | ("error", exc))`` delivers outcomes in
+    the parent, at most once per task.  The supervisor guarantees forward
+    progress and bounded failure handling:
+
+    * ``BrokenProcessPool`` (a worker died mid-task) restarts the pool and
+      resubmits every unfinished task;
+    * with ``task_timeout`` set, a task observed *running* longer than the
+      timeout marks the pool sick: the pool is killed
+      (:func:`_abandon_pool`), the timed-out tasks are charged an attempt,
+      and everything unfinished is resubmitted — a task charged
+      ``max_attempts`` times lands in the returned ``timed_out`` list
+      instead of being retried forever;
+    * ``max_restarts`` consecutive pool incarnations that deliver nothing
+      stop the restart loop; the unfinished remainder comes back in
+      ``leftover`` for the caller's in-process fallback.
+
+    Workers are initialised with :func:`repro.experiments.faults.\
+pool_worker_init`, so chaos plans (``REPRO_FAULTS``) apply to pool workers
+    and never to the supervising parent.
+    """
+
+    def __init__(
+        self,
+        fn: Callable[[Any], Any],
+        workers: int,
+        *,
+        task_timeout: Optional[float] = None,
+        max_restarts: int = DEFAULT_MAX_POOL_RESTARTS,
+        max_attempts: int = DEFAULT_MAX_TASK_ATTEMPTS,
+    ):
+        self.fn = fn
+        self.workers = workers
+        self.task_timeout = task_timeout
+        self.max_restarts = max_restarts
+        self.max_attempts = max_attempts
+        self.stats: Dict[str, int] = {}
+
+    def _count(self, key: str, amount: int = 1) -> None:
+        self.stats[key] = self.stats.get(key, 0) + amount
+
+    def run(
+        self,
+        payloads: Sequence[Any],
+        on_done: Callable[[int, Tuple[str, Any]], None],
+    ) -> Tuple[List[int], List[int]]:
+        """Execute every payload; return ``(leftover_ids, timed_out_ids)``.
+
+        Every task id is either delivered exactly once via ``on_done`` or
+        returned in exactly one of the two lists.
+        """
+        pending: deque[int] = deque(range(len(payloads)))
+        timeouts: Dict[int, int] = {}
+        timed_out_ids: List[int] = []
+        unproductive = 0
+        first_pool = True
+        while pending:
+            if unproductive > self.max_restarts:
+                break
+            if not first_pool:
+                _C_POOL_RESTARTS.value += 1
+                self._count("pool_restarts")
+            first_pool = False
+            batch = list(pending)
+            pending.clear()
+            resolved: set = set()
+            delivered = 0
+            broken = False
+            abandoned = False
+            executor = ProcessPoolExecutor(
+                max_workers=min(self.workers, len(batch)),
+                initializer=faults.pool_worker_init,
+            )
+            try:
+                futures = {
+                    executor.submit(self.fn, payloads[tid]): tid for tid in batch
+                }
+                remaining = set(futures)
+                running_since: Dict[Any, float] = {}
+                while remaining:
+                    done, not_done = wait(
+                        remaining, timeout=_SUPERVISE_TICK_S, return_when=FIRST_COMPLETED
+                    )
+                    now = time.monotonic()
+                    for future in done:
+                        tid = futures[future]
+                        try:
+                            value = future.result()
+                        except BrokenProcessPool:
+                            broken = True
+                            break
+                        except Exception as exc:  # noqa: BLE001 - per-task isolation
+                            on_done(tid, ("error", exc))
+                            resolved.add(tid)
+                            delivered += 1
+                        else:
+                            on_done(tid, ("ok", value))
+                            resolved.add(tid)
+                            delivered += 1
+                    if broken:
+                        _C_POOL_BROKEN.value += 1
+                        self._count("pool_broken")
+                        break
+                    remaining = not_done
+                    if self.task_timeout is None:
+                        continue
+                    expired = False
+                    for future in remaining:
+                        if not future.running():
+                            continue
+                        started = running_since.setdefault(future, now)
+                        if now - started >= self.task_timeout:
+                            tid = futures[future]
+                            timeouts[tid] = timeouts.get(tid, 0) + 1
+                            _C_TASK_TIMEOUTS.value += 1
+                            self._count("task_timeouts")
+                            expired = True
+                    if expired:
+                        abandoned = True
+                        break
+            finally:
+                if broken or abandoned:
+                    _abandon_pool(executor)
+                else:
+                    executor.shutdown(wait=True)
+            for tid in batch:
+                if tid in resolved:
+                    continue
+                if timeouts.get(tid, 0) >= self.max_attempts:
+                    timed_out_ids.append(tid)
+                    continue
+                pending.append(tid)
+                _C_TASK_RETRIES.value += 1
+                self._count("task_retries")
+            unproductive = 0 if delivered else unproductive + 1
+        return list(pending), timed_out_ids
+
+
+def _fold_supervisor(executor: SweepExecutor, supervisor: _PoolSupervisor) -> None:
+    fabric = executor.fabric
+    for key, value in supervisor.stats.items():
+        fabric[key] = fabric.get(key, 0) + value
+
+
 class ProcessExecutor(SweepExecutor):
-    """One process-pool task per cell (per-cell dispatch)."""
+    """One process-pool task per cell (per-cell dispatch), supervised."""
 
     name = "process"
 
-    def __init__(self, workers: int):
+    def __init__(
+        self,
+        workers: int,
+        cell_timeout: Optional[float] = None,
+        max_restarts: int = DEFAULT_MAX_POOL_RESTARTS,
+        max_attempts: int = DEFAULT_MAX_TASK_ATTEMPTS,
+    ):
         if workers < 1:
             raise SweepError(f"workers must be >= 1, got {workers}")
+        if cell_timeout is not None and cell_timeout <= 0:
+            raise SweepError(f"cell timeout must be > 0, got {cell_timeout}")
         self.workers = workers
+        self.cell_timeout = cell_timeout
+        self.max_restarts = max_restarts
+        self.max_attempts = max_attempts
 
     def execute(self, pending: Sequence[Tuple[int, SweepCell]], handle: ResultHandler) -> None:
         if self.workers == 1 or len(pending) <= 1:
             # In-process: increments land in the parent registry directly.
             SerialExecutor().execute(pending, handle)
             return
-        with ProcessPoolExecutor(max_workers=self.workers) as executor:
-            futures = {
-                executor.submit(run_cell_monitored, cell): (index, cell)
-                for index, cell in pending
-            }
-            remaining = set(futures)
-            while remaining:
-                done, remaining = wait(remaining, return_when=FIRST_COMPLETED)
-                for future in done:
-                    index, cell = futures[future]
-                    try:
-                        payload = future.result()
-                        record = payload["record"]
-                        self._absorb_worker_payload(payload, cells=1)
-                    except Exception as exc:  # noqa: BLE001 - per-cell isolation
-                        record = error_record(cell, exc)
-                    handle(index, cell, record)
+        supervisor = _PoolSupervisor(
+            run_cell_monitored,
+            self.workers,
+            task_timeout=self.cell_timeout,
+            max_restarts=self.max_restarts,
+            max_attempts=self.max_attempts,
+        )
+
+        def on_done(tid: int, outcome: Tuple[str, Any]) -> None:
+            index, cell = pending[tid]
+            kind, value = outcome
+            if kind == "ok":
+                record = value["record"]
+                self._absorb_worker_payload(value, cells=1)
+            else:
+                record = error_record(cell, value)
+            handle(index, cell, record)
+
+        leftover, timed_out = supervisor.run([cell for _, cell in pending], on_done)
+        _fold_supervisor(self, supervisor)
+        # Quarantine repeat deadline violators: a cell that hung its worker
+        # on every attempt would hang the sweep itself if re-run inline.
+        for tid in timed_out:
+            index, cell = pending[tid]
+            _C_QUARANTINED.value += 1
+            self._bump("cells_quarantined")
+            handle(
+                index,
+                cell,
+                error_record(
+                    cell,
+                    WorkerTimeout(
+                        f"cell exceeded {self.cell_timeout}s on "
+                        f"{self.max_attempts} worker(s); quarantined"
+                    ),
+                ),
+            )
+        # Graceful degradation: workers died faster than they made progress,
+        # so whatever never timed out finishes on the in-process serial path.
+        if leftover:
+            _C_INLINE_FALLBACK.value += len(leftover)
+            self._bump("inline_fallback_cells", len(leftover))
+            SerialExecutor().execute([pending[tid] for tid in leftover], handle)
 
 
 def shard_signature(cell: SweepCell) -> Tuple[Any, ...]:
@@ -221,6 +496,7 @@ def run_cell_monitored(cell: SweepCell) -> Dict[str, Any]:
     baseline = registry_baseline()
     mark = len(trace_events())
     started = time.perf_counter()
+    faults.fire("worker.cell")
     record = run_cell(cell)
     return {
         "record": record,
@@ -242,14 +518,23 @@ def run_shard_monitored(cells: Sequence[SweepCell]) -> Dict[str, Any]:
     failing cell yields an error record without poisoning the rest of the
     shard.  Like :func:`run_cell_monitored`, the payload carries the shard's
     registry delta, wall time, and new trace events.
+
+    Fault-injection points ``worker.shard`` (once, up front) and
+    ``worker.cell`` (per cell) fire here; they are no-ops outside marked
+    worker processes (see :mod:`repro.experiments.faults`).
     """
     baseline = registry_baseline()
     mark = len(trace_events())
     started = time.perf_counter()
+    faults.fire("worker.shard")
     records: List[Dict[str, Any]] = []
     with intern_pool():
         base_cache: Dict[Tuple[str, Tuple[Tuple[str, Any], ...]], Any] = {}
         for cell in cells:
+            # Outside the per-cell try: a DropConnection fault must sever the
+            # shard (the remote worker catches it at its connection loop),
+            # never masquerade as a cell error record.
+            faults.fire("worker.cell")
             try:
                 record, _ = execute_cell_inline(cell, base_cache=base_cache)
             except Exception as exc:  # noqa: BLE001 - per-cell isolation
@@ -269,17 +554,29 @@ def run_shard(cells: Sequence[SweepCell]) -> List[Dict[str, Any]]:
 
 
 class ChunkedShardExecutor(SweepExecutor):
-    """Dispatch per-worker shards of structurally similar cells."""
+    """Dispatch per-worker shards of structurally similar cells, supervised."""
 
     name = "sharded"
 
-    def __init__(self, workers: int, shard_size: Optional[int] = None):
+    def __init__(
+        self,
+        workers: int,
+        shard_size: Optional[int] = None,
+        shard_timeout: Optional[float] = None,
+        max_restarts: int = DEFAULT_MAX_POOL_RESTARTS,
+        max_attempts: int = DEFAULT_MAX_TASK_ATTEMPTS,
+    ):
         if workers < 1:
             raise SweepError(f"workers must be >= 1, got {workers}")
         if shard_size is not None and shard_size < 1:
             raise SweepError(f"shard size must be >= 1, got {shard_size}")
+        if shard_timeout is not None and shard_timeout <= 0:
+            raise SweepError(f"shard timeout must be > 0, got {shard_timeout}")
         self.workers = workers
         self.shard_size = shard_size
+        self.shard_timeout = shard_timeout
+        self.max_restarts = max_restarts
+        self.max_attempts = max_attempts
 
     def execute(self, pending: Sequence[Tuple[int, SweepCell]], handle: ResultHandler) -> None:
         shards = plan_shards(pending, self.workers, self.shard_size)
@@ -295,23 +592,81 @@ class ChunkedShardExecutor(SweepExecutor):
                 )
                 self._deliver(shard, payload["records"], handle)
             return
-        with ProcessPoolExecutor(max_workers=min(self.workers, len(shards))) as executor:
-            futures = {
-                executor.submit(run_shard_monitored, [cell for _, cell in shard]): shard
-                for shard in shards
-            }
-            remaining = set(futures)
-            while remaining:
-                done, remaining = wait(remaining, return_when=FIRST_COMPLETED)
-                for future in done:
-                    shard = futures[future]
-                    try:
-                        payload = future.result()
-                        records = payload["records"]
-                        self._absorb_worker_payload(payload, cells=len(shard))
-                    except Exception as exc:  # noqa: BLE001 - whole-shard failure
-                        records = [error_record(cell, exc) for _, cell in shard]
-                    self._deliver(shard, records, handle)
+        supervisor = _PoolSupervisor(
+            run_shard_monitored,
+            min(self.workers, len(shards)),
+            task_timeout=self.shard_timeout,
+            max_restarts=self.max_restarts,
+            max_attempts=self.max_attempts,
+        )
+
+        def on_done(tid: int, outcome: Tuple[str, Any]) -> None:
+            shard = shards[tid]
+            kind, value = outcome
+            if kind == "ok":
+                self._absorb_worker_payload(value, cells=len(shard))
+                self._deliver(shard, value["records"], handle)
+            else:
+                # The shard failed as a unit (its worker raised outside the
+                # per-cell isolation): re-run inline per cell so one poison
+                # cell costs one record, not the whole shard.
+                self._retry_shard_inline(shard, handle, cause=value)
+
+        leftover, timed_out = supervisor.run(
+            [[cell for _, cell in shard] for shard in shards], on_done
+        )
+        _fold_supervisor(self, supervisor)
+        for tid in timed_out:
+            # Quarantine: this shard repeatedly hung its worker past the
+            # deadline; re-running it inline could hang the sweep itself.
+            for index, cell in shards[tid]:
+                _C_QUARANTINED.value += 1
+                self._bump("cells_quarantined")
+                handle(
+                    index,
+                    cell,
+                    error_record(
+                        cell,
+                        WorkerTimeout(
+                            f"shard exceeded {self.shard_timeout}s on "
+                            f"{self.max_attempts} worker(s); quarantined"
+                        ),
+                    ),
+                )
+        for tid in leftover:
+            # Workers died faster than they made progress: finish in-process.
+            self._retry_shard_inline(shards[tid], handle, cause=None)
+
+    def _retry_shard_inline(
+        self,
+        shard: Sequence[Tuple[int, SweepCell]],
+        handle: ResultHandler,
+        cause: Optional[BaseException],
+    ) -> None:
+        """Run a failed shard's cells one by one in the parent process.
+
+        Per-cell granularity is the point: only the genuinely failing cell
+        yields an error record.  In-process execution, so only shard
+        wall-time metadata is recorded (metrics land in the parent registry
+        directly).  Injected faults never fire here — the parent is not a
+        marked worker — which also makes this the safe terminal fallback.
+        """
+        _C_SHARD_INLINE_RETRY.value += 1
+        self._bump("shard_inline_retries")
+        if cause is not None:
+            self.fabric["last_shard_error"] = f"{type(cause).__name__}: {cause}"
+        started = time.perf_counter()
+        with intern_pool():
+            base_cache: Dict[Tuple[str, Tuple[Tuple[str, Any], ...]], Any] = {}
+            for index, cell in shard:
+                try:
+                    record, _ = execute_cell_inline(cell, base_cache=base_cache)
+                except Exception as exc:  # noqa: BLE001 - per-cell isolation
+                    record = error_record(cell, exc)
+                handle(index, cell, record)
+        self.worker_telemetry.add_shard(
+            len(shard), time.perf_counter() - started, in_process=True, inline_retry=True
+        )
 
     @staticmethod
     def _deliver(
@@ -329,6 +684,7 @@ def resolve_executor(
     backend: Union[str, SweepExecutor] = "auto",
     workers: int = 1,
     shard_size: Optional[int] = None,
+    cell_timeout: Optional[float] = None,
 ) -> SweepExecutor:
     """Turn a backend name (or a ready executor) into a :class:`SweepExecutor`.
 
@@ -336,7 +692,13 @@ def resolve_executor(
     dispatch otherwise; ``process`` with one worker also degrades to serial
     (no point spawning a pool for sequential work).  ``sharded`` keeps its
     chunked execution even single-worker — the shared-pool and scenario-cache
-    amortisation applies in-process too.
+    amortisation applies in-process too.  ``remote`` builds a loopback
+    coordinator with default fabric settings; callers who need a fixed
+    listen address or tuned lease/heartbeat timeouts construct a
+    :class:`~repro.experiments.remote.RemoteExecutor` themselves and pass it
+    as the backend (the CLI does).  ``cell_timeout`` is the per-cell (or,
+    sharded, per-shard) worker execution deadline; ``None`` disables
+    deadline supervision.
     """
     if isinstance(backend, SweepExecutor):
         return backend
@@ -347,7 +709,15 @@ def resolve_executor(
     if backend == "serial":
         return SerialExecutor()
     if backend == "process":
-        return SerialExecutor() if workers == 1 else ProcessExecutor(workers)
+        if workers == 1:
+            return SerialExecutor()
+        return ProcessExecutor(workers, cell_timeout=cell_timeout)
     if backend == "sharded":
-        return ChunkedShardExecutor(workers, shard_size=shard_size)
+        return ChunkedShardExecutor(
+            workers, shard_size=shard_size, shard_timeout=cell_timeout
+        )
+    if backend == "remote":
+        from .remote import RemoteExecutor  # executors <-> remote layering
+
+        return RemoteExecutor(workers_hint=workers, shard_size=shard_size)
     raise SweepError(f"unknown backend {backend!r}; known: {list(BACKENDS)}")

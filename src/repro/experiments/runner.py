@@ -441,6 +441,7 @@ def run_sweep(
     backend: Union[str, "SweepExecutor"] = "auto",
     resume: bool = False,
     shard_size: Optional[int] = None,
+    cell_timeout: Optional[float] = None,
 ) -> SweepOutcome:
     """Run a sweep, serving cells from ``store`` where possible.
 
@@ -456,7 +457,10 @@ def run_sweep(
     tail (atomic rewrite) and then relies on the normal cache scan, so a
     killed sweep re-executes exactly the cells whose records never reached
     the store.  A cell that raises yields a ``status: "error"`` record that
-    is *not* cached.
+    is *not* cached.  ``cell_timeout`` bounds how long any one cell (or, on
+    the sharded backend, shard) may run in a pool worker before the pool is
+    restarted and the work retried — repeat offenders are quarantined as
+    error records instead of hanging the sweep.
 
     Every sweep also assembles a telemetry record (``kind:
     "sweep_telemetry"``): phase timings, per-shard wall times, worker
@@ -472,7 +476,9 @@ def run_sweep(
         raise SweepError("force and resume are mutually exclusive")
     if resume and store is None:
         raise SweepError("resume requires a result store")
-    executor = resolve_executor(backend, workers, shard_size=shard_size)
+    executor = resolve_executor(
+        backend, workers, shard_size=shard_size, cell_timeout=cell_timeout
+    )
 
     started = time.perf_counter()
     parent_baseline = registry_baseline()
@@ -564,6 +570,13 @@ def run_sweep(
         "metrics": merged,
         "derived": _derived_metrics(merged),
     }
+    fabric = executor.fabric_summary() if hasattr(executor, "fabric_summary") else {}
+    if fabric:
+        # Robustness accounting: pool restarts, retries, quarantines, and —
+        # on the remote backend — per-worker liveness and lease history.
+        telemetry["fabric"] = fabric
+    if collector.worker_events:
+        telemetry["worker_events"] = list(collector.worker_events)
     if tracing_enabled():
         telemetry["trace"] = collector.trace + trace_events()[trace_mark:]
     outcome.telemetry = telemetry

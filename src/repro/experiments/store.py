@@ -22,14 +22,32 @@ A torn final line (from a ``kill -9`` mid-append) is ignored on load;
 :meth:`ResultStore.recover` additionally rewrites the file without the torn
 tail, and :meth:`ResultStore.compact` rewrites it keeping the newest record
 per key.  Both are idempotent.
+
+Multiple processes may share one store (a resumed sweep racing a report, or
+the distributed coordinator's recovery path): appends take a *shared*
+advisory ``flock`` and rewrites an *exclusive* one on a sidecar
+``<path>.lock`` file, so a ``compact()``/``recover()`` can never interleave
+with (and silently drop) a live append.  The sidecar — rather than the
+store file itself — is locked because rewrites swap the store's inode via
+``os.replace``, which would strand any lock held on the old inode.
+Rewrites re-read the file under the lock, so records appended by other
+processes after this process last loaded its index survive compaction.
 """
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
 import json
 import os
 from typing import Any, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+try:  # advisory locking is POSIX-only; the store degrades gracefully
+    import fcntl
+
+    _HAS_FLOCK = True
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    _HAS_FLOCK = False
 
 from ..obs import metrics as _metrics
 
@@ -118,6 +136,32 @@ class ResultStore:
         self._index = {}
         self._loaded = False
 
+    # -- locking -----------------------------------------------------------
+
+    @contextlib.contextmanager
+    def _locked(self, exclusive: bool):
+        """Advisory flock on the sidecar lock file (no-op without fcntl).
+
+        Shared for appends (many appenders interleave safely at line
+        granularity), exclusive for rewrites — so compaction waits out live
+        appends instead of snapshotting around them.
+        """
+        if not _HAS_FLOCK:
+            yield
+            return
+        directory = os.path.dirname(self.path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        fd = os.open(self.path + ".lock", os.O_RDWR | os.O_CREAT, 0o644)
+        try:
+            fcntl.flock(fd, fcntl.LOCK_EX if exclusive else fcntl.LOCK_SH)
+            try:
+                yield
+            finally:
+                fcntl.flock(fd, fcntl.LOCK_UN)
+        finally:
+            os.close(fd)
+
     # -- queries -----------------------------------------------------------
 
     def __len__(self) -> int:
@@ -168,19 +212,21 @@ class ResultStore:
         directory = os.path.dirname(self.path)
         if directory:
             os.makedirs(directory, exist_ok=True)
-        line = (canonical_json(payload) + "\n").encode("utf-8")
-        if not self._ends_with_newline():
-            line = b"\n" + line
-        fd = os.open(self.path, os.O_WRONLY | os.O_APPEND | os.O_CREAT, 0o644)
-        try:
-            # Normally one write(2); loop to finish a short write (ENOSPC,
-            # RLIMIT_FSIZE) so a silently-truncated count cannot leave a torn
-            # line behind while the index believes the record landed.
-            view = memoryview(line)
-            while view:
-                view = view[os.write(fd, view) :]
-        finally:
-            os.close(fd)
+        with self._locked(exclusive=False):
+            line = (canonical_json(payload) + "\n").encode("utf-8")
+            if not self._ends_with_newline():
+                line = b"\n" + line
+            fd = os.open(self.path, os.O_WRONLY | os.O_APPEND | os.O_CREAT, 0o644)
+            try:
+                # Normally one write(2); loop to finish a short write
+                # (ENOSPC, RLIMIT_FSIZE) so a silently-truncated count cannot
+                # leave a torn line behind while the index believes the
+                # record landed.
+                view = memoryview(line)
+                while view:
+                    view = view[os.write(fd, view) :]
+            finally:
+                os.close(fd)
         # Only reached when the whole line is durably appended: an exception
         # above leaves the key out of the index, so the cell is re-executed
         # rather than served from a record that never fully landed.
@@ -251,27 +297,30 @@ class ResultStore:
         something actually needs dropping.  Returns the number of lines
         dropped.  This is the entry point resumable sweeps call before
         trusting the store as the source of truth for completed cells.
+        Runs under the exclusive advisory lock and re-reads the file inside
+        it, so concurrent appenders neither tear the scan nor lose records.
         """
         if not os.path.exists(self.path):
             return 0
-        with open(self.path, "rb") as handle:
-            raw = handle.read()
-        kept: List[bytes] = []
-        dropped = 0
-        for line in raw.split(b"\n"):
-            if not line.strip():
-                continue
-            if _parse_line(line) is None:
-                dropped += 1
-            else:
-                kept.append(line + b"\n")
-        clean = raw.endswith(b"\n") or not raw
-        if dropped == 0 and clean:
+        with self._locked(exclusive=True):
+            with open(self.path, "rb") as handle:
+                raw = handle.read()
+            kept: List[bytes] = []
+            dropped = 0
+            for line in raw.split(b"\n"):
+                if not line.strip():
+                    continue
+                if _parse_line(line) is None:
+                    dropped += 1
+                else:
+                    kept.append(line + b"\n")
+            clean = raw.endswith(b"\n") or not raw
+            if dropped == 0 and clean:
+                self._ensure_loaded()
+                return 0
+            self._atomic_rewrite(kept)
+            self.reload()
             self._ensure_loaded()
-            return 0
-        self._atomic_rewrite(kept)
-        self.reload()
-        self._ensure_loaded()
         _C_RECOVER_DROPPED.value += dropped
         return dropped
 
@@ -281,21 +330,39 @@ class ResultStore:
         Returns the number of lines dropped (superseded duplicates plus any
         torn/corrupt lines).  Compacting an already-compact store drops 0
         lines and rewrites nothing.
+
+        Runs under the exclusive advisory lock and rebuilds its view from
+        the *file*, not the in-memory index — another process may have
+        appended records this process never loaded, and those must survive
+        the rewrite.
         """
-        self._ensure_loaded()
         if not os.path.exists(self.path):
+            self._ensure_loaded()
             return 0
-        with open(self.path, "rb") as handle:
-            raw = handle.read()
-        total_lines = sum(1 for line in raw.split(b"\n") if line.strip())
-        if total_lines == len(self._index) and (raw.endswith(b"\n") or not raw):
-            return 0
-        self._atomic_rewrite(
-            [
-                (canonical_json(record) + "\n").encode("utf-8")
-                for record in self._index.values()
-            ]
-        )
-        dropped = total_lines - len(self._index)
+        with self._locked(exclusive=True):
+            with open(self.path, "rb") as handle:
+                raw = handle.read()
+            merged: Dict[str, Dict[str, Any]] = {}
+            total_lines = 0
+            for line in raw.split(b"\n"):
+                if not line.strip():
+                    continue
+                total_lines += 1
+                record = _parse_line(line)
+                if record is not None:
+                    merged[record["key"]] = record
+            if total_lines == len(merged) and (raw.endswith(b"\n") or not raw):
+                self._index = merged
+                self._loaded = True
+                return 0
+            self._atomic_rewrite(
+                [
+                    (canonical_json(record) + "\n").encode("utf-8")
+                    for record in merged.values()
+                ]
+            )
+            self._index = merged
+            self._loaded = True
+        dropped = total_lines - len(merged)
         _C_COMPACT_DROPPED.value += dropped
         return dropped

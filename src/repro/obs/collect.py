@@ -42,6 +42,7 @@ class Collector:
         self.merged: Dict[str, Any] = empty_snapshot()
         self.shards: List[Dict[str, Any]] = []
         self.trace: List[Dict[str, Any]] = []
+        self.worker_events: List[Dict[str, Any]] = []
         self.worker_payloads = 0
 
     def add_metrics(self, snapshot: Optional[Mapping[str, Any]]) -> None:
@@ -64,17 +65,29 @@ class Collector:
         if events:
             self.trace.extend(events)
 
+    def add_worker_event(self, event: Mapping[str, Any]) -> None:
+        """Record one worker liveness/retry event (joins, deaths, expiries).
+
+        Fed by the distributed fabric (:mod:`repro.experiments.remote`);
+        bounded so a flapping fleet cannot bloat the telemetry record.
+        """
+        if len(self.worker_events) < 1000:
+            self.worker_events.append(dict(event))
+
     def worker_wall_s(self) -> float:
         """Total wall time spent inside dispatched shards/cells."""
         return sum(shard["wall_s"] for shard in self.shards)
 
     def summary(self) -> Dict[str, Any]:
         """The collector's contents as one JSON-safe dict."""
-        return {
+        summary = {
             "metrics": self.merged,
             "shards": list(self.shards),
             "worker_payloads": self.worker_payloads,
         }
+        if self.worker_events:
+            summary["worker_events"] = list(self.worker_events)
+        return summary
 
 
 def monotonic() -> float:

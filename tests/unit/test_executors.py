@@ -165,3 +165,100 @@ class TestBackendEquivalence:
     def test_run_sweep_resume_requires_store(self):
         with pytest.raises(SweepError):
             run_sweep([], resume=True)
+
+
+class TestPoolSupervision:
+    """Hardened local backends: broken pools, deadlines, degradation.
+
+    Fault plans travel to pool workers via the environment (inherited at
+    fork and installed by the pool initializer); this test process itself is
+    never marked as a worker, so nothing fires inline.
+    """
+
+    def _cells(self, count=4):
+        return _small_grid()[:count]
+
+    def test_broken_pool_restarts_and_completes(self, monkeypatch):
+        """Each worker dies on its 2nd cell; the sweep still matches serial."""
+        from repro.experiments.faults import FAULTS_ENV
+
+        cells = self._cells()
+        expected = [_strip(r) for r in run_sweep(cells, backend="serial").records]
+        monkeypatch.setenv(FAULTS_ENV, "kill@worker.cell:2")
+        executor = ProcessExecutor(2)
+        outcome = run_sweep(cells, workers=2, backend=executor)
+        assert outcome.errors == 0
+        assert [_strip(r) for r in outcome.records] == expected
+        assert executor.fabric["pool_restarts"] >= 1
+
+    def test_workers_dying_instantly_degrade_to_serial(self, monkeypatch):
+        """Every pool worker dies on its 1st cell: unrecoverable pools, so
+        the leftover cells finish on the in-process serial path."""
+        from repro.experiments.faults import FAULTS_ENV
+
+        cells = self._cells()
+        expected = [_strip(r) for r in run_sweep(cells, backend="serial").records]
+        monkeypatch.setenv(FAULTS_ENV, "kill@worker.cell:1")
+        executor = ProcessExecutor(2, max_restarts=2)
+        outcome = run_sweep(cells, workers=2, backend=executor)
+        assert outcome.errors == 0
+        assert [_strip(r) for r in outcome.records] == expected
+        assert executor.fabric["inline_fallback_cells"] == len(cells)
+
+    def test_hung_cell_is_quarantined_not_waited_out(self, monkeypatch):
+        """A cell hanging every worker trips its deadline twice, then becomes
+        an error record — the sweep must not hang."""
+        import time as _time
+
+        from repro.experiments.faults import FAULTS_ENV
+
+        cells = self._cells(2)
+        monkeypatch.setenv(FAULTS_ENV, "hang@worker.cell:*:30")
+        executor = ProcessExecutor(2, cell_timeout=0.4, max_attempts=2)
+        seen = {}
+        started = _time.perf_counter()
+        executor.execute(
+            list(enumerate(cells)), lambda i, c, r: seen.setdefault(i, r)
+        )
+        elapsed = _time.perf_counter() - started
+        assert elapsed < 20  # far below the 30s hang: deadlines did their job
+        assert sorted(seen) == [0, 1]  # handle called exactly once per cell
+        assert all(r["status"] == "error" for r in seen.values())
+        assert all("WorkerTimeout" in r["error"] for r in seen.values())
+        assert executor.fabric["cells_quarantined"] == 2
+
+    def test_sharded_pool_kill_recovers(self, monkeypatch):
+        from repro.experiments.faults import FAULTS_ENV
+
+        cells = self._cells()
+        expected = [_strip(r) for r in run_sweep(cells, backend="serial").records]
+        monkeypatch.setenv(FAULTS_ENV, "kill@worker.shard:1")
+        executor = ChunkedShardExecutor(2, shard_size=1, max_restarts=2)
+        outcome = run_sweep(cells, workers=2, backend=executor)
+        assert outcome.errors == 0
+        assert [_strip(r) for r in outcome.records] == expected
+
+    def test_failed_shard_retries_inline_per_cell(self, monkeypatch):
+        """A shard-level failure costs an inline per-cell retry, not the
+        whole shard's records (drop faults sever shards, and the parent —
+        never marked as a worker — re-runs the cells cleanly)."""
+        from repro.experiments.faults import FAULTS_ENV
+
+        cells = self._cells()
+        expected = [_strip(r) for r in run_sweep(cells, backend="serial").records]
+        monkeypatch.setenv(FAULTS_ENV, "drop@worker.shard:*")
+        executor = ChunkedShardExecutor(2, shard_size=2)
+        outcome = run_sweep(cells, workers=2, backend=executor)
+        assert outcome.errors == 0
+        assert [_strip(r) for r in outcome.records] == expected
+        assert executor.fabric["shard_inline_retries"] >= 1
+        assert "DropConnection" in executor.fabric["last_shard_error"]
+
+    def test_serial_backend_ignores_fault_plans(self, monkeypatch):
+        """The parent is never a fault-scoped worker: chaos plans in the
+        environment cannot touch serial/in-process execution."""
+        from repro.experiments.faults import FAULTS_ENV
+
+        monkeypatch.setenv(FAULTS_ENV, "kill@worker.cell:1")
+        outcome = run_sweep(self._cells(2), backend="serial")
+        assert outcome.errors == 0

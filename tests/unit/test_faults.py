@@ -1,0 +1,145 @@
+"""Unit tests for the deterministic fault-injection harness."""
+
+import time
+
+import pytest
+
+from repro.experiments import faults
+from repro.experiments.faults import (
+    DropConnection,
+    FaultError,
+    FaultRule,
+    parse_plan,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_fault_state():
+    faults.reset()
+    yield
+    faults.reset()
+
+
+class TestParsePlan:
+    def test_single_rule(self):
+        plan = parse_plan("kill@worker.shard:2")
+        assert len(plan.rules) == 1
+        rule = plan.rules[0]
+        assert rule.kind == "kill"
+        assert rule.point == "worker.shard"
+        assert rule.nth == 2
+        assert not rule.repeat
+        assert rule.arg is None
+
+    def test_multiple_rules_with_args(self):
+        plan = parse_plan("slow@worker.cell:*:0.05,hang@worker.shard:1:600")
+        assert [r.kind for r in plan.rules] == ["slow", "hang"]
+        assert plan.rules[0].nth is None
+        assert plan.rules[0].arg == 0.05
+        assert plan.rules[1].arg == 600
+
+    def test_repeat_marker(self):
+        rule = parse_plan("drop@worker.result:3+").rules[0]
+        assert rule.nth == 3
+        assert rule.repeat
+
+    def test_describe_round_trips(self):
+        spec = "kill@worker.shard:2,slow@worker.cell:1+:0.5,drop@worker.result:*"
+        plan = parse_plan(spec)
+        assert parse_plan(plan.describe()).rules == plan.rules
+
+    def test_blank_clauses_skipped(self):
+        assert parse_plan("  , kill@worker.shard:1 , ").rules == (
+            FaultRule(kind="kill", point="worker.shard", nth=1),
+        )
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "explode@worker.shard:1",  # unknown kind
+            "kill worker.shard:1",  # no @
+            "kill@worker.shard",  # missing WHEN
+            "kill@:1",  # empty point
+            "kill@worker.shard:0",  # counts from 1
+            "kill@worker.shard:x",  # non-integer WHEN
+            "slow@worker.cell:1:abc",  # non-numeric ARG
+            "slow@worker.cell:1:-1",  # negative ARG
+        ],
+    )
+    def test_malformed_specs_raise(self, bad):
+        with pytest.raises(FaultError):
+            parse_plan(bad)
+
+
+class TestArrivalMatching:
+    def test_exact_nth_fires_once(self):
+        plan = parse_plan("drop@p:2")
+        assert plan.arrive("p") == []  # arrival 1
+        assert len(plan.arrive("p")) == 1  # arrival 2
+        assert plan.arrive("p") == []  # arrival 3
+
+    def test_repeat_fires_from_nth_on(self):
+        plan = parse_plan("drop@p:2+")
+        assert plan.arrive("p") == []
+        assert len(plan.arrive("p")) == 1
+        assert len(plan.arrive("p")) == 1
+
+    def test_star_fires_always(self):
+        plan = parse_plan("drop@p:*")
+        assert len(plan.arrive("p")) == 1
+        assert len(plan.arrive("p")) == 1
+
+    def test_points_count_independently(self):
+        plan = parse_plan("drop@a:2,drop@b:1")
+        assert len(plan.arrive("b")) == 1  # b's first arrival
+        assert plan.arrive("a") == []  # a's first arrival
+        assert len(plan.arrive("a")) == 1  # a's second
+
+
+class TestFiring:
+    def test_fire_is_noop_without_worker_mark(self):
+        faults.install_plan(parse_plan("drop@p:*"))
+        faults.fire("p")  # not marked: nothing raises
+
+    def test_fire_is_noop_without_plan(self):
+        faults.mark_worker("")
+        faults.fire("p")
+
+    def test_drop_raises_in_marked_worker(self):
+        faults.mark_worker("drop@p:1")
+        with pytest.raises(DropConnection):
+            faults.fire("p")
+        faults.fire("p")  # second arrival: rule spent
+
+    def test_slow_sleeps(self):
+        faults.mark_worker("slow@p:*:0.05")
+        started = time.perf_counter()
+        faults.fire("p")
+        assert time.perf_counter() - started >= 0.04
+
+    def test_hang_raises_flag_and_clears_it(self):
+        faults.mark_worker("hang@p:1:0.05")
+        assert not faults.hang_active()
+        faults.fire("p")  # sleeps 50ms with the flag up, then clears
+        assert not faults.hang_active()
+
+    def test_mark_worker_reads_environment(self, monkeypatch):
+        monkeypatch.setenv(faults.FAULTS_ENV, "drop@p:1")
+        faults.mark_worker()
+        assert faults.is_worker()
+        with pytest.raises(DropConnection):
+            faults.fire("p")
+
+    def test_explicit_spec_overrides_environment(self, monkeypatch):
+        monkeypatch.setenv(faults.FAULTS_ENV, "drop@p:1")
+        faults.mark_worker("drop@other:1")
+        faults.fire("p")  # env plan not installed
+        with pytest.raises(DropConnection):
+            faults.fire("other")
+
+    def test_reset_clears_everything(self):
+        faults.mark_worker("drop@p:1")
+        faults.reset()
+        assert not faults.is_worker()
+        assert faults.active_plan() is None
+        faults.fire("p")

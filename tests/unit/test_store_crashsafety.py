@@ -109,7 +109,8 @@ class TestAtomicWrites:
         for i in range(3):
             store.put(_record("same-key", i))
         assert store.compact() == 2
-        assert os.listdir(tmp_path) == ["results.jsonl"]
+        # Only the store and its advisory-lock sidecar remain: no temp file.
+        assert sorted(os.listdir(tmp_path)) == ["results.jsonl", "results.jsonl.lock"]
 
     def test_failed_rewrite_preserves_the_original(self, tmp_path, monkeypatch):
         store = ResultStore(str(tmp_path / "results.jsonl"))
@@ -125,7 +126,10 @@ class TestAtomicWrites:
             store.compact()
         monkeypatch.undo()
         assert open(store.path, "rb").read() == before  # old file intact
-        assert os.listdir(tmp_path) == ["results.jsonl"]  # temp cleaned up
+        assert sorted(os.listdir(tmp_path)) == [  # temp cleaned up
+            "results.jsonl",
+            "results.jsonl.lock",
+        ]
 
     def test_rejects_keyless_records(self, tmp_path):
         store = ResultStore(str(tmp_path / "results.jsonl"))
@@ -158,3 +162,103 @@ class TestCompactionIdempotence:
 
     def test_compact_missing_file(self, tmp_path):
         assert ResultStore(str(tmp_path / "absent.jsonl")).compact() == 0
+
+
+class TestAdvisoryLocking:
+    """Advisory flock: appends and rewrites from multiple writers coexist."""
+
+    def test_compact_keeps_records_from_other_writers(self, tmp_path):
+        """A compacting process must not drop records another process
+        appended after it last loaded its index."""
+        path = str(tmp_path / "results.jsonl")
+        ours = ResultStore(path)
+        ours.put(_record("ours", 1))
+        ours.put(_record("ours", 2))  # superseded: something to compact away
+        assert len(ours) == 1
+
+        theirs = ResultStore(path)  # a second writer sharing the file
+        theirs.put(_record("theirs"))
+
+        assert ours.compact() == 1  # drops only our superseded duplicate
+        survivors = ResultStore(path)
+        assert sorted(survivors.keys()) == ["ours", "theirs"]
+        assert survivors.get("ours")["value"] == 2
+
+    def test_recover_keeps_records_from_other_writers(self, tmp_path):
+        path = str(tmp_path / "results.jsonl")
+        ours = ResultStore(path)
+        ours.put(_record("ours"))
+        with open(path, "ab") as handle:
+            handle.write(b'{"key": "torn-')  # torn tail from a killed writer
+        theirs = ResultStore(path)
+        # The other writer's append folds a newline over the torn fragment.
+        theirs.put(_record("theirs"))
+
+        assert ours.recover() == 1  # the torn fragment, nothing else
+        assert sorted(ours.keys()) == ["ours", "theirs"]
+
+    def test_append_blocks_while_rewrite_holds_the_lock(self, tmp_path):
+        """A put() started during a compact() waits for the exclusive lock
+        instead of interleaving with the rewrite."""
+        import threading
+        import time
+
+        store = ResultStore(str(tmp_path / "results.jsonl"))
+        store.put(_record("first"))
+
+        entered = threading.Event()
+        release = threading.Event()
+        appended = threading.Event()
+
+        def hold_exclusive():
+            with store._locked(exclusive=True):
+                entered.set()
+                release.wait(timeout=5.0)
+
+        def append_under_shared():
+            entered.wait(timeout=5.0)
+            # A separate handle, as a second process would use.
+            ResultStore(store.path).put(_record("second"))
+            appended.set()
+
+        holder = threading.Thread(target=hold_exclusive)
+        writer = threading.Thread(target=append_under_shared)
+        holder.start()
+        writer.start()
+        entered.wait(timeout=5.0)
+        time.sleep(0.1)
+        assert not appended.is_set()  # still blocked on the flock
+        release.set()
+        holder.join(timeout=5.0)
+        writer.join(timeout=5.0)
+        assert appended.is_set()
+        assert "second" in ResultStore(store.path).keys()
+
+    def test_concurrent_appends_and_compactions_lose_nothing(self, tmp_path):
+        """Hammer one store from appender and compactor threads; every
+        record must survive (the regression the flock exists to prevent)."""
+        import threading
+
+        path = str(tmp_path / "results.jsonl")
+
+        def append_range(start):
+            store = ResultStore(path)
+            for i in range(start, start + 20):
+                store.put(_record(f"cell-{i}"))
+
+        def keep_compacting():
+            store = ResultStore(path)
+            for _ in range(10):
+                store.compact()
+
+        threads = [
+            threading.Thread(target=append_range, args=(0,)),
+            threading.Thread(target=append_range, args=(20,)),
+            threading.Thread(target=keep_compacting),
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30.0)
+        final = ResultStore(path)
+        assert sorted(final.keys()) == sorted(f"cell-{i}" for i in range(40))
