@@ -7,10 +7,11 @@ coordination overhead of a clean one-worker remote sweep versus serial
 execution, and the wall-clock cost of recovering from a severed worker
 connection mid-sweep (lease expiry + reassignment).
 
-No ``BENCH_remote.baseline.json`` is committed yet, so CI records the
-trajectory in ``BENCH_remote.json`` without gating on it — correctness
-(bit-identical records) is still asserted here.  Once a few runs establish a
-stable envelope, a baseline can be committed to turn the gate on.
+A committed ``BENCH_remote.baseline.json`` gates the trajectory through
+``scripts/check_bench_regression.py``: the fabric overhead rides the
+hardware-robust ``serial_vs_remote_speedup`` ratio (how much of serial
+throughput the remote path retains), absolute timings warn only, and
+correctness (bit-identical records) is asserted here regardless.
 """
 
 import time
@@ -97,7 +98,9 @@ def test_bench_remote_fabric_overhead():
             "cells": len(cells),
             "serial_s": round(serial_s, 6),
             "remote_s": round(remote_s, 6),
-            "remote_vs_serial": round(overhead, 2),
+            "serial_vs_remote_speedup": round(serial_s / remote_s, 2)
+            if remote_s > 0
+            else 0.0,
         },
     )
 

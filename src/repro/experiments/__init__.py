@@ -44,11 +44,13 @@ from .executors import (
 from .faults import (
     DEFAULT_CHAOS_PLAN,
     FAULTS_ENV,
+    STORAGE_KINDS,
     DropConnection,
     FaultError,
     FaultPlan,
     FaultRule,
     parse_plan,
+    storage_fault,
 )
 from .golden import (
     GOLDEN_FORMAT_VERSION,
@@ -93,8 +95,17 @@ from .remote import (
     cell_to_wire,
     run_worker,
 )
+from .snapshot import (
+    SNAPSHOT_FORMAT_VERSION,
+    SnapshotError,
+    load_snapshot,
+    write_snapshot,
+)
 from .store import (
+    DEFAULT_ROTATE_BYTES,
     DEFAULT_STORE_PATH,
+    INDEX_FORMAT_VERSION,
+    SEGMENT_FORMAT_VERSION,
     STORE_FORMAT_VERSION,
     ResultStore,
     StoreError,
@@ -110,6 +121,7 @@ __all__ = [
     "ChunkedShardExecutor",
     "DEFAULT_ANALYSES",
     "DEFAULT_CHAOS_PLAN",
+    "DEFAULT_ROTATE_BYTES",
     "DEFAULT_STORE_PATH",
     "DropConnection",
     "FAULTS_ENV",
@@ -118,11 +130,16 @@ __all__ = [
     "FaultPlan",
     "FaultRule",
     "GOLDEN_FORMAT_VERSION",
+    "INDEX_FORMAT_VERSION",
     "ProcessExecutor",
     "RemoteExecutor",
     "ResultStore",
+    "SEGMENT_FORMAT_VERSION",
+    "SNAPSHOT_FORMAT_VERSION",
+    "STORAGE_KINDS",
     "STORE_FORMAT_VERSION",
     "SerialExecutor",
+    "SnapshotError",
     "StoreError",
     "SweepCell",
     "SweepError",
@@ -156,6 +173,7 @@ __all__ = [
     "infer_roles",
     "knowledge_answers",
     "list_analyses",
+    "load_snapshot",
     "main",
     "make_cell",
     "make_delivery",
@@ -171,6 +189,8 @@ __all__ = [
     "run_sweep",
     "run_worker",
     "shard_signature",
+    "storage_fault",
     "sweep_telemetry_key",
     "write_corpus",
+    "write_snapshot",
 ]

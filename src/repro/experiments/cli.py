@@ -13,7 +13,12 @@
   bounds graph ``GE(r, sigma)``, or causal-past DAG;
 * ``repro worker`` — join a ``repro sweep --backend remote`` coordinator as
   a remote worker (heartbeats, lease-based shard execution, optional
-  deterministic fault injection via ``--faults``).
+  deterministic fault injection via ``--faults``, warm-start via
+  ``--snapshot``);
+* ``repro store`` — inspect and maintain the segmented result store:
+  ``verify`` (CRC every sealed record; ``--repair`` drops corrupt ones),
+  ``migrate`` (upgrade a legacy single-file store), ``compact``, ``info``,
+  and ``snapshot`` (write a worker warm-start file).
 
 Installed as a console script via ``pip install -e .`` or reachable as
 ``python -m repro``.
@@ -40,7 +45,14 @@ from .analyses import (
     list_analyses,
 )
 from .executors import BACKENDS
-from .faults import DEFAULT_CHAOS_PLAN, FAULTS_ENV, FaultError, parse_plan
+from . import faults
+from .faults import (
+    DEFAULT_CHAOS_PLAN,
+    FAULTS_ENV,
+    STORAGE_KINDS,
+    FaultError,
+    parse_plan,
+)
 from .reporting import (
     aggregate_metric,
     cell_records,
@@ -57,7 +69,7 @@ from .runner import (
     make_cell,
     run_sweep,
 )
-from .store import DEFAULT_STORE_PATH, ResultStore
+from .store import DEFAULT_ROTATE_BYTES, DEFAULT_STORE_PATH, ResultStore
 
 #: Default axes of `repro sweep`: 3 scenarios x 3 adversaries x 4 seeds = 36 cells.
 DEFAULT_SWEEP_SCENARIOS = ("flooding", "torus-flood", "tree-flood")
@@ -214,24 +226,38 @@ def _cmd_sweep(args: argparse.Namespace, out) -> int:
         raise CliError("--listen requires --backend remote")
     if args.force and args.resume:
         raise CliError("--force and --resume are mutually exclusive")
+    if args.retry_errors and not args.resume:
+        raise CliError("--retry-errors requires --resume")
+    if args.rotate_bytes is not None and args.rotate_bytes < 0:
+        raise CliError(f"--rotate-bytes must be >= 0, got {args.rotate_bytes}")
     chaos_plan: Optional[str] = None
+    chaos_has_storage = False
     if args.chaos or args.chaos_plan:
         chaos_plan = args.chaos_plan or DEFAULT_CHAOS_PLAN
         try:
-            parse_plan(chaos_plan)
+            parsed_plan = parse_plan(chaos_plan)
         except FaultError as exc:
             raise CliError(f"--chaos-plan: {exc}")
-        if args.backend == "remote":
-            raise CliError(
-                "--chaos scripts faults into this process's pool workers; remote "
-                "workers are separate processes — start them with "
-                "`repro worker --faults SPEC` instead"
-            )
-        if args.backend == "serial" or args.workers < 2:
-            raise CliError(
-                "--chaos needs a pool backend with --workers >= 2: faults only "
-                "fire in worker processes, never in the coordinator"
-            )
+        process_kinds = [
+            rule.kind for rule in parsed_plan.rules if rule.kind not in STORAGE_KINDS
+        ]
+        chaos_has_storage = len(process_kinds) < len(parsed_plan.rules)
+        # Storage faults fire in *this* process (the coordinator owns the
+        # store), so a storage-only plan works on any backend, serial
+        # included.  Process faults keep their pool-worker scoping rules.
+        if process_kinds:
+            if args.backend == "remote":
+                raise CliError(
+                    "--chaos scripts faults into this process's pool workers; remote "
+                    "workers are separate processes — start them with "
+                    "`repro worker --faults SPEC` instead"
+                )
+            if args.backend == "serial" or args.workers < 2:
+                raise CliError(
+                    "--chaos needs a pool backend with --workers >= 2: process "
+                    "faults only fire in worker processes, never in the "
+                    "coordinator (storage-only plans run anywhere)"
+                )
     scenarios = _csv(args.scenario) if args.scenario else list(DEFAULT_SWEEP_SCENARIOS)
     adversaries = _csv(args.adversary) if args.adversary else list(ADVERSARIES)
     if args.seed_list is not None:
@@ -269,7 +295,10 @@ def _cmd_sweep(args: argparse.Namespace, out) -> int:
             print(f"  {cell.key()[:12]}  {cell.describe()}", file=out)
         print("dry run: nothing executed", file=out)
         return 0
-    store = ResultStore(args.store)
+    rotate_bytes: Optional[int] = DEFAULT_ROTATE_BYTES
+    if args.rotate_bytes is not None:
+        rotate_bytes = args.rotate_bytes or None  # 0 disables rotation
+    store = ResultStore(args.store, rotate_bytes=rotate_bytes)
     progress = (lambda message: print(f"  {message}", file=out)) if args.verbose else None
     backend: Any = args.backend
     if args.backend == "remote":
@@ -298,14 +327,18 @@ def _cmd_sweep(args: argparse.Namespace, out) -> int:
             flush=True,
         )
     if chaos_plan is not None:
-        print(f"chaos: injecting {chaos_plan!r} into pool workers", file=out)
+        print(f"chaos: injecting {chaos_plan!r}", file=out)
     previous_faults = os.environ.get(FAULTS_ENV)
     try:
         if chaos_plan is not None:
             # Pool workers inherit the environment at fork and mark
             # themselves via the pool initializer; this process never marks
-            # itself, so the plan cannot fire in the coordinator.
+            # itself as a *worker*, so process faults cannot fire in the
+            # coordinator.  Storage faults are different: the coordinator
+            # owns the store, so it marks itself storage-fault-visible.
             os.environ[FAULTS_ENV] = chaos_plan
+            if chaos_has_storage:
+                faults.mark_storage(chaos_plan)
         outcome = run_sweep(
             cells,
             store=store,
@@ -314,11 +347,14 @@ def _cmd_sweep(args: argparse.Namespace, out) -> int:
             progress=progress,
             backend=backend,
             resume=args.resume,
+            retry_errors=args.retry_errors,
             shard_size=args.shard_size,
             cell_timeout=args.cell_timeout,
         )
     finally:
         if chaos_plan is not None:
+            if chaos_has_storage:
+                faults.reset()
             if previous_faults is None:
                 os.environ.pop(FAULTS_ENV, None)
             else:
@@ -351,7 +387,59 @@ def _cmd_worker(args: argparse.Namespace, out) -> int:
         faults_spec=args.faults,
         connect_timeout_s=args.connect_timeout_s,
         log=notify,
+        snapshot_path=args.snapshot,
     )
+
+
+def _cmd_store(args: argparse.Namespace, out) -> int:
+    """``repro store verify|repair|migrate|compact|info|snapshot``."""
+    store = ResultStore(args.store)
+    action = args.store_command
+    if action == "info":
+        print(json.dumps(store.info(), indent=2, sort_keys=True), file=out)
+        return 0
+    if action == "verify":
+        report = store.verify(repair=args.repair)
+        print(json.dumps(report, indent=2, sort_keys=True), file=out)
+        if report["ok"]:
+            print("store: ok", file=out)
+            return 0
+        print(
+            "store: DAMAGED (re-run with --repair to drop corrupt records "
+            "and rebuild the index; dropped cells recompute on the next "
+            "--resume)",
+            file=out,
+        )
+        return 1
+    if action == "migrate":
+        info = store.migrate()
+        print(json.dumps(info, indent=2, sort_keys=True), file=out)
+        print(
+            f"migrated: {len(info['segments'])} segment(s), "
+            f"{info['sealed_records']} sealed record(s), index {info['index']}",
+            file=out,
+        )
+        return 0
+    if action == "compact":
+        dropped = store.compact()
+        print(f"compacted: dropped {dropped} superseded/corrupt line(s)", file=out)
+        print(f"store: {store.path} ({len(store)} records)", file=out)
+        return 0
+    if action == "snapshot":
+        from .snapshot import SnapshotError, write_snapshot
+
+        try:
+            info = write_snapshot(store, args.output, limit=args.limit)
+        except SnapshotError as exc:
+            raise CliError(str(exc))
+        print(json.dumps(info, indent=2, sort_keys=True), file=out)
+        print(
+            f"snapshot: {info['bases']} base(s), {info['nodes']} node(s) "
+            f"-> {info['path']}",
+            file=out,
+        )
+        return 0
+    raise CliError(f"unknown store command {action!r}")
 
 
 def _record_run(record: Dict[str, Any]):
@@ -601,6 +689,20 @@ def build_parser() -> argparse.ArgumentParser:
         "shard with --backend sharded)",
     )
     sweep_parser.add_argument(
+        "--retry-errors",
+        action="store_true",
+        help="with --resume: recompute cells quarantined as status:\"error\" "
+        "records instead of skipping them",
+    )
+    sweep_parser.add_argument(
+        "--rotate-bytes",
+        type=int,
+        default=None,
+        metavar="N",
+        help="seal the store tail into a checksummed segment at this size "
+        f"(default: {DEFAULT_ROTATE_BYTES}; 0 disables rotation)",
+    )
+    sweep_parser.add_argument(
         "--cell-timeout",
         type=float,
         default=None,
@@ -777,8 +879,56 @@ def build_parser() -> argparse.ArgumentParser:
         "(KIND@POINT:WHEN[:ARG], e.g. 'kill@worker.shard:1')",
     )
     worker_parser.add_argument(
+        "--snapshot",
+        default=None,
+        metavar="PATH",
+        help="warm-start from a snapshot written by `repro store snapshot` "
+        "(pre-interned pool + pre-built base scenarios)",
+    )
+    worker_parser.add_argument(
         "--verbose", action="store_true", help="log leases and lifecycle events"
     )
+
+    store_parser = sub.add_parser(
+        "store", help="inspect and maintain the segmented result store"
+    )
+    store_sub = store_parser.add_subparsers(dest="store_command", required=True)
+    verify_parser = store_sub.add_parser(
+        "verify", help="CRC-check every sealed record and the index"
+    )
+    verify_parser.add_argument(
+        "--repair",
+        action="store_true",
+        help="drop corrupt records, recover the tail, rebuild the index",
+    )
+    migrate_parser = store_sub.add_parser(
+        "migrate", help="upgrade a legacy single-file store to segments + index"
+    )
+    compact_parser = store_sub.add_parser(
+        "compact", help="rewrite the store keeping the newest record per key"
+    )
+    info_parser = store_sub.add_parser("info", help="print the store layout")
+    snapshot_parser = store_sub.add_parser(
+        "snapshot", help="write a worker warm-start snapshot from the store"
+    )
+    snapshot_parser.add_argument(
+        "--output", required=True, metavar="PATH", help="snapshot file to write"
+    )
+    snapshot_parser.add_argument(
+        "--limit",
+        type=int,
+        default=8,
+        metavar="N",
+        help="distinct (scenario, params) bases to capture (default: %(default)s)",
+    )
+    for sub_parser in (
+        verify_parser,
+        migrate_parser,
+        compact_parser,
+        info_parser,
+        snapshot_parser,
+    ):
+        sub_parser.add_argument("--store", default=DEFAULT_STORE_PATH, metavar="PATH")
     return parser
 
 
@@ -792,6 +942,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "report": _cmd_report,
         "export": _cmd_export,
         "worker": _cmd_worker,
+        "store": _cmd_store,
     }
     try:
         return commands[args.command](args, sys.stdout)

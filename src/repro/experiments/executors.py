@@ -48,6 +48,7 @@ never changes semantics, and shard grouping is a scheduling hint only.
 
 from __future__ import annotations
 
+import contextlib
 import math
 import time
 from abc import ABC, abstractmethod
@@ -506,7 +507,11 @@ def run_cell_monitored(cell: SweepCell) -> Dict[str, Any]:
     }
 
 
-def run_shard_monitored(cells: Sequence[SweepCell]) -> Dict[str, Any]:
+def run_shard_monitored(
+    cells: Sequence[SweepCell],
+    base_cache: Optional[Dict[Tuple[str, Tuple[Tuple[str, Any], ...]], Any]] = None,
+    fresh_pool: bool = True,
+) -> Dict[str, Any]:
     """Execute one shard in the current process (pure; pool-safe).
 
     The whole shard shares one intern pool — every cell of the shard rides
@@ -519,6 +524,12 @@ def run_shard_monitored(cells: Sequence[SweepCell]) -> Dict[str, Any]:
     shard.  Like :func:`run_cell_monitored`, the payload carries the shard's
     registry delta, wall time, and new trace events.
 
+    A warm-started worker (``repro worker --snapshot``, see
+    :mod:`repro.experiments.snapshot`) passes its pre-built ``base_cache``
+    and ``fresh_pool=False`` so the shard runs in the process pool the
+    snapshot already populated instead of a scratch one; results are
+    bit-identical either way (cache hits equal rebuilds by construction).
+
     Fault-injection points ``worker.shard`` (once, up front) and
     ``worker.cell`` (per cell) fire here; they are no-ops outside marked
     worker processes (see :mod:`repro.experiments.faults`).
@@ -528,8 +539,10 @@ def run_shard_monitored(cells: Sequence[SweepCell]) -> Dict[str, Any]:
     started = time.perf_counter()
     faults.fire("worker.shard")
     records: List[Dict[str, Any]] = []
-    with intern_pool():
-        base_cache: Dict[Tuple[str, Tuple[Tuple[str, Any], ...]], Any] = {}
+    scope = intern_pool() if fresh_pool else contextlib.nullcontext()
+    with scope:
+        if base_cache is None:
+            base_cache = {}
         for cell in cells:
             # Outside the per-cell try: a DropConnection fault must sever the
             # shard (the remote worker catches it at its connection loop),

@@ -26,20 +26,39 @@ Spec grammar (comma-separated rules)::
 * ``POINT`` — a dotted site name.  The shipped points are ``worker.cell``
   and ``worker.shard`` (fired by ``run_cell_monitored`` /
   ``run_shard_monitored`` before the work) and ``worker.result`` /
-  ``worker.connect`` (fired by the remote worker runtime).
+  ``worker.connect`` (fired by the remote worker runtime).  The *storage*
+  points are ``store.append``, ``store.rotate``, and ``store.seal``,
+  consulted by :class:`repro.experiments.store.ResultStore`.
 * ``WHEN`` — ``n`` (exactly the n-th arrival at the point, 1-based),
   ``n+`` (the n-th and every later arrival), or ``*`` (every arrival).
 * ``ARG`` — seconds for ``slow``/``hang`` (hang defaults to
   :data:`DEFAULT_HANG_S`).
 
-Scoping: faults only fire in processes explicitly marked as *workers*
-(:func:`mark_worker`, called by the remote worker runtime and by the pool
-initializer the hardened executors install).  The sweep parent — including
-its serial and in-process execution paths, and the inline fallbacks the
-recovery machinery degrades to — is never marked, so a chaos plan can never
-kill the coordinator.  Arrival counts are per process: every pool worker or
-remote worker counts its own arrivals, which keeps plans deterministic for
-a fixed worker (a worker's n-th shard is its n-th shard regardless of what
+Storage faults are a second family of kinds — ``torn-write`` (an append is
+cut short mid-line, like a crash between ``write(2)`` issuing and
+completing), ``partial-fsync`` (a sealed segment loses its unsynced last
+bytes), ``corrupt-segment`` (one byte of a sealed segment flips), and
+``stale-index`` (the sidecar index write after a rotation never lands).
+They are *cooperative*: the store asks :func:`storage_fault` which rules
+are due at a point and degrades its own I/O accordingly, rather than
+:func:`fire` doing anything violent.  Every one of them is recoverable by
+construction — the damage surfaces as cache misses, an index rebuild, or a
+``repro store verify --repair``, never as wrong records served.
+
+Scoping: process faults (``kill``/``hang``/``slow``/``drop``) only fire in
+processes explicitly marked as *workers* (:func:`mark_worker`, called by
+the remote worker runtime and by the pool initializer the hardened
+executors install).  The sweep parent — including its serial and
+in-process execution paths, and the inline fallbacks the recovery
+machinery degrades to — is never marked, so a chaos plan can never kill
+the coordinator.  Storage faults instead fire in any process marked via
+:func:`mark_storage` *or* :func:`mark_worker` — the coordinator owns the
+store, so ``repro sweep --chaos`` with a storage plan marks itself; the
+coordinator's immunity to process faults is preserved because
+:func:`fire` skips storage kinds and :func:`storage_fault` never kills
+anything.  Arrival counts are per process: every pool worker or remote
+worker counts its own arrivals, which keeps plans deterministic for a
+fixed worker (a worker's n-th shard is its n-th shard regardless of what
 the rest of the fleet does).
 
 Plans travel to worker processes via the :data:`FAULTS_ENV` environment
@@ -68,11 +87,15 @@ __all__ = [
     "fire",
     "hang_active",
     "install_plan",
+    "is_storage",
     "is_worker",
+    "mark_storage",
     "mark_worker",
     "parse_plan",
     "pool_worker_init",
     "reset",
+    "storage_fault",
+    "STORAGE_KINDS",
 ]
 
 #: Environment variable carrying a fault spec into worker processes.
@@ -90,7 +113,11 @@ DEFAULT_HANG_S = 600.0
 #: asserts completion, not degradation.
 DEFAULT_CHAOS_PLAN = "kill@worker.shard:2,slow@worker.cell:3:0.02"
 
-_KINDS = ("kill", "hang", "slow", "drop")
+#: Storage fault kinds: consulted cooperatively by the result store via
+#: :func:`storage_fault`, never applied by :func:`fire`.
+STORAGE_KINDS = frozenset({"torn-write", "partial-fsync", "corrupt-segment", "stale-index"})
+
+_KINDS = ("kill", "hang", "slow", "drop", *sorted(STORAGE_KINDS))
 
 
 class FaultError(ValueError):
@@ -200,6 +227,7 @@ def parse_plan(spec: str) -> FaultPlan:
 
 _PLAN: Optional[FaultPlan] = None
 _IS_WORKER = False
+_IS_STORAGE = False
 #: Set while a ``hang`` fault sleeps; the remote worker's heartbeat thread
 #: checks it and goes silent, so a hang looks like a frozen process to the
 #: coordinator (missed heartbeats), not a slow-but-alive one.
@@ -218,6 +246,28 @@ def active_plan() -> Optional[FaultPlan]:
 
 def is_worker() -> bool:
     return _IS_WORKER
+
+
+def is_storage() -> bool:
+    return _IS_STORAGE
+
+
+def mark_storage(spec: Optional[str] = None) -> None:
+    """Open this process to *storage* faults and install its plan.
+
+    The coordinator calls this (via ``repro sweep --chaos`` with a
+    storage-kind plan) so its own ``ResultStore`` consults the plan at
+    append/rotate/seal time.  Unlike :func:`mark_worker` this does **not**
+    expose the process to ``kill``/``hang``/``slow``/``drop`` — storage
+    faults degrade I/O, they never touch the process itself.  ``spec``
+    defaults to the :data:`FAULTS_ENV` environment variable.
+    """
+    global _IS_STORAGE
+    _IS_STORAGE = True
+    if spec is None:
+        spec = os.environ.get(FAULTS_ENV, "")
+    if spec:
+        install_plan(parse_plan(spec))
 
 
 def mark_worker(spec: Optional[str] = None) -> None:
@@ -242,10 +292,11 @@ def pool_worker_init() -> None:
 
 
 def reset() -> None:
-    """Clear plan, worker mark, and hang flag (test isolation)."""
-    global _PLAN, _IS_WORKER
+    """Clear plan, worker/storage marks, and hang flag (test isolation)."""
+    global _PLAN, _IS_WORKER, _IS_STORAGE
     _PLAN = None
     _IS_WORKER = False
+    _IS_STORAGE = False
     _HANGING.clear()
 
 
@@ -267,6 +318,8 @@ def fire(point: str) -> None:
     if not _IS_WORKER or _PLAN is None:
         return
     for rule in _PLAN.arrive(point):
+        if rule.kind in STORAGE_KINDS:
+            continue  # storage kinds are consulted via storage_fault()
         if rule.kind == "kill":
             os.kill(os.getpid(), signal.SIGKILL)
         elif rule.kind == "hang":
@@ -280,3 +333,17 @@ def fire(point: str) -> None:
                 time.sleep(rule.arg)
         elif rule.kind == "drop":
             raise DropConnection(rule.describe())
+
+
+def storage_fault(point: str) -> List[FaultRule]:
+    """Report one arrival at a storage point; return the due storage rules.
+
+    Returns ``[]`` (without counting the arrival) unless this process is
+    marked via :func:`mark_storage` or :func:`mark_worker` and a plan is
+    installed.  The store interprets the returned rules itself — this
+    function never sleeps, kills, or raises, so the coordinator's immunity
+    to process faults is untouched.
+    """
+    if not (_IS_STORAGE or _IS_WORKER) or _PLAN is None:
+        return []
+    return [rule for rule in _PLAN.arrive(point) if rule.kind in STORAGE_KINDS]

@@ -898,6 +898,7 @@ def run_worker(
     faults_spec: Optional[str] = None,
     connect_timeout_s: float = 30.0,
     log: Optional[Callable[[str], None]] = None,
+    snapshot_path: Optional[str] = None,
 ) -> int:
     """The worker main loop: connect, heartbeat, execute leases, repeat.
 
@@ -908,11 +909,27 @@ def run_worker(
     dropped connections deterministically; a dropped connection (injected or
     real) reconnects under the same worker id and the lease machinery
     re-covers whatever was in flight.
+
+    ``snapshot_path`` warm-starts the worker from a snapshot written by
+    ``repro store snapshot`` (:mod:`repro.experiments.snapshot`): the intern
+    pool is pre-populated and base scenarios pre-built before the first
+    lease, so first-shard latency on a big sweep drops from a rebuild to a
+    file load.  A missing or corrupt snapshot is reported and ignored —
+    warm-start is an optimisation, never a correctness dependency.
     """
     faults.mark_worker(faults_spec)
     address = _parse_address(connect)
     wid = worker_id or f"{socket.gethostname()}-{os.getpid()}"
     notify = log or (lambda message: None)
+    base_cache = None
+    if snapshot_path is not None:
+        from .snapshot import SnapshotError, load_snapshot
+
+        try:
+            base_cache = load_snapshot(snapshot_path)
+            notify(f"worker {wid}: warm start ({len(base_cache)} bases)")
+        except SnapshotError as exc:
+            notify(f"worker {wid}: snapshot ignored: {exc}")
     deadline = time.monotonic() + connect_timeout_s
     first_session = True
     while True:
@@ -924,7 +941,12 @@ def run_worker(
             _C_WORKER_RECONNECTS.value += 1
         first_session = False
         outcome = _worker_session(
-            sock, wid, heartbeat_s=heartbeat_s, poll_s=poll_s, notify=notify
+            sock,
+            wid,
+            heartbeat_s=heartbeat_s,
+            poll_s=poll_s,
+            notify=notify,
+            base_cache=base_cache,
         )
         if outcome == "shutdown":
             notify(f"worker {wid}: shutdown received, exiting")
@@ -941,6 +963,7 @@ def _worker_session(
     heartbeat_s: float,
     poll_s: float,
     notify: Callable[[str], None],
+    base_cache: Optional[Dict[Any, Any]] = None,
 ) -> str:
     """One connection's lifetime; returns ``"shutdown"`` or ``"reconnect"``."""
     write_lock = threading.Lock()
@@ -997,7 +1020,12 @@ def _worker_session(
             cells = [cell_from_wire(entry["cell"]) for entry in entries]
             notify(f"worker {wid}: lease {message.get('lease')} ({len(cells)} cells)")
             try:
-                payload = run_shard_monitored(cells)
+                # A warm-started worker keeps its snapshot-populated process
+                # pool (fresh_pool=False); cold workers scope a pool per
+                # shard as before.  Results are identical either way.
+                payload = run_shard_monitored(
+                    cells, base_cache=base_cache, fresh_pool=base_cache is None
+                )
                 _C_WORKER_SHARDS.value += 1
                 faults.fire("worker.result")
                 send(

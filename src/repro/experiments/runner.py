@@ -350,7 +350,13 @@ def run_cell(cell: SweepCell) -> Dict[str, Any]:
 
 
 def error_record(cell: SweepCell, exc: BaseException) -> Dict[str, Any]:
-    """The ``status: "error"`` record of a failed cell (never cached)."""
+    """The ``status: "error"`` record of a failed cell.
+
+    Persisted as a quarantine marker: resumed sweeps skip the cell (until
+    ``--retry-errors``), plain sweeps retry it and the fresh record
+    supersedes this one.  Reports ignore it (``cell_records`` keeps only
+    ``status: "ok"``).
+    """
     return {
         "key": cell.key(),
         "scenario": cell.scenario,
@@ -428,6 +434,11 @@ def _derived_metrics(merged: Mapping[str, Any]) -> Dict[str, Any]:
             counters.get("runner.base_cache_misses", 0),
         ),
         "store_appends": counters.get("store.appends", 0),
+        "store_rotations": counters.get("store.rotations", 0),
+        "store_segments_sealed": counters.get("store.segments_sealed", 0),
+        "store_index_hits": counters.get("store.index_hits", 0),
+        "store_index_rebuilds": counters.get("store.index_rebuilds", 0),
+        "store_crc_failures": counters.get("store.crc_failures", 0),
         "objects_interned": counters.get("intern.objects_interned", 0),
     }
 
@@ -440,6 +451,7 @@ def run_sweep(
     progress: Optional[Callable[[str], None]] = None,
     backend: Union[str, "SweepExecutor"] = "auto",
     resume: bool = False,
+    retry_errors: bool = False,
     shard_size: Optional[int] = None,
     cell_timeout: Optional[float] = None,
 ) -> SweepOutcome:
@@ -457,18 +469,25 @@ def run_sweep(
     tail (atomic rewrite) and then relies on the normal cache scan, so a
     killed sweep re-executes exactly the cells whose records never reached
     the store.  A cell that raises yields a ``status: "error"`` record that
-    is *not* cached.  ``cell_timeout`` bounds how long any one cell (or, on
-    the sharded backend, shard) may run in a pool worker before the pool is
-    restarted and the work retried — repeat offenders are quarantined as
-    error records instead of hanging the sweep.
+    is persisted too (quarantined): a resumed sweep *skips* it — counted in
+    ``outcome.errors``, not recomputed — until ``retry_errors=True`` (which
+    requires ``resume``) turns stored errors back into pending cells, and a
+    plain non-resume sweep always retries them (the fresh record, ok or
+    error, supersedes the old one — newest per key wins).  ``cell_timeout``
+    bounds how long any one cell (or, on the sharded backend, shard) may
+    run in a pool worker before the pool is restarted and the work retried
+    — repeat offenders are quarantined as error records instead of hanging
+    the sweep.
 
     Every sweep also assembles a telemetry record (``kind:
     "sweep_telemetry"``): phase timings, per-shard wall times, worker
     utilization, and the metric deltas of the parent process merged with the
     deltas every worker shipped back (see :mod:`repro.obs.collect`).  It is
-    returned on ``outcome.telemetry`` and — for error-free sweeps — persisted
-    into the store under :func:`sweep_telemetry_key`, where its non-hex key
-    and non-``ok`` status keep it out of cache scans and reports.
+    returned on ``outcome.telemetry`` and persisted into the store under
+    :func:`sweep_telemetry_key` — error counts included, since the
+    ``fabric``/``worker_events`` diagnostics matter most on exactly the
+    sweeps that went wrong — where its non-hex key and non-``ok`` status
+    keep it out of cache scans and reports.
     """
     from .executors import resolve_executor  # runner <-> executors layering
 
@@ -476,6 +495,8 @@ def run_sweep(
         raise SweepError("force and resume are mutually exclusive")
     if resume and store is None:
         raise SweepError("resume requires a result store")
+    if retry_errors and not resume:
+        raise SweepError("retry_errors requires resume")
     executor = resolve_executor(
         backend, workers, shard_size=shard_size, cell_timeout=cell_timeout
     )
@@ -501,6 +522,20 @@ def run_sweep(
                 # construction, but the invariant is cheap to enforce here
                 # too: a telemetry record is never a cache hit.
                 cached = None
+            if cached is not None and cached.get("status") == "error":
+                if resume and not retry_errors:
+                    # Quarantined: the cell failed before and stays failed
+                    # until someone asks for a retry — resuming must not
+                    # grind through known-bad cells on every attempt.
+                    records[index] = {**cached, "cached": True}
+                    outcome.errors += 1
+                    _C_CELLS_ERRORS.value += 1
+                    notify(
+                        f"quarantined error (use --retry-errors to recompute): "
+                        f"{cell.describe()}"
+                    )
+                    continue
+                cached = None  # plain runs and --retry-errors recompute
             if cached is not None:
                 records[index] = {**cached, "cached": True}
                 outcome.cached += 1
@@ -520,6 +555,11 @@ def run_sweep(
         else:
             outcome.errors += 1
             _C_CELLS_ERRORS.value += 1
+            if store is not None:
+                # Quarantine: the error record persists so a resume can skip
+                # the known-bad cell (or --retry-errors recompute it) — and a
+                # later ok record supersedes it, newest per key wins.
+                store.put(record)
             notify(f"ERROR: {cell.describe()}: {record.get('error')}")
 
     with span("sweep.execute", backend=executor.name) as execute_span:
@@ -580,6 +620,9 @@ def run_sweep(
     if tracing_enabled():
         telemetry["trace"] = collector.trace + trace_events()[trace_mark:]
     outcome.telemetry = telemetry
-    if store is not None and not outcome.errors:
+    if store is not None:
+        # Persisted even (especially) for sweeps with errors: the fabric and
+        # worker_events diagnostics matter most when something went wrong,
+        # and the record carries the error count.
         store.put(telemetry)
     return outcome

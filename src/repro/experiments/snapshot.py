@@ -1,0 +1,198 @@
+"""Intern-pool + base-scenario snapshots for millisecond worker warm-start.
+
+A fresh worker process on a large sweep pays two cold-start costs before its
+first cell finishes: building the base scenarios its shard needs, and
+re-interning from scratch the histories/messages/nodes every run of those
+scenarios churns through (:mod:`repro.simulation.interning` hash-conses
+them, but an empty pool means every value is a first sighting).  A
+*snapshot* captures both from a store that has already seen the sweep: the
+distinct ``(scenario, params)`` bases its records cover, plus the interned
+value DAG produced by actually running those bases — encoded with the same
+flat shared tables :class:`repro.simulation.runs._RunEncoder` uses for
+``Run.to_dict``, so deep sharing stays linear on disk.
+
+Loading (:func:`load_snapshot`) decodes the tables into the *current*
+process pool — decoding constructs :class:`History`/:class:`Message`/
+:class:`BasicNode` values, which re-intern locally, exactly like shipping a
+``Run`` across a process boundary — and rebuilds the base scenarios into a
+cache keyed ``(scenario, sorted-params-tuple)``, the same key
+:func:`repro.experiments.runner.execute_cell_inline` probes.  A worker
+started with ``repro worker --snapshot`` therefore begins its first shard
+with a warm pool and pre-built bases instead of a rebuild.
+
+Snapshots are advisory: a corrupt, missing, or version-skewed file is
+reported and ignored (the worker cold-starts), and a snapshot never changes
+results — it only pre-populates caches whose hits are bit-identical to
+misses by construction.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, List, Tuple
+
+from ..scenarios.base import RegistryError
+from ..simulation.interning import current_pool, intern_pool
+from ..simulation.runs import RunError, RunFormatError, _RunDecoder, _RunEncoder
+from .runner import SweepError, build_base_scenario, decorate_scenario, make_cell
+from .store import ResultStore, canonical_json
+
+__all__ = [
+    "SNAPSHOT_FORMAT_VERSION",
+    "SnapshotError",
+    "load_pool_snapshot",
+    "load_snapshot",
+    "pool_snapshot",
+    "write_snapshot",
+]
+
+#: Version stamp of the snapshot file layout.
+SNAPSHOT_FORMAT_VERSION = 1
+
+#: How many distinct bases a snapshot captures by default.  Warm-start wins
+#: saturate quickly — a shard rarely spans more bases than this — while the
+#: file and its load time stay small.
+DEFAULT_SNAPSHOT_BASES = 8
+
+#: The base-cache key :func:`execute_cell_inline` probes.
+BaseKey = Tuple[str, Tuple[Tuple[str, Any], ...]]
+
+
+class SnapshotError(ValueError):
+    """Raised on a malformed or version-skewed snapshot file."""
+
+
+def pool_snapshot() -> Dict[str, Any]:
+    """Encode the current process pool's node DAG into flat shared tables."""
+    encoder = _RunEncoder()
+    node_ids = [
+        encoder.history_id(history) for history in current_pool().nodes
+    ]
+    return {
+        "histories": encoder.histories,
+        "messages": encoder.messages,
+        "nodes": node_ids,
+    }
+
+
+def load_pool_snapshot(data: Dict[str, Any]) -> int:
+    """Decode a pool table into the *current* pool; returns nodes interned.
+
+    Decoding constructs each value, which re-interns it locally — loading
+    the same snapshot twice is idempotent, and loading into a pool that
+    already holds some of the values simply dedups against them.
+    """
+    try:
+        decoder = _RunDecoder(data["histories"], data["messages"])
+        node_ids = data["nodes"]
+        for node_id in node_ids:
+            decoder.node(node_id)
+    except (KeyError, TypeError, RunError, RunFormatError) as exc:
+        raise SnapshotError(f"corrupt pool snapshot: {exc}") from exc
+    return len(node_ids)
+
+
+def _distinct_bases(
+    records: List[Dict[str, Any]], limit: int
+) -> List[Tuple[str, Dict[str, Any]]]:
+    """The distinct ``(scenario, params)`` bases of a store's cell records,
+    deterministically ordered (by canonical JSON), capped at ``limit``."""
+    seen: Dict[str, Tuple[str, Dict[str, Any]]] = {}
+    for record in records:
+        scenario = record.get("scenario")
+        params = record.get("params")
+        if not isinstance(scenario, str) or not isinstance(params, dict):
+            continue  # telemetry or foreign records
+        seen.setdefault(canonical_json([scenario, params]), (scenario, params))
+    return [seen[key] for key in sorted(seen)][:limit]
+
+
+def write_snapshot(
+    store: ResultStore,
+    path: str,
+    limit: int = DEFAULT_SNAPSHOT_BASES,
+) -> Dict[str, Any]:
+    """Build and atomically write a warm-start snapshot from ``store``.
+
+    Picks up to ``limit`` distinct bases from the store's records, runs each
+    under the two deterministic delivery adversaries inside a scratch pool
+    (populating exactly the values a worker's first cells would intern), and
+    writes the encoded pool plus the base list.  Returns a summary dict.
+    """
+    if limit < 1:
+        raise SnapshotError(f"snapshot limit must be >= 1, got {limit}")
+    bases = _distinct_bases(store.records(), limit)
+    with intern_pool():
+        for scenario, params in bases:
+            for adversary in ("earliest", "latest"):
+                try:
+                    cell = make_cell(
+                        scenario, overrides=params, adversary=adversary, seed=0
+                    )
+                except (SweepError, RegistryError):
+                    continue  # scenario/params no longer registered; skip
+                decorate_scenario(cell, build_base_scenario(cell)).run()
+        pool = pool_snapshot()
+    payload = {
+        "format": SNAPSHOT_FORMAT_VERSION,
+        "bases": [[scenario, params] for scenario, params in bases],
+        "pool": pool,
+    }
+    data = (canonical_json(payload) + "\n").encode("utf-8")
+    directory = os.path.dirname(path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    tmp_path = f"{path}.{os.getpid()}.tmp"
+    with open(tmp_path, "wb") as handle:
+        handle.write(data)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp_path, path)
+    return {
+        "path": path,
+        "bases": len(bases),
+        "nodes": len(pool["nodes"]),
+        "histories": len(pool["histories"]),
+        "messages": len(pool["messages"]),
+        "bytes": len(data),
+    }
+
+
+def load_snapshot(path: str) -> Dict[BaseKey, Any]:
+    """Load a snapshot into the current pool; return the base-scenario cache.
+
+    The returned dict is keyed exactly like
+    :func:`~repro.experiments.runner.execute_cell_inline`'s ``base_cache``
+    (``(scenario, tuple(sorted(params.items())))``), so it can be handed to
+    a shard runner as-is.  Bases whose scenario is no longer registered are
+    skipped — the worker just cold-builds those.  Raises
+    :class:`SnapshotError` on a missing, corrupt, or version-skewed file.
+    """
+    try:
+        with open(path, "rb") as handle:
+            data = json.loads(handle.read())
+    except OSError as exc:
+        raise SnapshotError(f"cannot read snapshot {path!r}: {exc}") from exc
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        raise SnapshotError(f"snapshot {path!r} is not valid JSON") from exc
+    if not isinstance(data, dict) or data.get("format") != SNAPSHOT_FORMAT_VERSION:
+        raise SnapshotError(
+            f"snapshot {path!r} has format {data.get('format')!r}; "
+            f"expected {SNAPSHOT_FORMAT_VERSION}"
+        )
+    load_pool_snapshot(data.get("pool") or {})
+    base_cache: Dict[BaseKey, Any] = {}
+    for entry in data.get("bases") or []:
+        try:
+            scenario, params = entry
+        except (TypeError, ValueError) as exc:
+            raise SnapshotError(f"bad base entry {entry!r}") from exc
+        if not isinstance(scenario, str) or not isinstance(params, dict):
+            raise SnapshotError(f"bad base entry {entry!r}")
+        try:
+            cell = make_cell(scenario, overrides=params, adversary="earliest", seed=0)
+        except (SweepError, RegistryError):
+            continue  # scenario/params no longer registered: cold-build later
+        base_cache[(cell.scenario, cell.params)] = build_base_scenario(cell)
+    return base_cache

@@ -1,45 +1,92 @@
-"""A persistent, content-addressed JSONL store for sweep results.
+"""A persistent, content-addressed, segmented JSONL store for sweep results.
 
-Each record is one JSON object per line, keyed by a stable SHA-256 digest of
-the cell's identity: scenario name, full parameter assignment, delivery
+Each record is one JSON object, keyed by a stable SHA-256 digest of the
+cell's identity: scenario name, full parameter assignment, delivery
 adversary, seed, horizon override, and the versions of every analysis pass
 applied.  Repeated sweeps therefore become incremental — a cell whose key is
 already present is a cache hit and is never re-simulated — while bumping an
 analysis version re-runs exactly the cells it affects.
 
-The store is the source of truth for resumable sweeps, so its writes are
-crash-safe at two levels:
+Layout.  The store is a single *active tail* file at ``path`` (plain JSONL,
+exactly the original single-file format, so legacy stores open unchanged)
+plus, once the tail outgrows ``rotate_bytes``, *sealed segments* under
+``<path>.segments/``:
+
+* ``<path>`` — the active tail.  All appends land here; it is always
+  scanned in full on load, so appends can never stale the index.
+* ``<path>.segments/seg-NNNNNN.jsonl`` — sealed segments.  One meta line
+  (format version, record count, sealing owner), then one record per line
+  wrapped as ``{"c": CRC32, "r": {record}}`` — every fetch is verified
+  against its checksum, so a corrupt record degrades to a cache miss (the
+  cell is recomputed and the fresh record supersedes it) instead of serving
+  garbage.
+* ``<path>.index.json`` — a sidecar index over the *sealed segments only*:
+  cell key -> ``(segment, offset, length)``.  Resume and cache probes are
+  O(1) dictionary hits plus one ``pread`` instead of a full-store scan.
+  The index is advisory: when missing, stale (the on-disk segment list or
+  sizes disagree), or corrupt it is rebuilt from the segments themselves.
+
+Small stores (under ``rotate_bytes``) never grow sidecars: they stay a
+single tail file, bit-for-bit the legacy layout.
+
+Crash safety:
 
 * *appends* (:meth:`ResultStore.put`) are a single ``write(2)`` on an
   ``O_APPEND`` descriptor, so a record is either entirely on disk or not at
   all — a crash can tear at most the final line, never interleave two;
-* *rewrites* (:meth:`ResultStore.compact`, :meth:`ResultStore.recover`) go
-  through a temp file in the same directory followed by an atomic
-  ``os.replace``, with the data fsynced before the rename, so readers always
-  observe either the old file or the complete new one.
+* *rewrites* (:meth:`ResultStore.compact`, :meth:`ResultStore.recover`, and
+  segment seals) go through a temp file in the same directory followed by an
+  atomic ``os.replace``, with the data fsynced before the rename, so readers
+  always observe either the old file or the complete new one;
+* *rotation* seals (writes + fsyncs) the segment **before** truncating the
+  tail: a crash between the two leaves harmless duplicates (the tail always
+  wins over segments on lookup), never a lost record.
 
 A torn final line (from a ``kill -9`` mid-append) is ignored on load;
-:meth:`ResultStore.recover` additionally rewrites the file without the torn
-tail, and :meth:`ResultStore.compact` rewrites it keeping the newest record
-per key.  Both are idempotent.
+:meth:`ResultStore.recover` additionally rewrites the tail without the torn
+tail line and re-checks index freshness — it stays *shallow* (no segment
+re-read) so resume cost is independent of store size.  The deep pass is
+:meth:`ResultStore.verify`, which CRC-checks every sealed record and can
+``repair=True`` (drop corrupt records, recover the tail, rebuild the
+index).  :meth:`ResultStore.migrate` upgrades a legacy single-file store in
+place by force-sealing its tail; records read back identically.
 
-Multiple processes may share one store (a resumed sweep racing a report, or
-the distributed coordinator's recovery path): appends take a *shared*
-advisory ``flock`` and rewrites an *exclusive* one on a sidecar
-``<path>.lock`` file, so a ``compact()``/``recover()`` can never interleave
-with (and silently drop) a live append.  The sidecar — rather than the
-store file itself — is locked because rewrites swap the store's inode via
-``os.replace``, which would strand any lock held on the old inode.
-Rewrites re-read the file under the lock, so records appended by other
-processes after this process last loaded its index survive compaction.
+Multiple processes may share one store (several sweep coordinators, a
+resumed sweep racing a report): appends take a *shared* advisory ``flock``
+and rewrites/rotations an *exclusive* one on a sidecar ``<path>.lock``
+file, so a rewrite can never interleave with (and silently drop) a live
+append.  The sidecar — rather than the store file itself — is locked
+because rewrites swap the store's inode via ``os.replace``, which would
+strand any lock held on the old inode.  Rewrites re-read the disk under the
+lock, so records appended by other processes after this process last loaded
+its view survive compaction.  Each sealed segment records the owner
+(``host:pid``) that sealed it; concurrent coordinators each seal their own
+segments, and before writing an index a rotation folds in segments sealed
+by other coordinators, so a persisted index always covers every segment it
+declares — a reader never loads a "fresh" index that silently misses
+another writer's records.  Anything that still goes stale (a racing index
+write losing to an older one) fails the freshness check and is rebuilt.
+
+Storage fault injection (``repro sweep --chaos`` with storage kinds, see
+:mod:`repro.experiments.faults`) is consulted cooperatively at three
+points: ``store.append`` (``torn-write`` truncates the append mid-line),
+``store.seal`` (``corrupt-segment`` flips a byte in the sealed file,
+``partial-fsync`` skips the fsync and tears the segment's last record), and
+``store.rotate`` (``stale-index`` suppresses the index write).  All of them
+are recoverable by construction: the damage surfaces as cache misses or an
+index rebuild, never as wrong records.
 """
 
 from __future__ import annotations
 
+import binascii
 import contextlib
 import hashlib
 import json
 import os
+import re
+import socket
+import time
 from typing import Any, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 try:  # advisory locking is POSIX-only; the store degrades gracefully
@@ -50,14 +97,32 @@ except ImportError:  # pragma: no cover - non-POSIX platforms
     _HAS_FLOCK = False
 
 from ..obs import metrics as _metrics
+from . import faults as _faults
 
 #: Version stamp of the store's record layout; part of every cache key.
 STORE_FORMAT_VERSION = 1
+
+#: Version stamp of the sealed-segment line format (meta line + CRC wrappers).
+SEGMENT_FORMAT_VERSION = 2
+
+#: Version stamp of the sidecar index file.
+INDEX_FORMAT_VERSION = 2
+
+#: Tail size at which an append triggers rotation into a sealed segment.
+DEFAULT_ROTATE_BYTES = 4 * 1024 * 1024
+
+_SEGMENT_RE = re.compile(r"^seg-(\d{6})\.jsonl$")
 
 _C_APPENDS = _metrics.counter("store.appends")
 _C_LOOKUPS = _metrics.counter("store.lookups")
 _C_RECOVER_DROPPED = _metrics.counter("store.recover_dropped_lines")
 _C_COMPACT_DROPPED = _metrics.counter("store.compact_dropped_lines")
+_C_ROTATIONS = _metrics.counter("store.rotations")
+_C_SEGMENTS_SEALED = _metrics.counter("store.segments_sealed")
+_C_INDEX_REBUILDS = _metrics.counter("store.index_rebuilds")
+_C_INDEX_HITS = _metrics.counter("store.index_hits")
+_C_SEGMENT_FETCHES = _metrics.counter("store.segment_fetches")
+_C_CRC_FAILURES = _metrics.counter("store.crc_failures")
 
 #: Default store location, relative to the current working directory.
 DEFAULT_STORE_PATH = os.path.join(".repro-store", "results.jsonl")
@@ -109,13 +174,99 @@ def _parse_line(line: bytes) -> Optional[Dict[str, Any]]:
     return record
 
 
-class ResultStore:
-    """An append-only JSONL result cache with an in-memory key index."""
+def _crc32(payload: bytes) -> int:
+    return binascii.crc32(payload) & 0xFFFFFFFF
 
-    def __init__(self, path: str = DEFAULT_STORE_PATH):
+
+def _wrap_record(record: Mapping[str, Any]) -> bytes:
+    """One sealed-segment line: the record plus the CRC32 of its canonical form."""
+    body = canonical_json(record)
+    return ('{"c":%d,"r":%s}\n' % (_crc32(body.encode("utf-8")), body)).encode("utf-8")
+
+
+def _unwrap_record(line: bytes) -> Optional[Dict[str, Any]]:
+    """Decode and CRC-verify one sealed line; ``None`` on any mismatch."""
+    stripped = line.strip()
+    if not stripped:
+        return None
+    try:
+        wrapper = json.loads(stripped)
+    except (json.JSONDecodeError, UnicodeDecodeError):
+        return None
+    if not isinstance(wrapper, dict) or "r" not in wrapper:
+        return None
+    record = wrapper.get("r")
+    crc = wrapper.get("c")
+    if not isinstance(record, dict) or not isinstance(record.get("key"), str):
+        return None
+    if not isinstance(crc, int):
+        return None
+    if _crc32(canonical_json(record).encode("utf-8")) != crc:
+        return None
+    return record
+
+
+class ResultStore:
+    """An append-only, segmented JSONL result cache with an O(1) resume index.
+
+    ``rotate_bytes`` is the tail size that triggers sealing (``None``
+    disables rotation entirely — the store stays a legacy single file).
+    ``use_index=False`` disables the sidecar index: sealed segments are
+    fully scanned on load instead (the comparison baseline for the resume
+    bench, and a fallback for read-only filesystems where index writes
+    cannot land anyway).
+    """
+
+    def __init__(
+        self,
+        path: str = DEFAULT_STORE_PATH,
+        rotate_bytes: Optional[int] = DEFAULT_ROTATE_BYTES,
+        use_index: bool = True,
+    ):
+        if rotate_bytes is not None and rotate_bytes < 1:
+            raise StoreError(f"rotate_bytes must be >= 1 or None, got {rotate_bytes}")
         self.path = path
-        self._index: Dict[str, Dict[str, Any]] = {}
+        self.rotate_bytes = rotate_bytes
+        self.use_index = use_index
+        self._tail: Dict[str, Dict[str, Any]] = {}
+        self._sealed_cache: Dict[str, Dict[str, Any]] = {}
+        self._locators: Dict[str, Tuple[int, int, int]] = {}
+        self._segments: List[str] = []
+        # Segments whose records the in-memory view (locators or full-scan
+        # cache) actually covers.  With several coordinators sealing into one
+        # store this can lag self._segments; rotation folds the gap in before
+        # writing an index, so a written index is always complete for the
+        # segment list it declares.
+        self._covered: set = set()
         self._loaded = False
+
+    # -- layout ------------------------------------------------------------
+
+    @property
+    def segments_dir(self) -> str:
+        return self.path + ".segments"
+
+    @property
+    def index_path(self) -> str:
+        return self.path + ".index.json"
+
+    def _segment_path(self, name: str) -> str:
+        return os.path.join(self.segments_dir, name)
+
+    def _list_segments(self) -> List[str]:
+        try:
+            names = os.listdir(self.segments_dir)
+        except (FileNotFoundError, NotADirectoryError):
+            return []
+        return sorted(name for name in names if _SEGMENT_RE.match(name))
+
+    def _next_segment_name(self) -> str:
+        last = 0
+        for name in self._segments:
+            match = _SEGMENT_RE.match(name)
+            if match:
+                last = max(last, int(match.group(1)))
+        return f"seg-{last + 1:06d}.jsonl"
 
     # -- loading -----------------------------------------------------------
 
@@ -123,18 +274,210 @@ class ResultStore:
         if self._loaded:
             return
         self._loaded = True
-        if not os.path.exists(self.path):
+        self._segments = self._list_segments()
+        if self._segments:
+            if self.use_index:
+                if not self._try_load_index():
+                    self._rebuild_index()
+            else:
+                self._scan_segments()
+        self._load_tail()
+
+    def _load_tail(self) -> None:
+        self._tail = {}
+        try:
+            handle = open(self.path, "rb")
+        except FileNotFoundError:
             return
-        with open(self.path, "rb") as handle:
+        with handle:
             for line in handle:
                 record = _parse_line(line)
                 if record is not None:
-                    self._index[record["key"]] = record
+                    self._tail[record["key"]] = record
 
     def reload(self) -> None:
-        """Drop the in-memory index and re-read the file on next access."""
-        self._index = {}
+        """Drop every in-memory view and re-read the disk on next access."""
+        self._tail = {}
+        self._sealed_cache = {}
+        self._locators = {}
+        self._segments = []
+        self._covered = set()
         self._loaded = False
+
+    # -- index -------------------------------------------------------------
+
+    def _segment_stats(self) -> List[List[Any]]:
+        stats = []
+        for name in self._segments:
+            try:
+                size = os.path.getsize(self._segment_path(name))
+            except OSError:
+                size = -1
+            stats.append([name, size])
+        return stats
+
+    def _try_load_index(self) -> bool:
+        """Load the sidecar index; ``False`` when missing, stale, or corrupt.
+
+        Staleness is a disk-truth check: the index must list exactly the
+        sealed segments on disk, at their current sizes.  Appends only ever
+        touch the tail (which is never indexed), so an index can go stale
+        only through rotation, compaction, repair, or manual surgery — all
+        of which change the segment list or a segment's size.
+        """
+        try:
+            with open(self.index_path, "rb") as handle:
+                data = json.loads(handle.read())
+            if data.get("format") != INDEX_FORMAT_VERSION:
+                return False
+            if data.get("segments") != self._segment_stats():
+                return False
+            entries = data["entries"]
+            locators: Dict[str, Tuple[int, int, int]] = {}
+            count = len(self._segments)
+            for key, loc in entries.items():
+                si, offset, length = loc
+                if not 0 <= si < count:
+                    return False
+                locators[key] = (si, offset, length)
+        except (OSError, ValueError, KeyError, TypeError):
+            return False
+        self._locators = locators
+        self._covered = set(self._segments)
+        return True
+
+    def _rebuild_index(self, persist: bool = True) -> None:
+        """Rebuild locators by scanning every sealed segment, CRC-verifying.
+
+        Corrupt records are left out of the index (they would fail their
+        fetch-time CRC anyway), so a rebuild after segment damage turns the
+        damaged cells into cache misses — the self-healing path the
+        corrupted-segment/deleted-index recovery tests pin down.  The index
+        write is best-effort: on a read-only filesystem the in-memory
+        locators still serve this process.
+        """
+        locators: Dict[str, Tuple[int, int, int]] = {}
+        for si, name in enumerate(self._segments):
+            for record, offset, length in self._iter_segment(name):
+                if record is not None:
+                    locators[record["key"]] = (si, offset, length)
+        self._locators = locators
+        self._covered = set(self._segments)
+        _C_INDEX_REBUILDS.value += 1
+        if persist and self.use_index:
+            try:
+                self._write_index()
+            except OSError:
+                pass
+
+    def _write_index(self) -> None:
+        payload = {
+            "format": INDEX_FORMAT_VERSION,
+            "segments": self._segment_stats(),
+            "entries": {key: list(loc) for key, loc in self._locators.items()},
+        }
+        data = (canonical_json(payload) + "\n").encode("utf-8")
+        tmp_path = f"{self.index_path}.{os.getpid()}.tmp"
+        fd = os.open(tmp_path, os.O_WRONLY | os.O_CREAT | os.O_TRUNC, 0o644)
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(data)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp_path, self.index_path)
+        except BaseException:
+            with contextlib.suppress(OSError):
+                os.unlink(tmp_path)
+            raise
+
+    def _iter_segment(
+        self, name: str
+    ) -> Iterator[Tuple[Optional[Dict[str, Any]], int, int]]:
+        """Yield ``(record_or_None, offset, length)`` per non-meta line.
+
+        ``None`` marks a corrupt line (bad JSON, missing key, CRC mismatch).
+        The meta line and blank lines are skipped entirely.
+        """
+        try:
+            with open(self._segment_path(name), "rb") as handle:
+                raw = handle.read()
+        except OSError:
+            return
+        offset = 0
+        for line in raw.split(b"\n"):
+            length = len(line) + 1  # the split newline
+            stripped = line.strip()
+            if stripped and not stripped.startswith(b'{"seg"'):
+                yield _unwrap_record(line), offset, min(length, len(raw) - offset)
+            offset += length
+
+    def _scan_segments(self) -> None:
+        """Full-scan fallback (``use_index=False``): parse every sealed record."""
+        self._sealed_cache = {}
+        for name in self._segments:
+            for record, _, _ in self._iter_segment(name):
+                if record is not None:
+                    self._sealed_cache[record["key"]] = record
+        self._covered = set(self._segments)
+
+    def _absorb_foreign_segments(self) -> None:
+        """Fold in segments sealed by other coordinators since our last sync.
+
+        Called under the exclusive lock with ``self._segments`` freshly
+        re-listed.  Segment numbers only ever grow (the next name is chosen
+        from the full on-disk listing under the same lock), so our previous
+        view is a prefix of the new list and existing locator seg-indices
+        stay valid; any listed segment we never scanned is scanned here, so
+        an index written afterwards covers every segment it declares — a
+        reader must never load a "fresh" index that silently misses another
+        writer's records.  A foreign compaction (which deletes old segments)
+        invalidates the prefix property, so that case starts the view over.
+        """
+        on_disk = set(self._segments)
+        if not self._covered <= on_disk:
+            self._locators = {}
+            self._sealed_cache = {}
+            self._covered = set()
+        if self.use_index:
+            for si, name in enumerate(self._segments):
+                if name in self._covered:
+                    continue
+                for record, offset, length in self._iter_segment(name):
+                    if record is None:
+                        continue
+                    key = record["key"]
+                    existing = self._locators.get(key)
+                    if existing is None or existing[0] <= si:
+                        self._locators[key] = (si, offset, length)
+                        self._sealed_cache.pop(key, None)
+                self._covered.add(name)
+        elif not self._covered >= on_disk:
+            self._scan_segments()
+
+    def _fetch(self, key: str) -> Optional[Dict[str, Any]]:
+        """Materialise one sealed record through its locator, CRC-verified."""
+        loc = self._locators.get(key)
+        if loc is None:
+            return None
+        si, offset, length = loc
+        if si >= len(self._segments):
+            return None
+        _C_SEGMENT_FETCHES.value += 1
+        try:
+            with open(self._segment_path(self._segments[si]), "rb") as handle:
+                handle.seek(offset)
+                raw = handle.read(length)
+        except OSError:
+            _C_CRC_FAILURES.value += 1
+            return None
+        record = _unwrap_record(raw)
+        if record is None or record.get("key") != key:
+            # Damage degrades to a cache miss: the cell recomputes and its
+            # fresh tail record supersedes the corrupt sealed one.
+            _C_CRC_FAILURES.value += 1
+            return None
+        self._sealed_cache[key] = record
+        return record
 
     # -- locking -----------------------------------------------------------
 
@@ -143,8 +486,8 @@ class ResultStore:
         """Advisory flock on the sidecar lock file (no-op without fcntl).
 
         Shared for appends (many appenders interleave safely at line
-        granularity), exclusive for rewrites — so compaction waits out live
-        appends instead of snapshotting around them.
+        granularity), exclusive for rewrites and rotations — so compaction
+        waits out live appends instead of snapshotting around them.
         """
         if not _HAS_FLOCK:
             yield
@@ -164,27 +507,69 @@ class ResultStore:
 
     # -- queries -----------------------------------------------------------
 
+    def _sealed_keys(self) -> Mapping[str, Any]:
+        return self._locators if self.use_index else self._sealed_cache
+
     def __len__(self) -> int:
         self._ensure_loaded()
-        return len(self._index)
+        sealed = self._sealed_keys()
+        if not sealed:
+            return len(self._tail)
+        if not self._tail:
+            return len(sealed)
+        return len(set(sealed) | set(self._tail))
 
     def __contains__(self, key: str) -> bool:
         self._ensure_loaded()
-        return key in self._index
+        if key in self._tail:
+            return True
+        if key in self._sealed_keys():
+            if self.use_index:
+                _C_INDEX_HITS.value += 1
+            return True
+        return False
 
     def get(self, key: str) -> Optional[Dict[str, Any]]:
         self._ensure_loaded()
         _C_LOOKUPS.value += 1
-        return self._index.get(key)
+        record = self._tail.get(key)
+        if record is not None:
+            return record
+        record = self._sealed_cache.get(key)
+        if record is not None:
+            if self.use_index:
+                _C_INDEX_HITS.value += 1
+            return record
+        if self.use_index and key in self._locators:
+            _C_INDEX_HITS.value += 1
+            return self._fetch(key)
+        return None
 
     def keys(self) -> Tuple[str, ...]:
         self._ensure_loaded()
-        return tuple(self._index)
+        sealed = self._sealed_keys()
+        if not sealed:
+            return tuple(self._tail)
+        merged = dict.fromkeys(sealed)
+        merged.update(dict.fromkeys(self._tail))
+        return tuple(merged)
 
     def records(self) -> List[Dict[str, Any]]:
-        """All current records (newest per key), in insertion order."""
+        """All current records (newest per key), in insertion order.
+
+        A full scan by design — reports want every record body.  Sealed
+        segments are read in order, then the tail overrides (tail records
+        are always newer than sealed ones).
+        """
         self._ensure_loaded()
-        return list(self._index.values())
+        merged: Dict[str, Dict[str, Any]] = {}
+        for name in self._segments:
+            for record, _, _ in self._iter_segment(name):
+                if record is not None:
+                    merged[record["key"]] = record
+        for key, record in self._tail.items():
+            merged[key] = record
+        return list(merged.values())
 
     def __iter__(self) -> Iterator[Dict[str, Any]]:
         return iter(self.records())
@@ -203,6 +588,10 @@ class ResultStore:
         remainder is completed by follow-up writes — our own line stays whole
         or the call raises, but interleave-safety against *other* appenders
         is forfeited for that one record.
+
+        When the tail reaches ``rotate_bytes`` the append also rotates: the
+        tail is sealed into a checksummed segment and emptied (see
+        :meth:`rotate`).
         """
         key = record.get("key")
         if not isinstance(key, str) or not key:
@@ -212,10 +601,18 @@ class ResultStore:
         directory = os.path.dirname(self.path)
         if directory:
             os.makedirs(directory, exist_ok=True)
+        torn = any(
+            rule.kind == "torn-write" for rule in _faults.storage_fault("store.append")
+        )
+        tail_size = 0
         with self._locked(exclusive=False):
             line = (canonical_json(payload) + "\n").encode("utf-8")
             if not self._ends_with_newline():
                 line = b"\n" + line
+            if torn:
+                # Injected crash-mid-append: most of the line lands, the end
+                # (including the newline) never does.
+                line = line[: max(1, len(line) * 2 // 3)]
             fd = os.open(self.path, os.O_WRONLY | os.O_APPEND | os.O_CREAT, 0o644)
             try:
                 # Normally one write(2); loop to finish a short write
@@ -225,13 +622,21 @@ class ResultStore:
                 view = memoryview(line)
                 while view:
                     view = view[os.write(fd, view) :]
+                tail_size = os.fstat(fd).st_size
             finally:
                 os.close(fd)
+        if torn:
+            # The record never fully landed: leaving the key out of the
+            # in-memory view keeps this process honest too — the cell reads
+            # as missing and is recomputed, exactly like after a real crash.
+            return
         # Only reached when the whole line is durably appended: an exception
         # above leaves the key out of the index, so the cell is re-executed
         # rather than served from a record that never fully landed.
-        self._index[key] = payload
+        self._tail[key] = payload
         _C_APPENDS.value += 1
+        if self.rotate_bytes is not None and tail_size >= self.rotate_bytes:
+            self.rotate()
 
     def put_many(self, records: Sequence[Mapping[str, Any]]) -> None:
         for record in records:
@@ -288,62 +693,225 @@ class ResultStore:
             finally:
                 os.close(dir_fd)
 
-    def recover(self) -> int:
-        """Drop torn/corrupt lines from the file, atomically; idempotent.
+    # -- rotation and sealing ----------------------------------------------
 
-        Scans the raw JSONL, keeps every parseable keyed record line (torn
-        tails from a ``kill -9`` mid-append and any other corrupt lines are
-        dropped), and rewrites the file via temp-file + rename only when
-        something actually needs dropping.  Returns the number of lines
-        dropped.  This is the entry point resumable sweeps call before
-        trusting the store as the source of truth for completed cells.
-        Runs under the exclusive advisory lock and re-reads the file inside
-        it, so concurrent appenders neither tear the scan nor lose records.
+    def _write_segment(
+        self,
+        name: str,
+        records: Sequence[Mapping[str, Any]],
+        fire_faults: bool = True,
+    ) -> Dict[str, Tuple[int, int]]:
+        """Write one sealed segment atomically; returns key -> (offset, length).
+
+        The file is fsynced before the rename, so by the time the caller
+        truncates the tail the segment is durable — a crash between seal and
+        truncate leaves duplicates (tail wins), never a lost record.
         """
+        owner = f"{socket.gethostname()}:{os.getpid()}"
+        meta = {
+            "seg": {
+                "format": SEGMENT_FORMAT_VERSION,
+                "name": name,
+                "records": len(records),
+                "owner": owner,
+                "sealed_at": round(time.time(), 3),
+            }
+        }
+        buf = bytearray((canonical_json(meta) + "\n").encode("utf-8"))
+        meta_len = len(buf)
+        entries: Dict[str, Tuple[int, int]] = {}
+        for record in records:
+            line = _wrap_record(record)
+            entries[record["key"]] = (len(buf), len(line))
+            buf += line
+        seal_kinds = (
+            {rule.kind for rule in _faults.storage_fault("store.seal")}
+            if fire_faults
+            else set()
+        )
+        if "corrupt-segment" in seal_kinds and len(buf) > meta_len:
+            # Bit rot, deterministically: flip one byte in the middle of the
+            # record region.  The hit record fails its CRC and degrades to a
+            # cache miss; every other record still verifies.
+            position = meta_len + (len(buf) - meta_len) // 2
+            buf[position] ^= 0xFF
+        os.makedirs(self.segments_dir, exist_ok=True)
+        final_path = self._segment_path(name)
+        tmp_path = f"{final_path}.{os.getpid()}.tmp"
+        fd = os.open(tmp_path, os.O_WRONLY | os.O_CREAT | os.O_TRUNC, 0o644)
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(buf)
+                handle.flush()
+                if "partial-fsync" in seal_kinds:
+                    # The fsync never happened and the page cache lost the
+                    # end of the file: the last record line is torn.
+                    handle.truncate(max(meta_len, len(buf) - 16))
+                else:
+                    os.fsync(handle.fileno())
+            os.replace(tmp_path, final_path)
+        except BaseException:
+            with contextlib.suppress(OSError):
+                os.unlink(tmp_path)
+            raise
+        try:
+            dir_fd = os.open(self.segments_dir, os.O_RDONLY)
+        except OSError:
+            pass
+        else:
+            try:
+                os.fsync(dir_fd)
+            finally:
+                os.close(dir_fd)
+        _C_SEGMENTS_SEALED.value += 1
+        return entries
+
+    def rotate(self, force: bool = False) -> Optional[str]:
+        """Seal the current tail into a checksummed segment; empty the tail.
+
+        Returns the new segment's name, or ``None`` when there was nothing
+        to seal (or another process rotated first — the size is re-checked
+        under the exclusive lock).  ``force=True`` seals regardless of size
+        (the migration path).  Ordering is seal-then-truncate: the segment
+        is durable on disk before the tail shrinks, so a crash in between
+        leaves duplicates the lookup order (tail over segments) resolves.
+        """
+        self._ensure_loaded()
         if not os.path.exists(self.path):
-            return 0
+            return None
         with self._locked(exclusive=True):
             with open(self.path, "rb") as handle:
                 raw = handle.read()
-            kept: List[bytes] = []
-            dropped = 0
+            threshold = self.rotate_bytes
+            if not force and (threshold is None or len(raw) < threshold):
+                return None  # another process rotated while we waited
+            sealed: List[Dict[str, Any]] = []
             for line in raw.split(b"\n"):
-                if not line.strip():
-                    continue
-                if _parse_line(line) is None:
-                    dropped += 1
-                else:
-                    kept.append(line + b"\n")
-            clean = raw.endswith(b"\n") or not raw
-            if dropped == 0 and clean:
-                self._ensure_loaded()
-                return 0
-            self._atomic_rewrite(kept)
-            self.reload()
-            self._ensure_loaded()
+                record = _parse_line(line)
+                if record is not None:
+                    sealed.append(record)
+            if not sealed:
+                return None
+            self._segments = self._list_segments()
+            self._absorb_foreign_segments()
+            name = self._next_segment_name()
+            rotate_kinds = {rule.kind for rule in _faults.storage_fault("store.rotate")}
+            entries = self._write_segment(name, sealed)
+            self._atomic_rewrite([])
+            si = len(self._segments)
+            self._segments.append(name)
+            self._covered.add(name)
+            if self.use_index:
+                for key, (offset, length) in entries.items():
+                    self._locators[key] = (si, offset, length)
+                if "stale-index" not in rotate_kinds:
+                    with contextlib.suppress(OSError):
+                        self._write_index()
+            # The sealed records stay served from memory either way; the
+            # values are identical to what a fetch would verify and return.
+            for record in sealed:
+                self._sealed_cache[record["key"]] = record
+            self._tail = {}
+        _C_ROTATIONS.value += 1
+        return name
+
+    def migrate(self) -> Dict[str, Any]:
+        """Upgrade a legacy single-file store in place; idempotent.
+
+        Seals the whole tail into a segment (regardless of size) and writes
+        the sidecar index, so subsequent opens take the O(1) probe path.
+        Records read back bit-identically — the layout changes, the record
+        bytes do not (``canonical_json`` round-trip).  Returns :meth:`info`.
+        """
+        self._ensure_loaded()
+        if self._tail:
+            self.rotate(force=True)
+        elif self._segments and self.use_index and not self._try_load_index():
+            self._rebuild_index()
+        return self.info()
+
+    # -- maintenance ---------------------------------------------------------
+
+    def recover(self) -> int:
+        """Drop torn/corrupt tail lines, atomically; idempotent and *shallow*.
+
+        Scans the raw tail JSONL, keeps every parseable keyed record line
+        (torn tails from a ``kill -9`` mid-append and any other corrupt
+        lines are dropped), and rewrites the tail via temp-file + rename
+        only when something actually needs dropping.  Returns the number of
+        lines dropped.  This is the entry point resumable sweeps call before
+        trusting the store as the source of truth for completed cells.
+
+        Sealed segments are *not* re-read (resume cost must not scale with
+        store size): a stale or missing index is rebuilt, and per-record
+        damage inside segments surfaces lazily as CRC-failed fetches — i.e.
+        cache misses that recompute and supersede.  The deep scan is
+        :meth:`verify`.  Runs under the exclusive advisory lock and re-reads
+        the file inside it, so concurrent appenders neither tear the scan
+        nor lose records.
+        """
+        self._ensure_loaded()
+        dropped = 0
+        if os.path.exists(self.path):
+            with self._locked(exclusive=True):
+                with open(self.path, "rb") as handle:
+                    raw = handle.read()
+                kept: List[bytes] = []
+                for line in raw.split(b"\n"):
+                    if not line.strip():
+                        continue
+                    if _parse_line(line) is None:
+                        dropped += 1
+                    else:
+                        kept.append(line + b"\n")
+                clean = raw.endswith(b"\n") or not raw
+                if dropped or not clean:
+                    self._atomic_rewrite(kept)
+                    self._load_tail()
+        on_disk = self._list_segments()
+        if on_disk != self._segments or (
+            on_disk and self.use_index and not self._try_load_index()
+        ):
+            self._segments = on_disk
+            if self.use_index:
+                self._rebuild_index()
+            else:
+                self._scan_segments()
         _C_RECOVER_DROPPED.value += dropped
         return dropped
 
     def compact(self) -> int:
-        """Rewrite the file keeping one (newest) record per key, atomically.
+        """Rewrite the store keeping one (newest) record per key, atomically.
 
         Returns the number of lines dropped (superseded duplicates plus any
         torn/corrupt lines).  Compacting an already-compact store drops 0
-        lines and rewrites nothing.
+        lines and rewrites nothing.  When the surviving records fit under
+        ``rotate_bytes`` the store collapses back to a single legacy tail
+        file (segments and index removed); larger stores re-seal into fresh
+        segments plus an empty tail.
 
         Runs under the exclusive advisory lock and rebuilds its view from
-        the *file*, not the in-memory index — another process may have
+        the *disk*, not the in-memory state — another process may have
         appended records this process never loaded, and those must survive
         the rewrite.
         """
-        if not os.path.exists(self.path):
-            self._ensure_loaded()
+        self._ensure_loaded()
+        if not os.path.exists(self.path) and not self._segments:
             return 0
         with self._locked(exclusive=True):
-            with open(self.path, "rb") as handle:
-                raw = handle.read()
+            self._segments = self._list_segments()
             merged: Dict[str, Dict[str, Any]] = {}
             total_lines = 0
+            for name in self._segments:
+                for record, _, _ in self._iter_segment(name):
+                    total_lines += 1
+                    if record is not None:
+                        merged[record["key"]] = record
+            try:
+                with open(self.path, "rb") as handle:
+                    raw = handle.read()
+            except FileNotFoundError:
+                raw = b""
             for line in raw.split(b"\n"):
                 if not line.strip():
                     continue
@@ -351,18 +919,187 @@ class ResultStore:
                 record = _parse_line(line)
                 if record is not None:
                     merged[record["key"]] = record
-            if total_lines == len(merged) and (raw.endswith(b"\n") or not raw):
-                self._index = merged
-                self._loaded = True
+            clean = raw.endswith(b"\n") or not raw
+            if total_lines == len(merged) and clean:
                 return 0
-            self._atomic_rewrite(
-                [
-                    (canonical_json(record) + "\n").encode("utf-8")
-                    for record in merged.values()
-                ]
-            )
-            self._index = merged
-            self._loaded = True
+            lines = [
+                (canonical_json(record) + "\n").encode("utf-8")
+                for record in merged.values()
+            ]
+            old_segments = list(self._segments)
+            payload_bytes = sum(len(line) for line in lines)
+            if (
+                old_segments
+                and self.rotate_bytes is not None
+                and payload_bytes > self.rotate_bytes
+            ):
+                # Too big for one tail: re-seal into fresh segments (numbered
+                # after the old ones so a crash mid-compaction leaves newer
+                # duplicates that win the scan order), then an empty tail.
+                records_list = list(merged.values())
+                chunks: List[List[Dict[str, Any]]] = []
+                chunk: List[Dict[str, Any]] = []
+                chunk_bytes = 0
+                for record, line in zip(records_list, lines):
+                    if chunk and chunk_bytes + len(line) > self.rotate_bytes:
+                        chunks.append(chunk)
+                        chunk, chunk_bytes = [], 0
+                    chunk.append(record)
+                    chunk_bytes += len(line)
+                if chunk:
+                    chunks.append(chunk)
+                new_segments: List[str] = []
+                self._locators = {}
+                self._sealed_cache = {}
+                for chunk in chunks:
+                    name = self._next_segment_name()
+                    entries = self._write_segment(name, chunk, fire_faults=False)
+                    si = len(new_segments)
+                    self._segments = [*new_segments, name]
+                    new_segments.append(name)
+                    for key, (offset, length) in entries.items():
+                        self._locators[key] = (si, offset, length)
+                    for record in chunk:
+                        self._sealed_cache[record["key"]] = record
+                self._atomic_rewrite([])
+                for name in old_segments:
+                    with contextlib.suppress(OSError):
+                        os.unlink(self._segment_path(name))
+                self._segments = new_segments
+                self._covered = set(new_segments)
+                self._tail = {}
+                if self.use_index:
+                    with contextlib.suppress(OSError):
+                        self._write_index()
+            else:
+                # Collapse to the legacy single-file layout: tail holds
+                # everything, sidecars disappear.
+                self._atomic_rewrite(lines)
+                for name in old_segments:
+                    with contextlib.suppress(OSError):
+                        os.unlink(self._segment_path(name))
+                with contextlib.suppress(OSError):
+                    os.unlink(self.index_path)
+                with contextlib.suppress(OSError):
+                    os.rmdir(self.segments_dir)
+                self._segments = []
+                self._covered = set()
+                self._locators = {}
+                self._sealed_cache = {}
+                self._tail = merged
         dropped = total_lines - len(merged)
         _C_COMPACT_DROPPED.value += dropped
         return dropped
+
+    def verify(self, repair: bool = False) -> Dict[str, Any]:
+        """Deep integrity check: CRC every sealed record, scan the tail.
+
+        Returns a report dict; ``report["ok"]`` means no corrupt sealed
+        records, no torn tail lines, and a fresh (or absent-by-design)
+        index.  With ``repair=True`` corrupt sealed records are dropped
+        (segment rewritten atomically), the tail is recovered, and the index
+        rebuilt — the dropped cells become cache misses and recompute on the
+        next resume.
+        """
+        self._ensure_loaded()
+        report: Dict[str, Any] = {
+            "path": self.path,
+            "segments": [],
+            "segment_records": 0,
+            "corrupt_records": 0,
+            "tail_records": 0,
+            "tail_torn_lines": 0,
+            "index": "none",
+            "repaired": False,
+        }
+        with self._locked(exclusive=repair):
+            self._segments = self._list_segments()
+            damaged: Dict[str, List[Dict[str, Any]]] = {}
+            for name in self._segments:
+                good: List[Dict[str, Any]] = []
+                corrupt = 0
+                for record, _, _ in self._iter_segment(name):
+                    if record is None:
+                        corrupt += 1
+                    else:
+                        good.append(record)
+                try:
+                    size = os.path.getsize(self._segment_path(name))
+                except OSError:
+                    size = -1
+                report["segments"].append(
+                    {"name": name, "records": len(good), "corrupt": corrupt, "size": size}
+                )
+                report["segment_records"] += len(good)
+                report["corrupt_records"] += corrupt
+                if corrupt:
+                    damaged[name] = good
+            try:
+                with open(self.path, "rb") as handle:
+                    raw = handle.read()
+            except FileNotFoundError:
+                raw = b""
+            for line in raw.split(b"\n"):
+                if not line.strip():
+                    continue
+                if _parse_line(line) is None:
+                    report["tail_torn_lines"] += 1
+                else:
+                    report["tail_records"] += 1
+            if self._segments:
+                if not self.use_index:
+                    report["index"] = "disabled"
+                elif not os.path.exists(self.index_path):
+                    report["index"] = "missing"
+                elif self._try_load_index():
+                    report["index"] = "fresh"
+                else:
+                    report["index"] = "stale"
+            if repair:
+                for name, good in damaged.items():
+                    self._write_segment(name, good, fire_faults=False)
+                report["repaired"] = bool(damaged) or report["tail_torn_lines"] > 0
+        if repair:
+            # Outside the exclusive lock: recover() and the index rebuild
+            # take their own locks.
+            if report["tail_torn_lines"]:
+                self.recover()
+            self._segments = self._list_segments()
+            if self._segments:
+                if self.use_index:
+                    self._rebuild_index()
+                    report["index"] = "fresh"
+                else:
+                    self._scan_segments()
+            report["corrupt_dropped"] = report["corrupt_records"]
+            report["corrupt_records"] = 0
+            report["tail_torn_lines"] = 0
+        report["ok"] = (
+            report["corrupt_records"] == 0
+            and report["tail_torn_lines"] == 0
+            and report["index"] in ("none", "fresh", "disabled")
+        )
+        return report
+
+    def info(self) -> Dict[str, Any]:
+        """Layout summary: segment count/records, tail records, index state."""
+        self._ensure_loaded()
+        index_state = "none"
+        if self._segments:
+            if not self.use_index:
+                index_state = "disabled"
+            elif not os.path.exists(self.index_path):
+                index_state = "missing"
+            else:
+                index_state = "fresh" if self._try_load_index() else "stale"
+        return {
+            "path": self.path,
+            "format": STORE_FORMAT_VERSION,
+            "segment_format": SEGMENT_FORMAT_VERSION,
+            "rotate_bytes": self.rotate_bytes,
+            "segments": list(self._segments),
+            "sealed_records": len(self._sealed_keys()),
+            "tail_records": len(self._tail),
+            "keys": len(self),
+            "index": index_state,
+        }

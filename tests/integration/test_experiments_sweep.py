@@ -219,3 +219,57 @@ class TestKillAndResume:
         out = capsys.readouterr().out
         assert exit_code == 0
         assert f"0 executed, {len(cells)} cached" in out
+
+
+class TestSegmentDamageResume:
+    """``--resume`` self-heals segment corruption: a deliberately corrupted
+    sealed record plus a deleted index cost exactly the damaged cells a
+    recompute — every intact record stays a cache hit."""
+
+    def test_corrupt_segment_and_deleted_index_resume(self, tmp_path):
+        store_path = str(tmp_path / "results.jsonl")
+        cells = expand_grid(
+            ["line-flood"],
+            adversaries=["earliest", "random"],
+            seeds=range(4),
+            param_grid={"horizon": [6]},
+        )
+        first = run_sweep(
+            cells, store=ResultStore(store_path, rotate_bytes=1024), workers=2
+        )
+        assert first.executed == len(cells)
+        seg_dir = store_path + ".segments"
+        index_path = store_path + ".index.json"
+        segments = sorted(os.listdir(seg_dir))
+        assert segments and os.path.exists(index_path)
+        keys_before = set(ResultStore(store_path, rotate_bytes=1024).keys())
+
+        # Flip one byte mid-record in the first segment; delete the index.
+        seg_path = os.path.join(seg_dir, segments[0])
+        with open(seg_path, "rb") as handle:
+            lines = handle.read().split(b"\n")
+        line = bytearray(lines[1])  # first record line, after the meta line
+        line[len(line) // 2] ^= 0xFF
+        lines[1] = bytes(line)
+        with open(seg_path, "wb") as handle:
+            handle.write(b"\n".join(lines))
+        os.unlink(index_path)
+
+        # The rebuilt index drops exactly the CRC-failed record(s).
+        damaged = keys_before - set(ResultStore(store_path, rotate_bytes=1024).keys())
+        assert damaged
+        cell_keys = {cell.key() for cell in cells}
+        assert damaged <= cell_keys  # the telemetry record was not the victim
+
+        outcome = run_sweep(
+            cells,
+            store=ResultStore(store_path, rotate_bytes=1024),
+            workers=2,
+            resume=True,
+        )
+        assert outcome.errors == 0
+        assert outcome.executed == len(damaged)
+        assert outcome.cached == len(cells) - len(damaged)
+
+        # The recomputed records superseded the corrupt ones: whole again.
+        assert cell_keys <= set(ResultStore(store_path, rotate_bytes=1024).keys())

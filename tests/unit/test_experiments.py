@@ -321,8 +321,45 @@ class TestRunner:
         assert outcome.executed == 1 and outcome.errors == 1
         error_records = [r for r in outcome.records if r["status"] == "error"]
         assert len(error_records) == 1
-        # Errors are not cached.
-        assert store.get(bad.key()) is None
+        # Errors are quarantined: persisted with status "error"...
+        assert store.get(bad.key())["status"] == "error"
+        # ...a plain re-run retries them (and fails again here)...
+        again = run_sweep([good, bad], store=store, workers=1)
+        assert (again.executed, again.cached, again.errors) == (0, 1, 1)
+        assert [r["status"] for r in again.records if not r.get("cached")] == ["error"]
+        # ...a resume skips them without recomputing (still counted as errors)...
+        resumed = run_sweep([good, bad], store=store, workers=1, resume=True)
+        assert (resumed.executed, resumed.cached, resumed.errors) == (0, 1, 1)
+        assert store.get(bad.key())["status"] == "error"
+        # ...and --retry-errors recomputes exactly the quarantined cells.
+        retried = run_sweep(
+            [good, bad], store=store, workers=1, resume=True, retry_errors=True
+        )
+        assert (retried.executed, retried.cached, retried.errors) == (0, 1, 1)
+
+    def test_retry_errors_requires_resume(self, tmp_path):
+        store = ResultStore(str(tmp_path / "r.jsonl"))
+        with pytest.raises(SweepError, match="retry_errors requires resume"):
+            run_sweep([make_cell("figure1")], store=store, retry_errors=True)
+
+    def test_telemetry_persisted_even_with_errors(self, tmp_path):
+        from repro.experiments.runner import sweep_telemetry_key
+
+        store = ResultStore(str(tmp_path / "r.jsonl"))
+        good = make_cell("figure1", seed=0)
+        bad = good.__class__(
+            scenario="figure1",
+            params=(("go_time", -5),),
+            adversary="earliest",
+            seed=0,
+            analyses=good.analyses,
+        )
+        cells = [good, bad]
+        outcome = run_sweep(cells, store=store, workers=1)
+        assert outcome.errors == 1
+        telemetry = store.get(sweep_telemetry_key(cells))
+        assert telemetry is not None
+        assert telemetry["cells"]["errors"] == 1
 
 
 # ---------------------------------------------------------------------------

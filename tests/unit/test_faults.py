@@ -143,3 +143,51 @@ class TestFiring:
         assert not faults.is_worker()
         assert faults.active_plan() is None
         faults.fire("p")
+
+
+class TestStorageFaults:
+    """Storage kinds: cooperative, separately scoped, never process-violent."""
+
+    def test_storage_kinds_parse(self):
+        plan = parse_plan("torn-write@store.append:2,corrupt-segment@store.seal:*")
+        assert [rule.kind for rule in plan.rules] == ["torn-write", "corrupt-segment"]
+        assert all(rule.kind in faults.STORAGE_KINDS for rule in plan.rules)
+
+    def test_storage_fault_needs_a_mark(self):
+        faults.install_plan(parse_plan("torn-write@store.append:1"))
+        # Unmarked process: nothing fires and the arrival is not counted.
+        assert faults.storage_fault("store.append") == []
+        faults.mark_storage("torn-write@store.append:1")
+        fired = faults.storage_fault("store.append")
+        assert [rule.kind for rule in fired] == ["torn-write"]
+
+    def test_mark_storage_does_not_open_process_faults(self):
+        faults.mark_storage("kill@worker.shard:1,torn-write@store.append:1")
+        assert faults.is_storage() and not faults.is_worker()
+        # fire() stays a no-op: mark_storage never exposes the process to
+        # kill/hang/slow/drop (the coordinator must stay immune).
+        faults.fire("worker.shard")  # would SIGKILL us if it applied
+
+    def test_worker_mark_also_sees_storage_faults(self):
+        faults.mark_worker("torn-write@store.append:1")
+        fired = faults.storage_fault("store.append")
+        assert [rule.kind for rule in fired] == ["torn-write"]
+
+    def test_fire_skips_storage_kinds(self):
+        faults.mark_worker("drop@p:2,corrupt-segment@p:1")
+        faults.fire("p")  # arrival 1: only the storage rule matches; skipped
+        with pytest.raises(DropConnection):
+            faults.fire("p")  # arrival 2: the process rule still fires
+
+    def test_storage_fault_counts_arrivals(self):
+        faults.mark_storage("torn-write@store.append:3")
+        assert faults.storage_fault("store.append") == []
+        assert faults.storage_fault("store.append") == []
+        assert len(faults.storage_fault("store.append")) == 1
+        assert faults.storage_fault("store.append") == []
+
+    def test_reset_clears_storage_mark(self):
+        faults.mark_storage("torn-write@store.append:1")
+        faults.reset()
+        assert not faults.is_storage()
+        assert faults.storage_fault("store.append") == []

@@ -1,0 +1,164 @@
+"""Tests for intern-pool + base-scenario snapshots (worker warm-start).
+
+The warm-start contract: a snapshot only pre-populates caches — loading one
+never changes results (warm and cold shard runs are record-identical), a
+second load is idempotent, and a damaged or skewed file raises
+:class:`SnapshotError` so callers can fall back to a cold start.
+"""
+
+import json
+
+import pytest
+
+from repro.experiments import (
+    ResultStore,
+    SNAPSHOT_FORMAT_VERSION,
+    SnapshotError,
+    load_snapshot,
+    make_cell,
+    run_sweep,
+    write_snapshot,
+)
+from repro.experiments.executors import run_shard_monitored
+from repro.experiments.snapshot import load_pool_snapshot, pool_snapshot
+from repro.simulation.interning import current_pool, intern_pool
+
+
+def _seeded_store(tmp_path, seeds=(0, 1)):
+    store = ResultStore(str(tmp_path / "results.jsonl"))
+    cells = [
+        make_cell("line-flood", overrides={"horizon": 5}, seed=seed)
+        for seed in seeds
+    ]
+    run_sweep(cells, store=store, workers=1)
+    return store, cells
+
+
+class TestWriteLoadRoundTrip:
+    def test_round_trip_builds_executor_keyed_base_cache(self, tmp_path):
+        store, cells = _seeded_store(tmp_path)
+        path = str(tmp_path / "warm.json")
+        summary = write_snapshot(store, path)
+        assert summary["bases"] >= 1
+        assert summary["nodes"] > 0
+        assert summary["bytes"] > 0
+
+        with intern_pool():
+            base_cache = load_snapshot(path)
+            assert base_cache
+            # Keyed exactly like execute_cell_inline's probe.
+            for cell in cells:
+                expected = make_cell(
+                    cell.scenario, overrides=cell.params_dict(), seed=cell.seed
+                )
+                assert (expected.scenario, expected.params) in base_cache
+
+    def test_snapshot_skips_telemetry_records(self, tmp_path):
+        store, _ = _seeded_store(tmp_path)
+        # The telemetry record has no scenario/params axes; it must not
+        # become a base (write_snapshot would fail to build it).
+        path = str(tmp_path / "warm.json")
+        summary = write_snapshot(store, path)
+        data = json.loads(open(path, "rb").read())
+        assert len(data["bases"]) == summary["bases"]
+        for scenario, params in data["bases"]:
+            assert isinstance(scenario, str) and isinstance(params, dict)
+
+    def test_limit_validation(self, tmp_path):
+        store, _ = _seeded_store(tmp_path)
+        with pytest.raises(SnapshotError, match="limit"):
+            write_snapshot(store, str(tmp_path / "warm.json"), limit=0)
+
+
+class TestPoolSnapshot:
+    def test_load_is_idempotent(self, tmp_path):
+        store, _ = _seeded_store(tmp_path)
+        path = str(tmp_path / "warm.json")
+        write_snapshot(store, path)
+        with intern_pool():
+            load_snapshot(path)
+            first = len(current_pool().nodes)
+            load_snapshot(path)
+            assert len(current_pool().nodes) == first
+
+    def test_pool_round_trip_reinterns_every_node(self, tmp_path):
+        store, cells = _seeded_store(tmp_path, seeds=(0,))
+        with intern_pool():
+            from repro.experiments.runner import execute_cell_inline
+
+            execute_cell_inline(cells[0])
+            encoded = pool_snapshot()
+            count = len(current_pool().nodes)
+        assert len(encoded["nodes"]) == count
+        with intern_pool():
+            assert load_pool_snapshot(encoded) == count
+            assert len(current_pool().nodes) == count
+
+
+class TestSnapshotFailureModes:
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(SnapshotError, match="cannot read"):
+            load_snapshot(str(tmp_path / "nope.json"))
+
+    def test_corrupt_json_raises(self, tmp_path):
+        path = tmp_path / "warm.json"
+        path.write_bytes(b'{"format": 1, "pool": {tor')
+        with pytest.raises(SnapshotError, match="not valid JSON"):
+            load_snapshot(str(path))
+
+    def test_version_skew_raises(self, tmp_path):
+        path = tmp_path / "warm.json"
+        path.write_text(
+            json.dumps(
+                {"format": SNAPSHOT_FORMAT_VERSION + 1, "bases": [], "pool": {}}
+            )
+        )
+        with pytest.raises(SnapshotError, match="format"):
+            load_snapshot(str(path))
+
+    def test_unregistered_scenario_is_skipped_not_fatal(self, tmp_path):
+        path = tmp_path / "warm.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "format": SNAPSHOT_FORMAT_VERSION,
+                    "bases": [["no-such-scenario", {}]],
+                    "pool": {"histories": [], "messages": [], "nodes": []},
+                }
+            )
+        )
+        with intern_pool():
+            assert load_snapshot(str(path)) == {}
+
+    def test_malformed_base_entry_raises(self, tmp_path):
+        path = tmp_path / "warm.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "format": SNAPSHOT_FORMAT_VERSION,
+                    "bases": [["line-flood"]],
+                    "pool": {"histories": [], "messages": [], "nodes": []},
+                }
+            )
+        )
+        with pytest.raises(SnapshotError, match="bad base entry"):
+            load_snapshot(str(path))
+
+
+class TestWarmEqualsCold:
+    def test_warm_shard_results_are_bit_identical_to_cold(self, tmp_path):
+        store, cells = _seeded_store(tmp_path)
+        path = str(tmp_path / "warm.json")
+        write_snapshot(store, path)
+
+        cold = run_shard_monitored(cells)["records"]
+        with intern_pool():
+            base_cache = load_snapshot(path)
+            warm = run_shard_monitored(cells, base_cache=base_cache, fresh_pool=False)[
+                "records"
+            ]
+
+        def strip(record):
+            return {k: v for k, v in record.items() if k != "duration_s"}
+
+        assert [strip(r) for r in warm] == [strip(r) for r in cold]
