@@ -54,10 +54,12 @@ from .faults import (
     parse_plan,
 )
 from .reporting import (
+    DEFAULT_REPORT_METRICS,
     aggregate_metric,
     cell_records,
     format_aggregate,
     group_records,
+    report_payload,
 )
 from .runner import (
     ADVERSARIES,
@@ -75,20 +77,6 @@ from .store import DEFAULT_ROTATE_BYTES, DEFAULT_STORE_PATH, ResultStore
 DEFAULT_SWEEP_SCENARIOS = ("flooding", "torus-flood", "tree-flood")
 DEFAULT_SWEEP_SEEDS = 4
 DEFAULT_SWEEP_WORKERS = 2
-
-#: Metrics `repro report` aggregates when none are requested explicitly.
-#: Mixes numeric columns (mean/min/max) with boolean/label columns (value
-#: counts) — the latter were silently dropped before the report grew a
-#: categorical aggregation path.
-DEFAULT_REPORT_METRICS = (
-    "summary.sends",
-    "summary.deliveries",
-    "bounds_graph.edges",
-    "coordination.achieved_margin",
-    "coordination.applicable",
-    "coordination.go_sender",
-)
-
 
 class CliError(ValueError):
     """Raised on bad command-line input; rendered as an error message."""
@@ -303,22 +291,22 @@ def _cmd_sweep(args: argparse.Namespace, out) -> int:
     backend: Any = args.backend
     if args.backend == "remote":
         from .remote import RemoteExecutor
+        from .serve import parse_endpoint
 
-        host, _, port_text = (args.listen or "127.0.0.1:0").rpartition(":")
+        host, port = parse_endpoint(args.listen or "127.0.0.1:0", what="--listen")
         try:
-            port = int(port_text)
-        except ValueError:
-            raise CliError(f"--listen expects HOST:PORT, got {args.listen!r}")
-        backend = RemoteExecutor(
-            host or "127.0.0.1",
-            port,
-            workers_hint=args.workers,
-            shard_size=args.shard_size,
-            lease_base_s=args.lease_base_s,
-            lease_cell_s=args.lease_cell_s,
-            heartbeat_timeout_s=args.heartbeat_timeout_s,
-            local_fallback_after_s=args.local_fallback_s,
-        )
+            backend = RemoteExecutor(
+                host,
+                port,
+                workers_hint=args.workers,
+                shard_size=args.shard_size,
+                lease_base_s=args.lease_base_s,
+                lease_cell_s=args.lease_cell_s,
+                heartbeat_timeout_s=args.heartbeat_timeout_s,
+                local_fallback_after_s=args.local_fallback_s,
+            )
+        except OSError as exc:
+            raise CliError(f"--listen: cannot bind {host}:{port}: {exc}") from None
         # Parse-friendly and flushed before blocking: worker launchers (and
         # the CI smoke) scrape the port from this line.
         print(
@@ -378,6 +366,11 @@ def _cmd_worker(args: argparse.Namespace, out) -> int:
         except FaultError as exc:
             raise CliError(f"--faults: {exc}")
     from .remote import run_worker
+    from .serve import parse_endpoint
+
+    # Fail fast on a malformed or unresolvable endpoint: without this a bad
+    # host would spin in the connect-retry loop for the whole timeout.
+    parse_endpoint(args.connect, what="--connect")
 
     notify = (lambda message: print(message, file=out, flush=True)) if args.verbose else None
     return run_worker(
@@ -389,6 +382,52 @@ def _cmd_worker(args: argparse.Namespace, out) -> int:
         log=notify,
         snapshot_path=args.snapshot,
     )
+
+
+def _cmd_serve(args: argparse.Namespace, out) -> int:
+    """``repro serve``: the HTTP sweep service (:mod:`repro.experiments.serve`)."""
+    from .serve import SweepService, parse_endpoint
+
+    host, port = parse_endpoint(args.listen, what="--listen")
+    workers_listen = None
+    if args.workers_listen is not None:
+        workers_listen = parse_endpoint(args.workers_listen, what="--workers-listen")
+    notify = (
+        (lambda message: print(f"  {message}", file=out, flush=True))
+        if args.verbose
+        else None
+    )
+    service = SweepService(
+        args.store,
+        rotate_bytes=args.rotate_bytes,
+        workers_listen=workers_listen,
+        workers=args.workers,
+        shard_size=args.shard_size,
+        local_fallback_s=args.local_fallback_s,
+        max_cells=args.max_cells,
+        log=notify,
+    )
+    try:
+        address = service.start(host, port)
+    except OSError as exc:
+        raise CliError(f"--listen: cannot bind {host}:{port}: {exc}") from None
+    # Parse-friendly and flushed before blocking: clients (and the CI smoke)
+    # scrape the ephemeral port from this line.
+    print(f"serve: listening on {address[0]}:{address[1]}", file=out, flush=True)
+    print(f"serve: store {args.store}", file=out, flush=True)
+    if workers_listen is not None:
+        print(
+            f"serve: workers connect via {workers_listen[0]}:{workers_listen[1]}",
+            file=out,
+            flush=True,
+        )
+    try:
+        service.join()
+    except KeyboardInterrupt:
+        print("serve: shutting down", file=out, flush=True)
+    finally:
+        service.stop()
+    return 0
 
 
 def _cmd_store(args: argparse.Namespace, out) -> int:
@@ -496,15 +535,7 @@ def _cmd_report(args: argparse.Namespace, out) -> int:
     groups = group_records(records, group_fields)
 
     if args.json:
-        payload = []
-        for group, rows in sorted(groups.items()):
-            entry: Dict[str, Any] = dict(zip(group_fields, group))
-            entry["cells"] = len(rows)
-            for metric in metrics:
-                summary = aggregate_metric(rows, metric)
-                if summary is not None:
-                    entry[metric] = summary
-            payload.append(entry)
+        payload = report_payload(records, group_fields, metrics)
         print(json.dumps(payload, indent=2, sort_keys=True), file=out)
         return 0
 
@@ -889,6 +920,71 @@ def build_parser() -> argparse.ArgumentParser:
         "--verbose", action="store_true", help="log leases and lifecycle events"
     )
 
+    serve_parser = sub.add_parser(
+        "serve", help="serve sweeps and cached results over HTTP"
+    )
+    serve_parser.add_argument(
+        "--listen",
+        default="127.0.0.1:0",
+        metavar="HOST:PORT",
+        help="HTTP endpoint to bind; port 0 picks an ephemeral port "
+        "(default: %(default)s)",
+    )
+    serve_parser.add_argument(
+        "--store",
+        default=DEFAULT_STORE_PATH,
+        metavar="PATH",
+        help="result store backing the service (default: %(default)s)",
+    )
+    serve_parser.add_argument(
+        "--workers-listen",
+        default=None,
+        metavar="HOST:PORT",
+        help="also run a sweep coordinator here for `repro worker` fleets "
+        "(default: execute cold cells inline, still through the scheduler)",
+    )
+    serve_parser.add_argument(
+        "--workers",
+        type=int,
+        default=DEFAULT_SWEEP_WORKERS,
+        metavar="N",
+        help="expected worker count / inline parallelism hint "
+        "(default: %(default)s)",
+    )
+    serve_parser.add_argument(
+        "--shard-size",
+        type=int,
+        default=None,
+        metavar="N",
+        help="cells per dispatched shard (default: auto)",
+    )
+    serve_parser.add_argument(
+        "--local-fallback-s",
+        type=float,
+        default=10.0,
+        metavar="S",
+        help="with --workers-listen: run shards inline when no worker takes "
+        "them this long (default: %(default)s)",
+    )
+    serve_parser.add_argument(
+        "--max-cells",
+        type=int,
+        default=10_000,
+        metavar="N",
+        help="reject specs expanding past this many cells (default: %(default)s)",
+    )
+    serve_parser.add_argument(
+        "--rotate-bytes",
+        type=int,
+        default=None,
+        metavar="N",
+        help="tail size that triggers sealing a store segment "
+        "(0 disables rotation; default: library default)",
+    )
+    serve_parser.add_argument(
+        "--verbose", action="store_true", help="log requests and sweep lifecycle"
+    )
+
     store_parser = sub.add_parser(
         "store", help="inspect and maintain the segmented result store"
     )
@@ -942,6 +1038,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "report": _cmd_report,
         "export": _cmd_export,
         "worker": _cmd_worker,
+        "serve": _cmd_serve,
         "store": _cmd_store,
     }
     try:

@@ -28,13 +28,29 @@ from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 from .runner import TELEMETRY_KIND
 
 __all__ = [
+    "DEFAULT_REPORT_METRICS",
     "aggregate_metric",
     "cell_records",
     "discover_metrics",
     "flatten_scalars",
     "format_aggregate",
     "group_records",
+    "report_payload",
 ]
+
+#: Metrics aggregated when none are requested explicitly (shared by
+#: ``repro report`` and the serve ``/report`` endpoint).  Mixes numeric
+#: columns (mean/min/max) with boolean/label columns (value counts) — the
+#: latter were silently dropped before the report grew a categorical
+#: aggregation path.
+DEFAULT_REPORT_METRICS = (
+    "summary.sends",
+    "summary.deliveries",
+    "bounds_graph.edges",
+    "coordination.achieved_margin",
+    "coordination.applicable",
+    "coordination.go_sender",
+)
 
 
 def cell_records(
@@ -138,6 +154,33 @@ def format_aggregate(summary: Optional[Mapping[str, Any]]) -> str:
     if "mean" in summary:
         return f"{summary['mean']:.2f}/{summary['min']:g}/{summary['max']:g}"
     return " ".join(f"{label}:{n}" for label, n in summary["counts"].items())
+
+
+def report_payload(
+    records: Sequence[Mapping[str, Any]],
+    group_fields: Sequence[str],
+    metrics: Optional[Sequence[str]] = None,
+) -> List[Dict[str, Any]]:
+    """The machine-readable report: one dict per group, sorted by group.
+
+    Each entry carries the group-field values, the ``cells`` count, and one
+    :func:`aggregate_metric` summary per requested metric (absent metrics
+    are omitted, not ``None``-padded).  This is the single shape behind
+    ``repro report --json`` and the serve ``/report`` endpoint, so the two
+    surfaces can never drift.
+    """
+    chosen = list(metrics) if metrics else list(DEFAULT_REPORT_METRICS)
+    groups = group_records(records, group_fields)
+    payload: List[Dict[str, Any]] = []
+    for group, rows in sorted(groups.items()):
+        entry: Dict[str, Any] = dict(zip(group_fields, group))
+        entry["cells"] = len(rows)
+        for metric in chosen:
+            summary = aggregate_metric(rows, metric)
+            if summary is not None:
+                entry[metric] = summary
+        payload.append(entry)
+    return payload
 
 
 def discover_metrics(

@@ -454,6 +454,7 @@ def run_sweep(
     retry_errors: bool = False,
     shard_size: Optional[int] = None,
     cell_timeout: Optional[float] = None,
+    observer: Optional[Callable[[str, SweepCell, Dict[str, Any]], None]] = None,
 ) -> SweepOutcome:
     """Run a sweep, serving cells from ``store`` where possible.
 
@@ -488,6 +489,12 @@ def run_sweep(
     ``fabric``/``worker_events`` diagnostics matter most on exactly the
     sweeps that went wrong — where its non-hex key and non-``ok`` status
     keep it out of cache scans and reports.
+
+    ``observer``, if given, is called once per delivered cell with
+    ``(phase, cell, record)`` where phase is ``"cached"``, ``"executed"``,
+    or ``"error"`` — a structured progress feed (used by ``repro serve`` to
+    stream events) that rides the same exactly-once delivery as the record
+    handling itself.
     """
     from .executors import resolve_executor  # runner <-> executors layering
 
@@ -506,6 +513,7 @@ def run_sweep(
     trace_mark = len(trace_events())
     outcome = SweepOutcome(total=len(cells), backend=executor.name)
     notify = progress or (lambda message: None)
+    watch = observer or (lambda phase, cell, record: None)
 
     if resume and store is not None:
         outcome.recovered_lines = store.recover()
@@ -534,6 +542,7 @@ def run_sweep(
                         f"quarantined error (use --retry-errors to recompute): "
                         f"{cell.describe()}"
                     )
+                    watch("error", cell, records[index])
                     continue
                 cached = None  # plain runs and --retry-errors recompute
             if cached is not None:
@@ -541,6 +550,7 @@ def run_sweep(
                 outcome.cached += 1
                 _C_CELLS_CACHED.value += 1
                 notify(f"cache hit: {cell.describe()}")
+                watch("cached", cell, records[index])
             else:
                 pending.append((index, cell))
 
@@ -552,6 +562,7 @@ def run_sweep(
             if store is not None:
                 store.put(record)
             notify(f"done: {cell.describe()} ({record['duration_s']:.3f}s)")
+            watch("executed", cell, record)
         else:
             outcome.errors += 1
             _C_CELLS_ERRORS.value += 1
@@ -561,6 +572,7 @@ def run_sweep(
                 # later ok record supersedes it, newest per key wins.
                 store.put(record)
             notify(f"ERROR: {cell.describe()}: {record.get('error')}")
+            watch("error", cell, record)
 
     with span("sweep.execute", backend=executor.name) as execute_span:
         executor.execute(pending, finish)

@@ -260,6 +260,33 @@ class ResultStore:
             return []
         return sorted(name for name in names if _SEGMENT_RE.match(name))
 
+    def stat_signature(self) -> Tuple[Any, ...]:
+        """A cheap fingerprint of the on-disk state — no record is read.
+
+        Covers the tail, the advisory index, and every sealed segment as
+        ``(name, size, mtime_ns)`` triples: any append (flock'd, so it
+        always grows the tail), seal, compaction, or repair — by this
+        process or another one sharing the store — changes the signature.
+        ``repro serve`` keys its report cache on this, so repeat reports
+        over an unchanged store are pure cache hits while a concurrent CLI
+        sweep invalidates them naturally.
+        """
+
+        def stat(path: str) -> Optional[Tuple[int, int]]:
+            try:
+                info = os.stat(path)
+            except OSError:
+                return None
+            return (info.st_size, info.st_mtime_ns)
+
+        parts: List[Tuple[Any, ...]] = [
+            ("tail", stat(self.path)),
+            ("index", stat(self.index_path)),
+        ]
+        for name in self._list_segments():
+            parts.append((name, stat(self._segment_path(name))))
+        return tuple(parts)
+
     def _next_segment_name(self) -> str:
         last = 0
         for name in self._segments:

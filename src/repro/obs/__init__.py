@@ -28,6 +28,7 @@ from .metrics import (
     MetricsRegistry,
     counter,
     empty_snapshot,
+    flatten_snapshot,
     gauge,
     histogram,
     merge_snapshots,
@@ -53,6 +54,7 @@ __all__ = [
     "counter",
     "drain_trace_events",
     "empty_snapshot",
+    "flatten_snapshot",
     "gauge",
     "histogram",
     "merge_snapshots",

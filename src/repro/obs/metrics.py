@@ -40,6 +40,7 @@ __all__ = [
     "histogram",
     "registry",
     "empty_snapshot",
+    "flatten_snapshot",
     "merge_snapshots",
     "snapshot_diff",
 ]
@@ -210,6 +211,22 @@ def histogram(name: str, bounds: Sequence[float] = DEFAULT_BUCKETS) -> Histogram
 
 def empty_snapshot() -> Dict[str, Any]:
     return {"counters": {}, "gauges": {}, "histograms": {}}
+
+
+def flatten_snapshot(snapshot: Mapping[str, Any]) -> Dict[str, float]:
+    """Flatten a :meth:`~MetricsRegistry.snapshot` to sorted ``name -> number``.
+
+    The text exposition format (``GET /metrics?format=flat`` in ``repro
+    serve``, grep-friendly CI assertions): counters and gauges keep their
+    names, histograms contribute ``<name>.count`` and ``<name>.sum``.
+    """
+    flat: Dict[str, float] = {}
+    flat.update(snapshot.get("counters", {}))
+    flat.update(snapshot.get("gauges", {}))
+    for name, hist in snapshot.get("histograms", {}).items():
+        flat[f"{name}.count"] = hist["count"]
+        flat[f"{name}.sum"] = hist["sum"]
+    return dict(sorted(flat.items()))
 
 
 def snapshot_diff(before: Mapping[str, Any], after: Mapping[str, Any]) -> Dict[str, Any]:

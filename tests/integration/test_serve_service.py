@@ -1,0 +1,215 @@
+"""Integration tests for the serve service's system-level invariants.
+
+* Two concurrent clients POSTing *overlapping* grids execute each distinct
+  cell exactly once (the scheduler dedup + sequential job draining), and
+  the records match a serial :func:`run_sweep` byte-for-byte (minus
+  wall-clock fields).
+* ``/results`` stays correct with the advisory index deleted, and a
+  damaged (torn/corrupt) tail record degrades to recompute-and-supersede
+  instead of a wrong answer — the store-level PR 9 semantics surfaced over
+  HTTP.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.experiments import ResultStore, expand_grid, run_sweep
+from repro.experiments.serve import SweepService
+from repro.obs import metrics as obs_metrics
+from repro.obs.collect import registry_baseline, registry_delta
+
+
+@pytest.fixture()
+def service(tmp_path):
+    svc = SweepService(str(tmp_path / "results.jsonl"))
+    host, port = svc.start("127.0.0.1", 0)
+    svc.base = f"http://{host}:{port}"
+    try:
+        yield svc
+    finally:
+        svc.stop()
+
+
+def _get(svc, path):
+    try:
+        with urllib.request.urlopen(svc.base + path, timeout=60) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read())
+
+
+def _post(svc, payload):
+    request = urllib.request.Request(
+        svc.base + "/sweeps",
+        data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    with urllib.request.urlopen(request, timeout=60) as response:
+        return json.loads(response.read())
+
+
+def _wait_done(svc, sweep_id, timeout_s=120.0):
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        _, body = _get(svc, f"/sweeps/{sweep_id}")
+        if body["status"] in ("done", "failed"):
+            return body
+        time.sleep(0.05)
+    raise AssertionError(f"sweep {sweep_id} never finished")
+
+
+SPEC_A = {
+    "scenarios": ["line-flood"],
+    "adversaries": ["earliest", "latest"],
+    "seeds": [0, 1],
+    "horizon": 4,
+}
+SPEC_B = {
+    "scenarios": ["line-flood"],
+    "adversaries": ["latest", "random"],  # `latest` x {0,1} overlaps SPEC_A
+    "seeds": [0, 1],
+    "horizon": 4,
+}
+
+
+def _strip(record):
+    return {k: v for k, v in record.items() if k not in ("duration_s", "cached")}
+
+
+def test_concurrent_overlapping_sweeps_execute_each_cell_exactly_once(
+    service, tmp_path
+):
+    union_keys = {
+        cell.key()
+        for spec in (SPEC_A, SPEC_B)
+        for cell in expand_grid(
+            spec["scenarios"],
+            adversaries=spec["adversaries"],
+            seeds=spec["seeds"],
+            horizon=spec["horizon"],
+        )
+    }
+    overlap = 2  # latest x seeds {0, 1}
+    assert len(union_keys) == 6
+
+    baseline = registry_baseline()
+    accepted = []
+    errors = []
+
+    def client(spec):
+        try:
+            accepted.append(_post(service, spec))
+        except Exception as exc:  # noqa: BLE001 - surfaced via the assert below
+            errors.append(exc)
+
+    threads = [threading.Thread(target=client, args=(spec,)) for spec in (SPEC_A, SPEC_B)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert not errors
+    finals = [_wait_done(service, body["sweep"]) for body in accepted]
+    assert all(final["status"] == "done" for final in finals)
+    assert all(final["cells"]["errors"] == 0 for final in finals)
+
+    # Exactly-once across both clients: the union executed, the overlap
+    # served as cache hits to whichever job ran second.
+    delta = registry_delta(baseline)["counters"]
+    assert delta.get("sweep.cells_executed", 0) == len(union_keys)
+    assert delta.get("sweep.cells_cached", 0) == overlap
+    executed = sum(final["cells"]["executed"] for final in finals)
+    cached = sum(final["cells"]["cached"] for final in finals)
+    assert executed == len(union_keys)
+    assert cached == overlap
+
+    # The store holds exactly one record per distinct cell...
+    store = ResultStore(service.store_path)
+    served = {
+        record["key"]: _strip(record)
+        for record in store.records()
+        if record.get("status") == "ok"
+    }
+    assert set(served) == union_keys
+
+    # ... identical to a serial sweep of the same union on a fresh store.
+    serial_store = ResultStore(str(tmp_path / "serial.jsonl"))
+    cells = [
+        cell
+        for spec in (SPEC_A, SPEC_B)
+        for cell in expand_grid(
+            spec["scenarios"],
+            adversaries=spec["adversaries"],
+            seeds=spec["seeds"],
+            horizon=spec["horizon"],
+        )
+    ]
+    outcome = run_sweep(cells, store=serial_store, backend="serial")
+    assert outcome.errors == 0
+    serial = {
+        record["key"]: _strip(record)
+        for record in outcome.records
+        if record.get("status") == "ok"
+    }
+    assert served == serial
+
+
+def test_results_survive_index_deletion_and_recompute_damaged_records(service):
+    body = _post(
+        service,
+        {
+            "scenarios": ["line-flood"],
+            "adversaries": ["earliest"],
+            "seeds": 2,
+            "horizon": 4,
+        },
+    )
+    _wait_done(service, body["sweep"])
+    store = ResultStore(service.store_path)
+    keys = sorted(
+        record["key"] for record in store.records() if record.get("status") == "ok"
+    )
+    assert len(keys) == 2
+
+    # The index is advisory: /results must stay correct without it.
+    import os
+
+    if os.path.exists(store.index_path):
+        os.unlink(store.index_path)
+    status, record = _get(service, f"/results/{keys[0]}")
+    assert status == 200
+    assert record["key"] == keys[0]
+
+    # Damage the tail line of a known cell: the parse-or-drop read makes it
+    # a miss, and serve degrades to recompute-and-supersede (never a wrong
+    # or half-parsed record).
+    victim = keys[1]
+    with open(service.store_path, "r", encoding="utf-8") as handle:
+        lines = handle.readlines()
+    damaged = [
+        line if victim not in line else '{"torn": \n' for line in lines
+    ]
+    assert damaged != lines
+    with open(service.store_path, "w", encoding="utf-8") as handle:
+        handle.writelines(damaged)
+
+    recomputes_before = obs_metrics.registry().snapshot()["counters"].get(
+        "serve.recomputes", 0
+    )
+    status, record = _get(service, f"/results/{victim}")
+    assert status == 200
+    assert record["key"] == victim
+    assert record["status"] == "ok"
+    after = obs_metrics.registry().snapshot()["counters"]["serve.recomputes"]
+    assert after == recomputes_before + 1
+
+    # The recompute superseded the damaged line: the next read is a plain
+    # store hit again.
+    assert ResultStore(service.store_path).get(victim)["status"] == "ok"

@@ -89,19 +89,25 @@ def test_intern_pools_are_isolated_across_sweep_workers():
     Each worker process has its own current pool (module global), so worker
     interning can neither corrupt nor bloat the parent's pool, while every
     worker still produces the exact payload the parent produces locally.
+
+    The parent-side observations run inside a fresh scoped pool: earlier
+    tests intern runs into the module-global pool, and whenever their union
+    happens to cover this run, the "local build interned here" assertion
+    would flake against the polluted global.
     """
-    parent_before = current_pool().stats()
-    local_payload = json.dumps(build_run(3, horizon=8).to_dict(), sort_keys=True)
-    parent_mid = current_pool().stats()
+    with intern_pool():
+        parent_before = current_pool().stats()
+        local_payload = json.dumps(build_run(3, horizon=8).to_dict(), sort_keys=True)
+        parent_mid = current_pool().stats()
 
-    with ProcessPoolExecutor(max_workers=2) as executor:
-        results = list(executor.map(_worker_build, [3, 3, 3]))
+        with ProcessPoolExecutor(max_workers=2) as executor:
+            results = list(executor.map(_worker_build, [3, 3, 3]))
 
-    pids = {pid for pid, _, _ in results}
-    assert os.getpid() not in pids
-    for _, payload, grown in results:
-        assert payload == local_payload
-        assert grown > 0, "worker should have interned its run into its own pool"
-    # Worker activity left the parent's pool exactly as it was.
-    assert current_pool().stats() == parent_mid
-    assert parent_mid != parent_before  # the local build did intern here
+        pids = {pid for pid, _, _ in results}
+        assert os.getpid() not in pids
+        for _, payload, grown in results:
+            assert payload == local_payload
+            assert grown > 0, "worker should have interned its run into its own pool"
+        # Worker activity left the parent's pool exactly as it was.
+        assert current_pool().stats() == parent_mid
+        assert parent_mid != parent_before  # the local build did intern here
